@@ -1,0 +1,96 @@
+// Ablation of the angular-momentum-conservation strategy (the design choice
+// DESIGN.md calls out): am_mode::none (standard FMM), central_projection
+// (torque-free pair forces) and spin_deposit (full-accuracy forces + spin
+// ledger). Reports force accuracy against direct summation, conservation
+// residuals, and kernel cost — the accuracy/conservation trade the paper's
+// §2 discusses ("it is not clear how to ensure the conservation of all
+// momenta for polynomials of higher degree").
+
+#include <cmath>
+#include <cstdio>
+
+#include "amr/tree.hpp"
+#include "fmm/direct.hpp"
+#include "fmm/solver.hpp"
+#include "support/timer.hpp"
+
+using namespace octo;
+using namespace octo::fmm;
+using amr::INX;
+
+namespace {
+
+amr::tree make_scene() {
+    amr::box_geometry g;
+    g.origin = {-0.5, -0.5, -0.5};
+    g.dx = 1.0 / INX;
+    amr::tree t(g);
+    t.refine(amr::root_key);
+    t.refine(amr::key_child(amr::root_key, 0));
+    t.balance21();
+    for (const auto k : t.leaves_sfc()) {
+        auto& sg = t.ensure_fields(k);
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const dvec3 r = sg.geom.cell_center(i, j, kk);
+                    const dvec3 c1{-0.18, 0.02, 0.01};
+                    const dvec3 c2{0.22, -0.03, -0.02};
+                    sg.interior(amr::f_rho, i, j, kk) =
+                        std::exp(-norm2(r - c1) / 0.01) +
+                        0.3 * std::exp(-norm2(r - c2) / 0.006);
+                }
+    }
+    return t;
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Ablation: angular-momentum conservation strategy ===\n\n");
+    auto t = make_scene();
+    const auto direct = solve_direct(t);
+
+    const am_mode modes[] = {am_mode::none, am_mode::central_projection,
+                             am_mode::spin_deposit};
+    const char* names[] = {"none (standard FMM)", "central_projection",
+                           "spin_deposit (default)"};
+
+    std::printf("%-26s %12s %14s %16s %10s\n", "mode", "force RMS err",
+                "|net torque|", "|torque+ledger|", "solve[s]");
+    for (int m = 0; m < 3; ++m) {
+        solver s({.conserve = modes[m]});
+        octo::stopwatch sw;
+        s.solve(t);
+        const double secs = sw.seconds();
+
+        double en = 0, ed = 0, tq_scale = 0;
+        for (const auto k : t.leaves_sfc()) {
+            const auto& gf = s.gravity(k);
+            const auto& gd = direct.gravity.at(k);
+            const auto& mom = s.moments(k);
+            for (int c = 0; c < amr::INX3; ++c) {
+                const dvec3 df{gf.gx[c] - gd.gx[c], gf.gy[c] - gd.gy[c],
+                               gf.gz[c] - gd.gz[c]};
+                en += norm2(df);
+                ed += norm2(dvec3{gd.gx[c], gd.gy[c], gd.gz[c]});
+                const dvec3 r{mom.com[0][c], mom.com[1][c], mom.com[2][c]};
+                tq_scale += norm(
+                    cross(r, mom.m[c] * dvec3{gf.gx[c], gf.gy[c], gf.gz[c]}));
+            }
+        }
+        const dvec3 tq = s.total_torque(t);
+        const dvec3 ledger = s.total_spin_torque(t);
+        std::printf("%-26s %12.2e %14.2e %16.2e %10.3f\n", names[m],
+                    std::sqrt(en / ed), norm(tq) / tq_scale,
+                    norm(tq + ledger) / tq_scale, secs);
+    }
+
+    std::printf("\nreading: 'none' is most accurate but violates torque at "
+                "truncation level;\n'central_projection' zeroes the torque "
+                "at ~10x the force error;\n'spin_deposit' keeps the accuracy "
+                "of 'none' while the ledger closes to rounding\n(the variant "
+                "the coupled solver uses — Octo-Tiger's machine-precision "
+                "claim).\n");
+    return 0;
+}

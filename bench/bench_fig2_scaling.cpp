@@ -1,0 +1,72 @@
+// Reproduces FIGURE 2 (paper §6.2/§6.3): relative speedup with respect to
+// processed sub-grids per second on one node at level 14, for refinement
+// levels 14-17 and node counts in powers of two up to 5400 (the full
+// machine), with both the MPI-like and the libfabric-like parcelport.
+//
+// The series combine weak scaling (level increases) and strong scaling
+// (node count increases), exactly as the paper's figure. Node-count ranges
+// per level follow the paper's (memory-constrained) runs.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/machine_model.hpp"
+#include "cluster/scenario_tree.hpp"
+
+using namespace octo::cluster;
+
+int main() {
+    std::printf("=== Figure 2: speedup w.r.t. sub-grids/s on one node (level 14) ===\n\n");
+
+    auto node = with_p100(piz_daint_node());
+    auto work = v1309_workload();
+
+    // Baseline: level 14 on 1 node (libfabric; ports are equal at N=1 up to
+    // the polling tax).
+    auto base_tree = build_v1309_tree(14);
+    work.dependency_hops = critical_path_hops(14);
+    const auto base_parts = octo::amr::partition_sfc(base_tree.tree, 1);
+    const double base = model_step(base_tree.subgrids, base_tree.leaves,
+                                   base_parts, 1, node, octo::net::libfabric_like(),
+                                   work)
+                            .subgrids_per_second;
+    std::printf("baseline: %.1f sub-grids/s (level 14, 1 node)\n\n", base);
+
+    struct series {
+        int level;
+        std::vector<int> nodes;
+    };
+    // The paper's level-16/17 runs start at higher node counts (memory).
+    const std::vector<series> runs = {
+        {14, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}},
+        {15, {32, 64, 128, 256, 512, 1024, 2048, 4096, 5400}},
+        {16, {256, 512, 1024, 2048, 4096, 5400}},
+        {17, {1024, 2048, 4096, 5400}},
+    };
+
+    for (const auto& run : runs) {
+        auto st = build_v1309_tree(run.level);
+        work.dependency_hops = critical_path_hops(run.level);
+        std::printf("level %d (%zu sub-grids):\n", run.level, st.subgrids);
+        std::printf("  %7s %14s %14s %12s %12s\n", "nodes", "speedup(lf)",
+                    "speedup(mpi)", "eff(lf)", "eff(mpi)");
+        for (const int n : run.nodes) {
+            const auto parts = octo::amr::partition_sfc(st.tree, n);
+            const auto lf = model_step(st.subgrids, st.leaves, parts, n, node,
+                                       octo::net::libfabric_like(), work);
+            const auto mp = model_step(st.subgrids, st.leaves, parts, n, node,
+                                       octo::net::mpi_like(), work);
+            std::printf("  %7d %14.1f %14.1f %11.1f%% %11.1f%%\n", n,
+                        lf.subgrids_per_second / base,
+                        mp.subgrids_per_second / base,
+                        100.0 * lf.subgrids_per_second / base / n,
+                        100.0 * mp.subgrids_per_second / base / n);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("paper reference points (libfabric): level 17 weak efficiency "
+                "78.4%% @1024, 68.1%% @2048;\nlevel 16: 71.4%% @256 down to "
+                "21.2%% @5400.\n");
+    return 0;
+}

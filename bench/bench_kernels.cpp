@@ -1,0 +1,131 @@
+// Microbenchmarks of the hot kernels on THIS host (real measurements):
+// the FMM same-level kernels (vectorized vs scalar — the Vc/CUDA template
+// trick of §5.1), the Green's-function evaluation, PPM reconstruction and
+// the KT flux. GFLOP/s are derived from the hand-counted per-interaction
+// FLOP constants (fmm/kernels.hpp).
+
+#include <benchmark/benchmark.h>
+
+#include "fmm/kernels.hpp"
+#include "hydro/flux.hpp"
+#include "hydro/reconstruct.hpp"
+#include "support/rng.hpp"
+
+using namespace octo;
+using namespace octo::fmm;
+
+namespace {
+
+node_moments make_moments(bool with_quadrupoles) {
+    node_moments m;
+    xoshiro256 rng(7);
+    for (int i = 0; i < INX3; ++i) {
+        m.m[i] = rng.uniform(0.1, 1.0);
+        m.com[0][i] = rng.uniform(0, 1);
+        m.com[1][i] = rng.uniform(0, 1);
+        m.com[2][i] = rng.uniform(0, 1);
+        if (with_quadrupoles) {
+            for (auto& q : m.q) q[i] = rng.uniform(-1e-3, 1e-3);
+        }
+    }
+    return m;
+}
+
+partner_buffer make_buffer(bool with_quadrupoles) {
+    partner_buffer buf;
+    xoshiro256 rng(11);
+    for (int i = 0; i < partner_buffer::P3; ++i) {
+        buf.m[i] = rng.uniform(0.1, 1.0);
+        buf.x[i] = rng.uniform(-2, 3);
+        buf.y[i] = rng.uniform(-2, 3);
+        buf.z[i] = rng.uniform(-2, 3);
+        if (with_quadrupoles) {
+            for (auto& q : buf.q) q[i] = rng.uniform(-1e-3, 1e-3);
+        }
+    }
+    buf.any = true;
+    return buf;
+}
+
+template <class T>
+void bench_monopole(benchmark::State& state) {
+    const auto mom = make_moments(false);
+    const auto buf = make_buffer(false);
+    node_gravity out;
+    kernel_options opt;
+    for (auto _ : state) {
+        monopole_kernel<T>(mom, buf, opt, out);
+        benchmark::DoNotOptimize(out.L[0][0]);
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * mono_kernel_flops()),
+        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(bench_monopole<double>)->Name("fmm_monopole_scalar");
+BENCHMARK(bench_monopole<simd::dpack>)->Name("fmm_monopole_simd");
+
+template <class T>
+void bench_multipole(benchmark::State& state) {
+    const auto mom = make_moments(true);
+    aligned_vector<double> invm(INX3);
+    for (int i = 0; i < INX3; ++i) invm[i] = 1.0 / mom.m[i];
+    const auto buf = make_buffer(true);
+    node_gravity out;
+    kernel_options opt;
+    opt.use_inner_mask = true;
+    for (auto _ : state) {
+        multipole_kernel<T>(mom, invm, buf, opt, out);
+        benchmark::DoNotOptimize(out.L[0][0]);
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * multi_kernel_flops(true)),
+        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(bench_multipole<double>)->Name("fmm_multipole_scalar");
+BENCHMARK(bench_multipole<simd::dpack>)->Name("fmm_multipole_simd");
+
+void bench_greens(benchmark::State& state) {
+    xoshiro256 rng(3);
+    double x[3] = {rng.uniform(0.5, 2), rng.uniform(0.5, 2), rng.uniform(0.5, 2)};
+    expansion<double> D;
+    for (auto _ : state) {
+        const double r2 = x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+        greens_d3(x, r2, D);
+        benchmark::DoNotOptimize(D[0]);
+        x[0] += 1e-9; // defeat CSE
+    }
+}
+BENCHMARK(bench_greens);
+
+void bench_ppm(benchmark::State& state) {
+    double q[64 + 4];
+    xoshiro256 rng(5);
+    for (auto& v : q) v = rng.uniform(0, 1);
+    double lo[64], hi[64];
+    for (auto _ : state) {
+        hydro::ppm_reconstruct(q + 2, 64, lo, hi);
+        benchmark::DoNotOptimize(lo[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(bench_ppm);
+
+void bench_kt_flux(benchmark::State& state) {
+    phys::ideal_gas_eos eos(1.4);
+    hydro::state uL{}, uR{};
+    uL[amr::f_rho] = 1.0;
+    uL[amr::f_sx] = 0.3;
+    uL[amr::f_egas] = 2.0;
+    uL[amr::f_tau] = 1.0;
+    uR = uL;
+    uR[amr::f_rho] = 0.5;
+    for (auto _ : state) {
+        const auto f = hydro::kt_flux(uL, uR, 0, eos);
+        benchmark::DoNotOptimize(f[0]);
+    }
+}
+BENCHMARK(bench_kt_flux);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Demonstrates the distributed-runtime abstractions of paper §5.2 on the
+// in-process localities: gid-addressed channels for halo exchange, the
+// N-timesteps-ahead receive idiom, transparent object migration, and the
+// two parcelports' accounting — "an application may benefit from significant
+// performance improvements in the runtime without changing a single line of
+// the application code": the halo-exchange code below is IDENTICAL for both
+// ports.
+//
+//   ./distributed_halo [localities] [timesteps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "dist/locality.hpp"
+#include "net/parcelport.hpp"
+#include "support/timer.hpp"
+
+using namespace octo;
+using namespace octo::dist;
+
+namespace {
+
+/// A toy 1-D domain of `n` blocks, one per locality, exchanging halos for
+/// `steps` timesteps through gid-addressed channels — the communication
+/// skeleton of the real solver.
+double run_halo_exchange(parcelport_factory make_port, int nloc, int steps) {
+    runtime rt(nloc, std::move(make_port), 2);
+
+    // Each block owns two receive channels (left and right halos).
+    std::vector<gid> left(nloc), right(nloc);
+    for (int r = 0; r < nloc; ++r) {
+        left[r] = rt.register_object(r);
+        right[r] = rt.register_object(r);
+    }
+
+    octo::stopwatch sw;
+    std::vector<rt::future<std::vector<double>>> pending;
+    for (int s = 0; s < steps; ++s) {
+        // Post receives (could be several steps ahead, §5.2).
+        pending.clear();
+        for (int r = 0; r < nloc; ++r) {
+            pending.push_back(rt.channel_get(left[r]));
+            pending.push_back(rt.channel_get(right[r]));
+        }
+        // Sends: block r pushes its boundary data to its neighbors' channels
+        // (periodic). The SAME code runs over either parcelport.
+        for (int r = 0; r < nloc; ++r) {
+            std::vector<double> halo(64, static_cast<double>(r + s));
+            rt.channel_set(right[(r + nloc - 1) % nloc], halo);
+            rt.channel_set(left[(r + 1) % nloc], std::move(halo));
+        }
+        for (auto& f : pending) f.get();
+    }
+    const double secs = sw.seconds();
+
+    const auto stats = rt.port().stats();
+    std::printf("  %-10s: %6.1f ms wall, %llu parcels, %.1f KB, modeled "
+                "latency sum %.2f ms\n",
+                rt.port().name(), 1e3 * secs,
+                static_cast<unsigned long long>(stats.parcels_sent),
+                stats.bytes_sent / 1e3, 1e3 * stats.modeled_latency_total);
+    return secs;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int nloc = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+
+    std::printf("=== Halo exchange over %d localities, %d timesteps ===\n\n",
+                nloc, steps);
+    const double t_mpi = run_halo_exchange(net::make_mpi_port(), nloc, steps);
+    const double t_lf =
+        run_halo_exchange(net::make_libfabric_port(), nloc, steps);
+    std::printf("\nspeedup from switching the parcelport (no application "
+                "code changed): %.2fx\n",
+                t_mpi / t_lf);
+
+    // Migration transparency (paper §5.2).
+    std::printf("\n--- AGAS migration ---\n");
+    runtime rt(3, net::make_libfabric_port());
+    const gid g = rt.register_object(0);
+    rt.channel_set(g, {1.0, 2.0});
+    rt.wait_quiet();
+    rt.migrate(g, 2);
+    rt.channel_set(g, {3.0, 4.0}); // sender code unchanged after migration
+    auto v1 = rt.channel_get(g).get();
+    auto v2 = rt.channel_get(g).get();
+    std::printf("received (%g, %g) then (%g, %g) through the same gid across "
+                "a migration\n",
+                v1[0], v1[1], v2[0], v2[1]);
+    return 0;
+}

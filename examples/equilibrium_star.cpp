@@ -1,0 +1,74 @@
+// Verification tests 3 & 4 of the paper's suite (§4.2, after Tasker et al.):
+// "we have substituted a single star in equilibrium at rest for the third
+// test and a single star in equilibrium in motion for the fourth test. In
+// each case, the equilibrium structure should be retained."
+//
+//   ./equilibrium_star [steps]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulation.hpp"
+#include "scf/scf.hpp"
+
+using namespace octo;
+using namespace octo::amr;
+
+namespace {
+
+void run_case(const char* name, const dvec3& velocity, int steps) {
+    auto t = scf::make_uniform_tree(4.0, 2); // 32^3 cells, star radius 1
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, velocity, 1e-10);
+
+    core::sim_options opt;
+    opt.eos = phys::ideal_gas_eos(1.0 + 1.0 / 1.5);
+    core::simulation sim(std::move(t), opt);
+
+    const auto before = sim.diagnostics();
+    std::printf("--- %s ---\n", name);
+    std::printf("%5s %10s %12s %14s %16s\n", "step", "t", "rho_max",
+                "com_x", "KE / |PE|");
+    double time = 0;
+    for (int s = 0; s < steps; ++s) {
+        time += sim.advance();
+        const auto d = sim.diagnostics();
+        // Kinetic energy from the momentum field.
+        double ke = 0;
+        for (const auto k : sim.grid().leaves_sfc()) {
+            const auto& g = *sim.grid().node(k).fields;
+            const double V = g.geom.cell_volume();
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        const dvec3 sv{g.interior(f_sx, i, j, kk),
+                                       g.interior(f_sy, i, j, kk),
+                                       g.interior(f_sz, i, j, kk)};
+                        ke += 0.5 * norm2(sv) /
+                              std::max(g.interior(f_rho, i, j, kk), 1e-14) * V;
+                    }
+        }
+        std::printf("%5d %10.4f %12.5f %14.6f %16.4e\n", s + 1, time,
+                    d.rho_max, d.center_of_mass.x,
+                    ke / std::abs(d.e_potential));
+    }
+    const auto after = sim.diagnostics();
+    std::printf("central density retention: %.2f%% of initial\n",
+                100.0 * after.rho_max / before.rho_max);
+    if (norm2(velocity) > 0) {
+        std::printf("center-of-mass advection: %.5f (expected %.5f)\n",
+                    after.center_of_mass.x - before.center_of_mass.x,
+                    velocity.x * time);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int steps = argc > 1 ? std::atoi(argv[1]) : 8;
+    std::printf("=== Verification: polytropic star in equilibrium (n = 3/2) ===\n\n");
+    run_case("test 3: star at rest", {0, 0, 0}, steps);
+    run_case("test 4: star in motion", {0.05, 0, 0}, steps);
+    return 0;
+}

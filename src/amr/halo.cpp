@@ -1,0 +1,151 @@
+#include "amr/halo.hpp"
+
+#include <algorithm>
+
+#include "amr/prolong.hpp"
+#include "support/assert.hpp"
+
+namespace octo::amr {
+namespace {
+
+/// Clamp v into [0, n).
+int clamp_idx(int v, int n) { return std::max(0, std::min(n - 1, v)); }
+
+/// Euclidean-style floor division/modulo for negative coordinates.
+int floor_div(int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); }
+int mod_pos(int a, int b) {
+    const int m = a % b;
+    return m < 0 ? m + b : m;
+}
+
+} // namespace
+
+void restrict_tree(tree& t) {
+    // Finest to coarsest so parents always see up-to-date children.
+    for (int level = t.max_level() - 1; level >= 0; --level) {
+        for (const node_key k : t.levels()[level]) {
+            auto& n = t.node(k);
+            if (!n.refined) continue;
+            subgrid& parent = t.ensure_fields(k);
+            for (int c = 0; c < 8; ++c) {
+                const node_key ck = key_child(k, c);
+                const auto& child = t.node(ck);
+                OCTO_ASSERT_MSG(child.fields != nullptr,
+                                "restrict_tree: child without field data");
+                restrict_into_parent(*child.fields, c, parent);
+            }
+        }
+    }
+}
+
+void fill_ghosts(tree& t, node_key k, boundary_kind bc) {
+    auto& n = t.node(k);
+    OCTO_ASSERT_MSG(n.fields != nullptr, "fill_ghosts: node without field data");
+    subgrid& g = *n.fields;
+
+    const int level = key_level(k);
+    const int extent_subgrids = 1 << level;       // sub-grids per dimension
+    const int extent_cells = extent_subgrids * INX; // cells per dimension
+    const ivec3 base = key_coords(k);             // sub-grid coords at this level
+
+    for (int i = 0; i < NX; ++i) {
+        for (int j = 0; j < NX; ++j) {
+            for (int kk = 0; kk < NX; ++kk) {
+                if (subgrid::is_interior(i, j, kk)) continue;
+
+                // Global cell coordinates of this ghost cell at this level.
+                int gc[3] = {base.x * INX + (i - H_BW), base.y * INX + (j - H_BW),
+                             base.z * INX + (kk - H_BW)};
+
+                // Physical boundary handling first.
+                bool outside = false;
+                double momentum_sign[3] = {1.0, 1.0, 1.0};
+                for (int a = 0; a < 3; ++a) {
+                    if (gc[a] >= 0 && gc[a] < extent_cells) continue;
+                    outside = true;
+                    switch (bc) {
+                        case boundary_kind::outflow:
+                            gc[a] = clamp_idx(gc[a], extent_cells);
+                            break;
+                        case boundary_kind::periodic:
+                            gc[a] = mod_pos(gc[a], extent_cells);
+                            break;
+                        case boundary_kind::reflecting:
+                            // Mirror across the wall; flip normal momentum.
+                            gc[a] = gc[a] < 0 ? -1 - gc[a]
+                                              : 2 * extent_cells - 1 - gc[a];
+                            momentum_sign[a] = -1.0;
+                            break;
+                    }
+                }
+                (void)outside;
+
+                // Locate the sub-grid containing the (possibly remapped) cell.
+                const ivec3 src_sub{floor_div(gc[0], INX), floor_div(gc[1], INX),
+                                    floor_div(gc[2], INX)};
+                node_key src = key_from_coords(level, src_sub);
+                int src_level = level;
+                int cell[3] = {mod_pos(gc[0], INX), mod_pos(gc[1], INX),
+                               mod_pos(gc[2], INX)};
+
+                // Walk up until a node with data exists (2:1 balance makes
+                // this at most one step for valid trees, but the loop is
+                // general). Cell coordinates coarsen by halving global coords.
+                int ggc[3] = {gc[0], gc[1], gc[2]};
+                while (!t.contains(src)) {
+                    OCTO_ASSERT_MSG(src_level > 0, "no covering node found");
+                    --src_level;
+                    for (int a = 0; a < 3; ++a) ggc[a] = floor_div(ggc[a], 2);
+                    const ivec3 csub{floor_div(ggc[0], INX), floor_div(ggc[1], INX),
+                                     floor_div(ggc[2], INX)};
+                    src = key_from_coords(src_level, csub);
+                    for (int a = 0; a < 3; ++a) cell[a] = mod_pos(ggc[a], INX);
+                }
+
+                const auto& src_node = t.node(src);
+                OCTO_ASSERT_MSG(src_node.fields != nullptr,
+                                "fill_ghosts: source node without data (run "
+                                "restrict_tree first)");
+                const subgrid& sg = *src_node.fields;
+
+                for (int f = 0; f < n_fields; ++f) {
+                    double v = sg.interior(f, cell[0], cell[1], cell[2]);
+                    if (f == f_sx) v *= momentum_sign[0];
+                    if (f == f_sy) v *= momentum_sign[1];
+                    if (f == f_sz) v *= momentum_sign[2];
+                    g.at(f, i, j, kk) = v;
+                }
+
+                // When the source is coarser, momentum sampled piecewise-
+                // constantly carries an orbital angular momentum offset about
+                // the coarse cell center; shift it into the spin field so the
+                // ghost data is consistent with the prolongation operator.
+                if (src_level != level) {
+                    const box_geometry src_geom = t.geometry(src);
+                    const dvec3 R =
+                        src_geom.cell_center(cell[0], cell[1], cell[2]);
+                    const box_geometry my_geom = t.geometry(k);
+                    const dvec3 r = my_geom.cell_center(i - H_BW, j - H_BW,
+                                                        kk - H_BW);
+                    const dvec3 s{g.at(f_sx, i, j, kk), g.at(f_sy, i, j, kk),
+                                  g.at(f_sz, i, j, kk)};
+                    const dvec3 corr = cross(r - R, s);
+                    g.at(f_lx, i, j, kk) -= corr.x;
+                    g.at(f_ly, i, j, kk) -= corr.y;
+                    g.at(f_lz, i, j, kk) -= corr.z;
+                }
+            }
+        }
+    }
+}
+
+void fill_all_ghosts(tree& t, boundary_kind bc) {
+    restrict_tree(t);
+    for (int level = 0; level <= t.max_level(); ++level) {
+        for (const node_key k : t.levels()[level]) {
+            if (t.node(k).fields != nullptr) fill_ghosts(t, k, bc);
+        }
+    }
+}
+
+} // namespace octo::amr

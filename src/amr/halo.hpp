@@ -1,0 +1,30 @@
+#pragma once
+// Ghost-zone (halo) machinery over the octree. In the paper the halo
+// exchange between neighbouring octree nodes is the dominant communication
+// pattern (§5.2, §6.3); here the same data movement is organised per leaf:
+// each ghost cell is sourced from the same-level neighbor if it exists
+// (leaf interior, or restricted data of a refined node), from the covering
+// coarser leaf otherwise (the 2:1 balance guarantees one level at most), or
+// from the physical boundary condition outside the domain.
+
+#include "amr/tree.hpp"
+
+namespace octo::amr {
+
+enum class boundary_kind {
+    outflow,    ///< zero-gradient copy of the nearest interior value
+    reflecting, ///< mirror with normal-momentum sign flip
+    periodic    ///< wrap around the domain
+};
+
+/// Bottom-up pass: restrict every refined node's children into it, so all
+/// interior nodes hold valid (conservatively averaged) field data.
+void restrict_tree(tree& t);
+
+/// Fill the ghost shell of node `k` (which must have field storage).
+void fill_ghosts(tree& t, node_key k, boundary_kind bc);
+
+/// restrict_tree + fill_ghosts on every node with field data.
+void fill_all_ghosts(tree& t, boundary_kind bc);
+
+} // namespace octo::amr

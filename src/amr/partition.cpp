@@ -1,0 +1,71 @@
+#include "amr/partition.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace octo::amr {
+
+partition_stats partition_sfc(tree& t, int nranks) {
+    OCTO_ASSERT(nranks >= 1);
+    partition_stats stats;
+    stats.leaves_per_rank.assign(static_cast<std::size_t>(nranks), 0);
+    stats.nodes_per_rank.assign(static_cast<std::size_t>(nranks), 0);
+    stats.refined_per_rank.assign(static_cast<std::size_t>(nranks), 0);
+    stats.cross_pairs_per_rank.assign(static_cast<std::size_t>(nranks), 0);
+
+    const auto leaves = t.leaves_sfc();
+    const std::size_t n = leaves.size();
+
+    // Contiguous equal chunks along the curve.
+    for (std::size_t i = 0; i < n; ++i) {
+        const int rank = static_cast<int>((i * static_cast<std::size_t>(nranks)) / n);
+        t.node(leaves[i]).owner = rank;
+        ++stats.leaves_per_rank[static_cast<std::size_t>(rank)];
+    }
+
+    // Interior nodes inherit the owner of their first child, bottom-up.
+    for (int level = t.max_level() - 1; level >= 0; --level) {
+        for (const node_key k : t.levels()[level]) {
+            auto& nd = t.node(k);
+            if (nd.refined) nd.owner = t.node(key_child(k, 0)).owner;
+        }
+    }
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            const auto& nd = t.node(k);
+            ++stats.nodes_per_rank[static_cast<std::size_t>(nd.owner)];
+            if (nd.refined) {
+                ++stats.refined_per_rank[static_cast<std::size_t>(nd.owner)];
+            }
+        }
+    }
+
+    // Count same-level neighbor pairs and how many cross rank boundaries.
+    // Each unordered pair is counted once (offset lexicographically positive).
+    for (int level = 0; level <= t.max_level(); ++level) {
+        for (const node_key k : t.levels()[level]) {
+            for (int dx = -1; dx <= 1; ++dx)
+                for (int dy = -1; dy <= 1; ++dy)
+                    for (int dz = -1; dz <= 1; ++dz) {
+                        if (dx == 0 && dy == 0 && dz == 0) continue;
+                        if (dx < 0 || (dx == 0 && (dy < 0 || (dy == 0 && dz < 0)))) {
+                            continue; // count each pair once
+                        }
+                        const node_key nb = key_neighbor(k, {dx, dy, dz});
+                        if (nb == invalid_key || !t.contains(nb)) continue;
+                        ++stats.total_neighbor_pairs;
+                        const int ra = t.node(k).owner;
+                        const int rb = t.node(nb).owner;
+                        if (ra != rb) {
+                            ++stats.cross_rank_neighbor_pairs;
+                            ++stats.cross_pairs_per_rank[static_cast<std::size_t>(ra)];
+                            ++stats.cross_pairs_per_rank[static_cast<std::size_t>(rb)];
+                        }
+                    }
+        }
+    }
+    return stats;
+}
+
+} // namespace octo::amr

@@ -1,0 +1,36 @@
+#pragma once
+// Space-filling-curve partitioner (paper §4.2: "These octree nodes are
+// distributed onto the compute nodes using a space filling curve"). Leaves
+// are laid out in Morton order and split into contiguous, equally weighted
+// chunks; interior nodes live with their first child so that the bottom-up
+// and top-down FMM passes are mostly local.
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/tree.hpp"
+
+namespace octo::amr {
+
+struct partition_stats {
+    std::vector<std::size_t> leaves_per_rank;
+    /// All octree nodes (leaves + interior) per rank: interior nodes run
+    /// same-level FMM kernels too.
+    std::vector<std::size_t> nodes_per_rank;
+    /// Refined (interior) nodes per rank (multipole-kernel work).
+    std::vector<std::size_t> refined_per_rank;
+    /// Cross-rank neighbor pairs incident to each rank (a pair crossing
+    /// ranks r1-r2 counts once for each endpoint): per-rank halo traffic.
+    std::vector<std::uint64_t> cross_pairs_per_rank;
+    /// Same-level neighbor pairs whose endpoints live on different ranks —
+    /// each is one halo exchange per direction per timestep.
+    std::uint64_t cross_rank_neighbor_pairs = 0;
+    /// Total same-level neighbor pairs (local + remote).
+    std::uint64_t total_neighbor_pairs = 0;
+};
+
+/// Assign `node.owner` for every node of the tree across `nranks` ranks.
+/// Returns per-rank statistics used by the cluster simulator.
+partition_stats partition_sfc(tree& t, int nranks);
+
+} // namespace octo::amr

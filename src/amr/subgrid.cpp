@@ -1,0 +1,28 @@
+#include "amr/subgrid.hpp"
+
+#include <algorithm>
+
+namespace octo::amr {
+
+const char* field_name(int f) {
+    static const char* names[n_fields] = {
+        "rho",           "sx",        "sy",        "sz",        "egas",
+        "tau",           "lx",        "ly",        "lz",        "frac_acc_core",
+        "frac_acc_env",  "frac_don_core", "frac_don_env", "frac_atmos",
+        "erad",          "frx",       "fry",       "frz"};
+    OCTO_ASSERT(f >= 0 && f < n_fields);
+    return names[f];
+}
+
+double subgrid::interior_sum(int f) const {
+    double s = 0.0;
+    const double* d = field_data(f);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int k = 0; k < INX; ++k) s += d[interior_index(i, j, k)];
+    return s;
+}
+
+void subgrid::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+} // namespace octo::amr

@@ -1,0 +1,208 @@
+#include "amr/tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+
+#include "support/assert.hpp"
+#include "support/morton.hpp"
+
+namespace octo::amr {
+
+int key_level(node_key k) {
+    OCTO_ASSERT(k != invalid_key);
+    const int significant = 64 - std::countl_zero(k); // 1 + 3*level
+    OCTO_ASSERT((significant - 1) % 3 == 0);
+    return (significant - 1) / 3;
+}
+
+ivec3 key_coords(node_key k) {
+    const int level = key_level(k);
+    const node_key path = k ^ (node_key{1} << (3 * level)); // strip sentinel
+    const auto c = morton_decode(path);
+    return {static_cast<int>(c.x), static_cast<int>(c.y), static_cast<int>(c.z)};
+}
+
+node_key key_from_coords(int level, const ivec3& c) {
+    const node_key path = morton_encode(static_cast<std::uint32_t>(c.x),
+                                        static_cast<std::uint32_t>(c.y),
+                                        static_cast<std::uint32_t>(c.z));
+    return path | (node_key{1} << (3 * level));
+}
+
+node_key key_neighbor(node_key k, const ivec3& off) {
+    const int level = key_level(k);
+    const int extent = 1 << level;
+    const ivec3 c = key_coords(k);
+    const ivec3 n{c.x + off.x, c.y + off.y, c.z + off.z};
+    if (n.x < 0 || n.y < 0 || n.z < 0 || n.x >= extent || n.y >= extent ||
+        n.z >= extent) {
+        return invalid_key;
+    }
+    return key_from_coords(level, n);
+}
+
+std::uint64_t key_sfc_order(node_key k, int max_level) {
+    const int level = key_level(k);
+    OCTO_ASSERT(level <= max_level);
+    return k << (3 * (max_level - level));
+}
+
+tree::tree(box_geometry root_geom) : root_geom_(root_geom) { insert(root_key); }
+
+void tree::insert(node_key k) {
+    const int level = key_level(k);
+    nodes_.emplace(k, tree_node{});
+    if (static_cast<int>(levels_.size()) <= level) levels_.resize(level + 1);
+    levels_[level].push_back(k);
+}
+
+bool tree::is_leaf(node_key k) const { return !node(k).refined; }
+
+tree_node& tree::node(node_key k) {
+    auto it = nodes_.find(k);
+    OCTO_ASSERT_MSG(it != nodes_.end(), "node not in tree");
+    return it->second;
+}
+
+const tree_node& tree::node(node_key k) const {
+    auto it = nodes_.find(k);
+    OCTO_ASSERT_MSG(it != nodes_.end(), "node not in tree");
+    return it->second;
+}
+
+void tree::refine(node_key k) {
+    auto& n = node(k);
+    OCTO_ASSERT_MSG(!n.refined, "refining an already refined node");
+    n.refined = true;
+    for (int c = 0; c < 8; ++c) insert(key_child(k, c));
+}
+
+void tree::derefine(node_key k) {
+    auto& n = node(k);
+    OCTO_ASSERT_MSG(n.refined, "derefining a leaf");
+    for (int c = 0; c < 8; ++c) {
+        const node_key ck = key_child(k, c);
+        OCTO_ASSERT_MSG(!node(ck).refined, "derefine requires leaf children");
+    }
+    const int child_level = key_level(k) + 1;
+    auto& lvl = levels_[static_cast<std::size_t>(child_level)];
+    for (int c = 0; c < 8; ++c) {
+        const node_key ck = key_child(k, c);
+        nodes_.erase(ck);
+        auto it = std::find(lvl.begin(), lvl.end(), ck);
+        OCTO_ASSERT(it != lvl.end());
+        *it = lvl.back();
+        lvl.pop_back();
+    }
+    n.refined = false;
+    // Trim empty finest levels so max_level() stays meaningful.
+    while (!levels_.empty() && levels_.back().empty()) levels_.pop_back();
+}
+
+std::vector<node_key> tree::leaves_sfc() const {
+    std::vector<node_key> out;
+    out.reserve(nodes_.size());
+    for (const auto& [k, n] : nodes_) {
+        if (!n.refined) out.push_back(k);
+    }
+    const int ml = max_level();
+    std::sort(out.begin(), out.end(), [ml](node_key a, node_key b) {
+        return key_sfc_order(a, ml) < key_sfc_order(b, ml);
+    });
+    return out;
+}
+
+std::size_t tree::leaf_count() const {
+    std::size_t c = 0;
+    for (const auto& [k, n] : nodes_) {
+        if (!n.refined) ++c;
+    }
+    return c;
+}
+
+box_geometry tree::geometry(node_key k) const {
+    const int level = key_level(k);
+    const ivec3 c = key_coords(k);
+    box_geometry g;
+    g.dx = root_geom_.dx / static_cast<double>(1 << level);
+    const double block = g.dx * INX; // edge length of one sub-grid at this level
+    g.origin = {root_geom_.origin.x + c.x * block, root_geom_.origin.y + c.y * block,
+                root_geom_.origin.z + c.z * block};
+    return g;
+}
+
+subgrid& tree::ensure_fields(node_key k) {
+    auto& n = node(k);
+    if (!n.fields) {
+        n.fields = std::make_unique<subgrid>();
+        n.fields->geom = geometry(k);
+    }
+    return *n.fields;
+}
+
+void tree::refine_by(const std::function<bool(node_key, const box_geometry&)>& pred,
+                     int max_level) {
+    std::deque<node_key> queue{root_key};
+    while (!queue.empty()) {
+        const node_key k = queue.front();
+        queue.pop_front();
+        if (key_level(k) >= max_level) continue;
+        if (!pred(k, geometry(k))) continue;
+        if (!node(k).refined) refine(k);
+        for (int c = 0; c < 8; ++c) queue.push_back(key_child(k, c));
+    }
+    balance21();
+}
+
+void tree::balance21() {
+    // Process finest level first: a refined node forces its same-level
+    // neighbors into existence, which may force refinement one level up, etc.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int level = max_level(); level >= 1; --level) {
+            // Copy: refine() appends to levels_ while we iterate.
+            const std::vector<node_key> at_level = levels_[level];
+            for (const node_key k : at_level) {
+                if (!node(k).refined) continue;
+                for (int dx = -1; dx <= 1; ++dx)
+                    for (int dy = -1; dy <= 1; ++dy)
+                        for (int dz = -1; dz <= 1; ++dz) {
+                            if (dx == 0 && dy == 0 && dz == 0) continue;
+                            const node_key nb = key_neighbor(k, {dx, dy, dz});
+                            if (nb == invalid_key || contains(nb)) continue;
+                            // Find the deepest existing ancestor and refine the
+                            // chain down to the missing neighbor.
+                            node_key anc = key_parent(nb);
+                            while (!contains(anc)) anc = key_parent(anc);
+                            while (anc != nb) {
+                                if (!node(anc).refined) refine(anc);
+                                // Descend one level toward nb.
+                                const int down =
+                                    key_level(nb) - key_level(anc) - 1;
+                                anc = key_child(anc,
+                                                key_octant(nb >> (3 * down)));
+                                changed = true;
+                            }
+                        }
+            }
+        }
+    }
+}
+
+bool tree::is_balanced21() const {
+    for (const auto& [k, n] : nodes_) {
+        if (!n.refined) continue;
+        for (int dx = -1; dx <= 1; ++dx)
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dz = -1; dz <= 1; ++dz) {
+                    if (dx == 0 && dy == 0 && dz == 0) continue;
+                    const node_key nb = key_neighbor(k, {dx, dy, dz});
+                    if (nb != invalid_key && !contains(nb)) return false;
+                }
+    }
+    return true;
+}
+
+} // namespace octo::amr

@@ -1,0 +1,112 @@
+#pragma once
+// The adaptive octree (paper §4.2): "Octo-Tiger's main datastructure is a
+// rotating Cartesian grid with adaptive mesh refinement. It is based on an
+// adaptive octree structure. Each node is an N^3 sub-grid ... and can be
+// further refined into eight child nodes. These octree nodes are distributed
+// onto the compute nodes using a space filling curve."
+//
+// Node keys: 64-bit "BFS keys" — the root is 1, child c of key k is
+// (k << 3) | c, so the key's bit pattern (minus the leading sentinel bit) is
+// the Morton interleave of the node's coordinates at its level. Sorting
+// leaves by depth-padded key gives the space-filling-curve order used by
+// the partitioner.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "amr/subgrid.hpp"
+#include "support/vec3.hpp"
+
+namespace octo::amr {
+
+using node_key = std::uint64_t;
+inline constexpr node_key root_key = 1;
+inline constexpr node_key invalid_key = 0;
+
+/// Depth of a key (root = 0). Valid keys have 1 + 3*level significant bits.
+int key_level(node_key k);
+constexpr node_key key_child(node_key k, int octant) {
+    return (k << 3) | static_cast<node_key>(octant);
+}
+constexpr node_key key_parent(node_key k) { return k >> 3; }
+/// Child octant of this key within its parent (x = bit 0, y = bit 1, z = bit 2).
+constexpr int key_octant(node_key k) { return static_cast<int>(k & 7); }
+
+/// Integer coordinates of the node within the level grid [0, 2^level)^3.
+ivec3 key_coords(node_key k);
+/// Key of the node at `level` with integer coordinates `c`.
+node_key key_from_coords(int level, const ivec3& c);
+/// Same-level neighbor at integer offset `off`; invalid_key outside [0,2^L)^3.
+node_key key_neighbor(node_key k, const ivec3& off);
+/// Depth-padded key used for space-filling-curve ordering across levels.
+std::uint64_t key_sfc_order(node_key k, int max_level);
+
+struct tree_node {
+    bool refined = false;
+    int owner = 0;                    ///< locality rank assigned by the partitioner
+    std::unique_ptr<subgrid> fields;  ///< evolved variables (allocated on demand)
+};
+
+class tree {
+  public:
+    /// `root_geom` describes the root sub-grid: the whole domain is covered
+    /// by one 8^3 block at level 0; dx halves with each level.
+    explicit tree(box_geometry root_geom);
+
+    const box_geometry& root_geometry() const { return root_geom_; }
+
+    bool contains(node_key k) const { return nodes_.count(k) != 0; }
+    bool is_leaf(node_key k) const;
+
+    tree_node& node(node_key k);
+    const tree_node& node(node_key k) const;
+
+    /// Split a leaf into eight children (children are created as leaves).
+    void refine(node_key k);
+
+    /// Remove the eight children of `k` (all of which must be leaves),
+    /// turning `k` back into a leaf. The caller is responsible for having
+    /// restricted the children's data into `k` first and for keeping the
+    /// 2:1 balance valid (see simulation::coarsen).
+    void derefine(node_key k);
+
+    /// All keys, grouped by level (index = level).
+    const std::vector<std::vector<node_key>>& levels() const { return levels_; }
+    int max_level() const { return static_cast<int>(levels_.size()) - 1; }
+
+    /// All leaf keys in space-filling-curve order.
+    std::vector<node_key> leaves_sfc() const;
+
+    std::size_t size() const { return nodes_.size(); }
+    std::size_t leaf_count() const;
+
+    /// Geometry (origin, dx) of the sub-grid owned by node `k`.
+    box_geometry geometry(node_key k) const;
+
+    /// Allocate field storage for node `k` if not already present.
+    subgrid& ensure_fields(node_key k);
+
+    /// Refine every node for which `pred` holds, breadth-first, down to
+    /// `max_level`, then restore 2:1 balance.
+    void refine_by(const std::function<bool(node_key, const box_geometry&)>& pred,
+                   int max_level);
+
+    /// Enforce the 2:1 balance invariant: every refined node's 26 same-level
+    /// neighbors (where inside the domain) exist.
+    void balance21();
+
+    /// Check the invariant (used by tests).
+    bool is_balanced21() const;
+
+  private:
+    void insert(node_key k);
+
+    box_geometry root_geom_;
+    std::unordered_map<node_key, tree_node> nodes_;
+    std::vector<std::vector<node_key>> levels_;
+};
+
+} // namespace octo::amr

@@ -1,0 +1,177 @@
+#include "cluster/event_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace octo::cluster {
+
+namespace {
+
+/// Min-heap of completion times.
+using time_heap = std::priority_queue<double, std::vector<double>, std::greater<>>;
+
+struct task {
+    bool is_fmm;
+    double flops;
+};
+
+} // namespace
+
+node_sim_result simulate_node_step(const node_sim_config& cfg) {
+    const auto& node = cfg.node;
+    OCTO_ASSERT(node.cores >= 1);
+
+    // Task list: the gravity solve enqueues its kernels as a BURST (the
+    // tree traversal spawns all same-level kernels of a step close
+    // together, paper §5.1 — that burst is what exercises the streams and
+    // produces starvation), followed by the non-FMM work of the step.
+    // Multipole and monopole kernels interleave within the burst.
+    std::vector<task> tasks;
+    tasks.reserve(cfg.leaves * 2 + cfg.refined);
+    {
+        std::size_t emitted_refined = 0;
+        for (std::size_t i = 0; i < cfg.leaves; ++i) {
+            tasks.push_back({true, cfg.work.monopole_kernel_flops});
+            while (emitted_refined * cfg.leaves < (i + 1) * cfg.refined &&
+                   emitted_refined < cfg.refined) {
+                tasks.push_back({true, cfg.work.multipole_kernel_flops});
+                ++emitted_refined;
+            }
+        }
+        while (emitted_refined++ < cfg.refined) {
+            tasks.push_back({true, cfg.work.multipole_kernel_flops});
+        }
+        for (std::size_t i = 0; i < cfg.leaves; ++i) {
+            tasks.push_back({false, cfg.work.other_flops_per_leaf});
+        }
+    }
+
+    // Stream ownership: the max_streams of each GPU are partitioned among
+    // the worker threads (paper §5.1 / §6.1.2).
+    const int ngpu = node.num_gpus;
+    const int streams_per_thread =
+        ngpu > 0 ? std::max(1, static_cast<int>(node.gpu.max_streams) * ngpu /
+                                   node.cores)
+                 : 0;
+    // Per-thread in-flight kernel completions (stream occupancy).
+    std::vector<time_heap> thread_streams(static_cast<std::size_t>(node.cores));
+    // Per-device execution slots (kernel_slots concurrent kernels at the
+    // per-kernel rate; more streams may be in flight but wait for a slot).
+    std::vector<time_heap> device_slots(static_cast<std::size_t>(std::max(ngpu, 1)));
+
+    // Cores: next-free times.
+    std::priority_queue<std::pair<double, int>, std::vector<std::pair<double, int>>,
+                        std::greater<>>
+        cores;
+    for (int c = 0; c < node.cores; ++c) cores.push({0.0, c});
+
+    node_sim_result out;
+    const double cpu_fmm_rate = node.core_fmm_gflops * 1e9;
+    const double cpu_other_rate = node.core_other_gflops * 1e9;
+    const double gpu_kernel_rate =
+        ngpu > 0 ? node.gpu.per_kernel_gflops() * 1e9 : 0.0;
+
+    double last_completion = 0.0;
+
+    for (const auto& tk : tasks) {
+        auto [t, core] = cores.top();
+        cores.pop();
+
+        if (!tk.is_fmm) {
+            const double dur = tk.flops / cpu_other_rate;
+            out.cpu_busy_other_s += dur;
+            last_completion = std::max(last_completion, t + dur);
+            cores.push({t + dur, core});
+            continue;
+        }
+
+        out.kernels_total += 1;
+        out.fmm_flops += static_cast<std::uint64_t>(tk.flops);
+
+        bool on_gpu = false;
+        if (ngpu > 0) {
+            auto& streams = thread_streams[static_cast<std::size_t>(core)];
+            while (!streams.empty() && streams.top() <= t) streams.pop();
+            if (static_cast<int>(streams.size()) < streams_per_thread) {
+                on_gpu = true;
+                const int dev = core % ngpu;
+                auto& slots = device_slots[static_cast<std::size_t>(dev)];
+                const double launch_done = t + cfg.launch_overhead_s;
+                double start = launch_done;
+                if (static_cast<int>(slots.size()) >=
+                    static_cast<int>(node.gpu.kernel_slots())) {
+                    start = std::max(start, slots.top());
+                    slots.pop();
+                }
+                const double dur =
+                    tk.flops / gpu_kernel_rate + cfg.device_kernel_overhead_s;
+                const double done = start + dur;
+                slots.push(done);
+                streams.push(done);
+                out.gpu_busy_s += dur;
+                out.kernels_on_gpu += 1;
+                last_completion = std::max(last_completion, done);
+                cores.push({launch_done, core}); // core free after the launch
+            }
+        }
+        if (!on_gpu) {
+            const double dur = tk.flops / cpu_fmm_rate;
+            out.cpu_busy_fmm_s += dur;
+            last_completion = std::max(last_completion, t + dur);
+            cores.push({t + dur, core});
+        }
+    }
+
+    // Drain: makespan includes outstanding GPU kernels.
+    while (!cores.empty()) {
+        last_completion = std::max(last_completion, cores.top().first);
+        cores.pop();
+    }
+    out.makespan_s = last_completion;
+    return out;
+}
+
+table2_row measure_platform(const node_spec& node, const workload_spec& work,
+                            std::size_t leaves, std::size_t refined) {
+    // Paper §6.1.1: run CPU-only (with perf) to get the fraction of runtime
+    // outside the FMM; run with GPUs; FMM runtime of the GPU run = total
+    // minus the (unchanged) non-FMM time.
+    node_spec cpu_only = node;
+    cpu_only.num_gpus = 0;
+    node_sim_config cfg{cpu_only, work, leaves, refined, 5e-6};
+    const auto cpu_run = simulate_node_step(cfg);
+    const double frac_fmm =
+        cpu_run.cpu_busy_fmm_s /
+        (cpu_run.cpu_busy_fmm_s + cpu_run.cpu_busy_other_s);
+    const double time_outside = cpu_run.makespan_s * (1.0 - frac_fmm);
+
+    table2_row row;
+    row.platform = node.name;
+    if (node.num_gpus == 0) {
+        row.execution = "CPU-only";
+        row.total_runtime_s = cpu_run.makespan_s;
+        row.fmm_runtime_s = cpu_run.makespan_s * frac_fmm;
+        row.fmm_gflops =
+            static_cast<double>(cpu_run.fmm_flops) / row.fmm_runtime_s / 1e9;
+        row.fraction_of_peak = row.fmm_gflops / node.cpu_peak_gflops();
+        row.gpu_launch_fraction = 0.0;
+        return row;
+    }
+
+    node_sim_config gcfg{node, work, leaves, refined, 5e-6};
+    const auto gpu_run = simulate_node_step(gcfg);
+    row.execution = std::to_string(node.num_gpus) + " GPU";
+    row.total_runtime_s = gpu_run.makespan_s;
+    row.fmm_runtime_s = std::max(gpu_run.makespan_s - time_outside, 1e-9);
+    row.fmm_gflops =
+        static_cast<double>(gpu_run.fmm_flops) / row.fmm_runtime_s / 1e9;
+    row.fraction_of_peak =
+        row.fmm_gflops / (node.num_gpus * node.gpu.peak_gflops);
+    row.gpu_launch_fraction = gpu_run.gpu_launch_fraction();
+    return row;
+}
+
+} // namespace octo::cluster

@@ -1,0 +1,87 @@
+#pragma once
+// Machine and workload models for the paper's performance experiments.
+//
+// Compute-node descriptions (Table 2 / Table 3 hardware) and the per-step
+// workload each octree node (sub-grid) generates. CPU kernel rates are
+// calibrated to the paper's own CPU-only measurements (e.g. 125 GFLOP/s on
+// the 10-core Xeon E5-2660 v3 = 30% of its 384 GFLOP/s peak); everything
+// else — GPU behaviour, starvation, scaling — emerges from the simulators.
+
+#include <string>
+
+#include "amr/partition.hpp"
+#include "gpu/device.hpp"
+#include "net/model.hpp"
+
+namespace octo::cluster {
+
+struct node_spec {
+    std::string name;
+    int cores = 12;
+    double ghz = 2.6;
+    double flops_per_cycle = 16; ///< AVX2 FMA double lanes
+    /// Achieved FMM kernel rate per core (calibrated; the paper's CPU-only
+    /// rows correspond to ~30% of peak on AVX2, ~17% on KNL).
+    double core_fmm_gflops = 0.0;
+    /// Achieved rate per core in the non-FMM parts of the code (hydro etc.);
+    /// lower, since those parts are less vectorized (paper §6.1.2).
+    double core_other_gflops = 0.0;
+    int num_gpus = 0;
+    gpu::device_spec gpu{};
+
+    double cpu_peak_gflops() const { return cores * ghz * flops_per_cycle; }
+};
+
+/// Table 2 platforms.
+node_spec xeon_e5_2660v3(int cores); ///< 2.4 GHz AVX2, 10 or 20 cores
+node_spec xeon_phi_7210();           ///< KNL, 64 cores AVX-512
+node_spec piz_daint_node();          ///< Xeon E5-2690 v3 12c + P100 (Table 3)
+/// Attach `n` V100s (Table 2 GPU rows).
+node_spec with_v100(node_spec base, int n);
+/// Attach one P100 (Piz Daint).
+node_spec with_p100(node_spec base);
+
+/// Per-sub-grid, per-timestep workload, derived from this repo's actual
+/// kernel FLOP constants (fmm/kernels.hpp) and the paper's structure: one
+/// same-level kernel per octree node (multipole for refined, monopole for
+/// leaves), plus the non-FMM work (hydro, M2M/L2L, reconstruction).
+struct workload_spec {
+    double multipole_kernel_flops;
+    double monopole_kernel_flops;
+    /// Non-FMM flops per LEAF per step, as a multiple of the monopole kernel
+    /// (calibrated so the FMM is ~40% of CPU-only runtime, §4.3).
+    double other_flops_per_leaf;
+    /// Halo messages per cross-rank neighbor pair per step (ghost fills for
+    /// two RK stages + FMM halo).
+    int exchanges_per_pair = 4;
+    std::size_t bytes_per_message = 35'000;
+    /// Dependent communication rounds on one timestep's critical path:
+    /// ghost fills per RK stage plus the level-sequential M2M/L2L sweeps of
+    /// the FMM — grows with tree depth. This latency floor is what ends
+    /// strong scaling (and where the one-sided port's lower per-hop cost
+    /// pays off most, §6.3).
+    int dependency_hops = 0;
+};
+workload_spec v1309_workload();
+/// dependency_hops for a tree of the given depth (paper level).
+int critical_path_hops(int tree_depth);
+
+// ---- Fig 2 / Fig 3: the distributed scaling model ---------------------------
+
+struct scaling_point {
+    int nodes = 0;
+    double step_seconds = 0;
+    double subgrids_per_second = 0;
+    double compute_seconds = 0;       ///< max per-rank compute time
+    double comm_exposed_seconds = 0;  ///< communication not hidden by overlap
+};
+
+/// Model one timestep of the given partitioned tree on `nodes` compute
+/// nodes with the given parcelport. Uses the real per-rank sub-grid counts
+/// and cross-rank neighbor pair counts of the SFC partition.
+scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
+                         const amr::partition_stats& parts, int nodes,
+                         const node_spec& node, const net::network_params& net,
+                         const workload_spec& work);
+
+} // namespace octo::cluster

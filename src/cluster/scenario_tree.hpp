@@ -1,0 +1,32 @@
+#pragma once
+// Paper-scale scenario octrees (Table 4): rebuild the level-13..17 V1309
+// trees as metadata-only octrees (no field storage) from the analytic
+// density model, with per-level thresholds reproducing the paper's nested
+// refinement ("both stars are refined down to 12 levels, with the core of
+// the accretor and donor refined to 13 and 14 levels respectively", §6).
+
+#include "amr/partition.hpp"
+#include "amr/tree.hpp"
+
+namespace octo::cluster {
+
+struct scenario_tree {
+    int paper_level;          ///< the paper's level label (13..17)
+    amr::tree tree;
+    std::size_t subgrids;     ///< total octree nodes (the paper's "sub-grids")
+    std::size_t leaves;
+    /// Estimated memory for field + solver storage, in GB, using this
+    /// repo's actual per-node data sizes.
+    double memory_gb;
+};
+
+/// Build the V1309 tree for the given paper refinement level (13..17).
+/// The mapping from paper levels to octree depth and the density thresholds
+/// are calibrated so the sub-grid counts track Table 4.
+scenario_tree build_v1309_tree(int paper_level);
+
+/// Per-node memory of this implementation in bytes (subgrid fields + FMM
+/// moments/expansions), used for the Table 4 memory column.
+double bytes_per_subgrid();
+
+} // namespace octo::cluster

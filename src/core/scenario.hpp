@@ -1,0 +1,41 @@
+#pragma once
+// The V1309 Scorpii scenario (paper §3, §6): a 1.54 + 0.17 M_sun contact
+// binary with a common envelope, in a cubic domain 160x the separation,
+// rotating with the initial orbital period. Provides
+//   * a scaled, runnable setup (SCF model + density-driven AMR) for the
+//     examples and node-level experiments, and
+//   * the analytic density model + per-level refinement criterion used by
+//     the cluster simulator to rebuild the paper's level-13..17 trees
+//     (Table 4) as metadata-only octrees.
+
+#include "core/simulation.hpp"
+
+namespace octo::core {
+
+struct v1309_config {
+    /// Domain edge in units of the binary separation. The paper uses ~160
+    /// (1.02e3 R_sun vs 6.37 R_sun); scaled runs may shrink this so the
+    /// stars stay resolved on small trees.
+    double domain_over_separation = 16.0;
+    double separation = 1.0;   ///< binary separation in code length units
+    int base_depth = 1;        ///< uniform tree depth before AMR
+    int max_level = 3;         ///< finest AMR level for the scaled run
+    int scf_iterations = 25;
+};
+
+/// Build the scaled V1309 simulation: SCF binary model, density-refined
+/// octree, rotating grid at the model's orbital frequency (the paper's
+/// "rotating Cartesian grid").
+simulation make_v1309(const v1309_config& cfg, sim_options opt);
+
+/// Analytic stand-in for the V1309 mass distribution at PAPER scale, in
+/// units of the separation, centered at the origin: two polytrope-shaped
+/// stars plus a common envelope. Used to drive the scenario-tree builder of
+/// the cluster simulator (Table 4 / Fig 2) without any field data.
+double v1309_analytic_density(const dvec3& r_over_a);
+
+/// Octo-Tiger-style per-level density refinement threshold: refine a node
+/// at `level` when the analytic density somewhere in its box exceeds this.
+double v1309_refine_threshold(int level, int finest_level);
+
+} // namespace octo::core

@@ -1,0 +1,192 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+
+#include "amr/prolong.hpp"
+#include "support/assert.hpp"
+
+namespace octo::core {
+
+using namespace octo::amr;
+
+simulation::simulation(tree t, sim_options opt)
+    : tree_(std::move(t)),
+      opt_(opt),
+      gravity_({.conserve = opt.conserve,
+                .vectorized = opt.vectorized,
+                .device = opt.device,
+                .pool = opt.pool}) {}
+
+double simulation::advance() {
+    hydro::step_options h;
+    h.eos = opt_.eos;
+    h.bc = opt_.bc;
+    h.cfl = opt_.cfl;
+    h.omega = opt_.omega;
+    h.pool = opt_.pool;
+    if (opt_.self_gravity) {
+        // Gravity is (re)solved before EVERY RK stage so the source terms
+        // act on exactly the density the FMM saw — this is what closes the
+        // momentum/angular-momentum ledger to rounding (paper §4.2, and the
+        // FMM-per-timestep coupling of §4.3).
+        h.before_stage = [this] {
+            gravity_.solve(tree_);
+            gravity_valid_ = true;
+        };
+        h.gravity = [this](node_key k) -> std::optional<hydro::gravity_field> {
+            const auto& g = gravity_.gravity(k);
+            return hydro::gravity_field{g.gx.data(),    g.gy.data(),
+                                        g.gz.data(),    g.tq[0].data(),
+                                        g.tq[1].data(), g.tq[2].data()};
+        };
+    }
+    const double dt = hydro::step(tree_, h);
+    time_ += dt;
+    ++steps_;
+    return dt;
+}
+
+void simulation::refine_with_fields(node_key k) {
+    auto& parent = *tree_.node(k).fields;
+    tree_.refine(k);
+    for (int c = 0; c < 8; ++c) {
+        auto& child = tree_.ensure_fields(key_child(k, c));
+        prolong_from_parent(parent, c, child, /*slopes=*/true);
+    }
+}
+
+int simulation::regrid(
+    const std::function<bool(node_key, const subgrid&)>& criterion, int max_level) {
+    int refined = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        fill_all_ghosts(tree_, opt_.bc); // prolongation slopes need ghosts
+        // Criterion-driven refinement.
+        for (const node_key k : tree_.leaves_sfc()) {
+            if (key_level(k) >= max_level) continue;
+            if (criterion(k, *tree_.node(k).fields)) {
+                refine_with_fields(k);
+                ++refined;
+                changed = true;
+            }
+        }
+        // Restore 2:1 balance, prolonging fields into every node the
+        // balancing creates.
+        bool rebalanced = true;
+        while (rebalanced) {
+            rebalanced = false;
+            for (int level = tree_.max_level(); level >= 1; --level) {
+                const std::vector<node_key> at_level = tree_.levels()[level];
+                for (const node_key k : at_level) {
+                    if (!tree_.node(k).refined) continue;
+                    for (int dx = -1; dx <= 1; ++dx)
+                        for (int dy = -1; dy <= 1; ++dy)
+                            for (int dz = -1; dz <= 1; ++dz) {
+                                if (dx == 0 && dy == 0 && dz == 0) continue;
+                                const node_key nb =
+                                    key_neighbor(k, {dx, dy, dz});
+                                if (nb == invalid_key || tree_.contains(nb)) {
+                                    continue;
+                                }
+                                // Refine the deepest existing ancestor leaf.
+                                node_key anc = key_parent(nb);
+                                while (!tree_.contains(anc)) {
+                                    anc = key_parent(anc);
+                                }
+                                OCTO_ASSERT(!tree_.node(anc).refined);
+                                refine_with_fields(anc);
+                                ++refined;
+                                rebalanced = true;
+                                changed = true;
+                            }
+                }
+            }
+        }
+    }
+    gravity_valid_ = false;
+    return refined;
+}
+
+int simulation::coarsen(
+    const std::function<bool(node_key, const subgrid&)>& criterion) {
+    int coarsened = 0;
+    // Iterate coarsest-refined first so cascading coarsening in one call is
+    // possible; copy the level lists since derefine mutates them.
+    for (int level = tree_.max_level() - 1; level >= 0; --level) {
+        if (level >= static_cast<int>(tree_.levels().size())) continue;
+        const std::vector<node_key> at_level = tree_.levels()[level];
+        for (const node_key k : at_level) {
+            if (!tree_.contains(k) || !tree_.node(k).refined) continue;
+            bool all_leaf_children = true;
+            for (int c = 0; c < 8 && all_leaf_children; ++c) {
+                all_leaf_children = !tree_.node(key_child(k, c)).refined;
+            }
+            if (!all_leaf_children) continue;
+            if (!criterion(k, tree_.ensure_fields(k))) continue;
+            // 2:1 safety: no neighbor of any CHILD (outside this node) may
+            // be refined — a refined child-level neighbor requires the
+            // children to exist.
+            bool safe = true;
+            for (int c = 0; c < 8 && safe; ++c) {
+                const node_key ck = key_child(k, c);
+                for (int dx = -1; dx <= 1 && safe; ++dx)
+                    for (int dy = -1; dy <= 1 && safe; ++dy)
+                        for (int dz = -1; dz <= 1 && safe; ++dz) {
+                            if (dx == 0 && dy == 0 && dz == 0) continue;
+                            const node_key nb = key_neighbor(ck, {dx, dy, dz});
+                            if (nb == invalid_key || !tree_.contains(nb)) {
+                                continue;
+                            }
+                            if (key_parent(nb) == k) continue; // sibling
+                            if (tree_.node(nb).refined) safe = false;
+                        }
+            }
+            if (!safe) continue;
+
+            // Conservative restriction, then drop the children.
+            subgrid& parent = tree_.ensure_fields(k);
+            for (int c = 0; c < 8; ++c) {
+                restrict_into_parent(*tree_.node(key_child(k, c)).fields, c,
+                                     parent);
+            }
+            tree_.derefine(k);
+            ++coarsened;
+        }
+    }
+    if (coarsened > 0) gravity_valid_ = false;
+    return coarsened;
+}
+
+report simulation::diagnostics() const {
+    report r;
+    r.hydro = hydro::compute_totals(tree_);
+    if (gravity_valid_) {
+        r.e_potential = gravity_.potential_energy(tree_);
+    }
+    r.e_total = r.hydro.egas + r.e_potential;
+
+    double mass = 0;
+    dvec3 com{0, 0, 0};
+    for (const auto& level : tree_.levels()) {
+        for (const node_key k : level) {
+            if (tree_.node(k).refined) continue;
+            const auto& g = *tree_.node(k).fields;
+            const double V = g.geom.cell_volume();
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        const double m = g.interior(f_rho, i, j, kk) * V;
+                        mass += m;
+                        com += m * g.geom.cell_center(i, j, kk);
+                        r.rho_max = std::max(r.rho_max,
+                                             g.interior(f_rho, i, j, kk));
+                    }
+        }
+    }
+    if (mass > 0) com /= mass;
+    r.center_of_mass = com;
+    return r;
+}
+
+} // namespace octo::core

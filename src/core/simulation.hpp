@@ -1,0 +1,82 @@
+#pragma once
+// The coupled simulation driver — Octo-Tiger's top level (paper §4.2):
+// a finite-volume hydro solver and an FMM gravity solver advancing an
+// adaptive octree in lock-step, with the angular-momentum and spin-torque
+// ledgers closing across the two solvers, optional GPU offload of the FMM
+// kernels, and density-based regridding.
+
+#include <functional>
+
+#include "amr/halo.hpp"
+#include "amr/tree.hpp"
+#include "fmm/solver.hpp"
+#include "gpu/device.hpp"
+#include "hydro/update.hpp"
+#include "physics/eos.hpp"
+
+namespace octo::core {
+
+struct sim_options {
+    phys::ideal_gas_eos eos{5.0 / 3.0};
+    amr::boundary_kind bc = amr::boundary_kind::outflow;
+    double cfl = 0.4;
+    bool self_gravity = true;
+    fmm::am_mode conserve = fmm::am_mode::spin_deposit;
+    gpu::device* device = nullptr; ///< offload FMM kernels when set (§5.1)
+    dvec3 omega{0, 0, 0};          ///< rotating-frame angular velocity
+    bool vectorized = true;
+    rt::thread_pool* pool = nullptr;
+};
+
+/// Per-step energy/conservation report.
+struct report {
+    hydro::totals hydro;     ///< mass, momentum, L, gas energy, scalars
+    double e_potential = 0;  ///< 0.5 sum m phi (gravity on) else 0
+    double e_total = 0;      ///< egas + e_potential
+    double rho_max = 0;
+    dvec3 center_of_mass{0, 0, 0};
+};
+
+class simulation {
+  public:
+    simulation(amr::tree t, sim_options opt);
+
+    /// Advance one coupled step (gravity solve + SSP-RK2 hydro step with
+    /// source coupling); returns the dt taken.
+    double advance();
+
+    double time() const { return time_; }
+    long step_count() const { return steps_; }
+
+    amr::tree& grid() { return tree_; }
+    const amr::tree& grid() const { return tree_; }
+    const fmm::solver& gravity() const { return gravity_; }
+
+    /// Refine leaves for which `criterion` holds (up to max_level), keeping
+    /// the 2:1 balance, conservatively prolonging the evolved variables into
+    /// new children. Returns the number of nodes refined.
+    int regrid(const std::function<bool(amr::node_key, const amr::subgrid&)>& criterion,
+               int max_level);
+
+    /// Coarsen refined nodes whose eight children are all leaves and for
+    /// which `criterion` holds, conservatively restricting the children's
+    /// data into the parent (the angular-momentum bookkeeping of
+    /// restrict_into_parent applies, so the ledger survives coarsening).
+    /// Nodes whose removal would violate the 2:1 balance are skipped.
+    /// Returns the number of nodes coarsened.
+    int coarsen(const std::function<bool(amr::node_key, const amr::subgrid&)>& criterion);
+
+    report diagnostics() const;
+
+  private:
+    void refine_with_fields(amr::node_key k);
+
+    amr::tree tree_;
+    sim_options opt_;
+    fmm::solver gravity_;
+    double time_ = 0;
+    long steps_ = 0;
+    bool gravity_valid_ = false;
+};
+
+} // namespace octo::core

@@ -1,0 +1,145 @@
+#pragma once
+// The distributed-runtime substrate (HPX substitution, DESIGN.md):
+//   * localities — logical "compute nodes" hosted in one process, each with
+//     its own task pool,
+//   * actions — registered functions triggered by parcels ("active messages
+//     are used to transfer data and trigger a function on a remote node",
+//     paper §5.2),
+//   * an AGAS-style registry mapping global ids to owner localities, with
+//     migration ("Even when a grid cell is migrated from one node to another
+//     during operation, the runtime manages the updated destination address
+//     transparently"),
+//   * gid-addressed channels for halo exchange with future-based receives.
+//
+// Parcels are transported by a pluggable parcelport (src/net): the runtime
+// hands the port a serialized parcel; the port delivers it (applying its
+// latency/overhead model) by calling runtime::deliver on the destination.
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/serialize.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/future.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace octo::dist {
+
+using gid = std::uint64_t;
+using action_id = std::uint32_t;
+
+struct parcel {
+    int dest = 0;
+    action_id action = 0;
+    std::vector<std::byte> payload;
+};
+
+struct port_stats {
+    std::uint64_t parcels_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    double modeled_latency_total = 0; ///< seconds, from the port's timing model
+};
+
+class runtime;
+
+/// Transport interface. Implementations live in src/net (the MPI-like
+/// two-sided port and the libfabric-like one-sided port).
+class parcelport {
+  public:
+    virtual ~parcelport() = default;
+    /// Asynchronously transport the parcel and invoke runtime::deliver at
+    /// the destination. Thread-safe.
+    virtual void send(parcel p) = 0;
+    virtual const char* name() const = 0;
+    virtual port_stats stats() const = 0;
+};
+
+using parcelport_factory =
+    std::function<std::unique_ptr<parcelport>(runtime&)>;
+
+class runtime {
+  public:
+    /// Create `nlocalities` logical localities with `threads_per_locality`
+    /// worker threads each, communicating through the given parcelport.
+    runtime(int nlocalities, parcelport_factory make_port,
+            unsigned threads_per_locality = 1);
+    ~runtime();
+
+    int size() const { return static_cast<int>(pools_.size()); }
+    rt::thread_pool& pool(int rank);
+    parcelport& port() { return *port_; }
+
+    // ---- actions -----------------------------------------------------------
+
+    /// Register an action; must be done before any apply() and is process-
+    /// wide (all localities share the table, as all nodes run the same
+    /// binary). Handler runs on the destination locality's pool.
+    action_id register_action(std::string name,
+                              std::function<void(int here, iarchive)> fn);
+
+    /// Send an active message: run action `a` on locality `dest` with the
+    /// given arguments. Fire-and-forget; completion can be signalled back by
+    /// the action itself (continuation-passing, as HPX applies do).
+    void apply(int dest, action_id a, oarchive args);
+
+    /// Called by parcelports on delivery: schedules the action.
+    void deliver(parcel p);
+
+    // ---- AGAS --------------------------------------------------------------
+
+    /// Create a new global id owned by `owner`.
+    gid register_object(int owner);
+    int owner_of(gid g) const;
+    /// Move ownership; buffered channel traffic follows the object.
+    void migrate(gid g, int new_owner);
+
+    // ---- gid-addressed channels (halo exchange abstraction, §5.2) ----------
+
+    /// Push a value into the channel of object `g` (routed to the owner as a
+    /// parcel; local fast path when the owner is this locality).
+    void channel_set(gid g, std::vector<double> value);
+    /// Fetch the next value of `g`'s channel; must be called on the OWNER
+    /// locality (receives are local, as in Octo-Tiger's halo pattern).
+    rt::future<std::vector<double>> channel_get(gid g);
+
+    /// Block until every parcel sent so far has been delivered and every
+    /// scheduled task has run (tests and teardown).
+    void wait_quiet();
+
+  private:
+    rt::channel<std::vector<double>>& channel_of(gid g);
+    void drain_strand(int dest);
+
+    /// Per-destination FIFO strand: parcels for one locality execute in
+    /// arrival order (channels rely on in-order delivery; the work-stealing
+    /// pools alone execute LIFO).
+    struct strand {
+        std::mutex mutex;
+        std::deque<parcel> queue;
+        bool draining = false;
+    };
+    std::vector<std::unique_ptr<strand>> strands_;
+
+    std::vector<std::unique_ptr<rt::thread_pool>> pools_;
+    std::unique_ptr<parcelport> port_;
+
+    mutable std::mutex actions_mutex_;
+    std::vector<std::function<void(int, iarchive)>> actions_;
+    std::vector<std::string> action_names_;
+
+    mutable std::mutex agas_mutex_;
+    std::map<gid, int> owners_;
+    std::atomic<gid> next_gid_{1};
+    std::map<gid, std::unique_ptr<rt::channel<std::vector<double>>>> channels_;
+
+    std::atomic<std::uint64_t> inflight_parcels_{0};
+    action_id channel_set_action_ = 0;
+};
+
+} // namespace octo::dist

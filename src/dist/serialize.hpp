@@ -1,0 +1,92 @@
+#pragma once
+// Byte-level serialization archives for parcels (paper §5.2: "the messages
+// containing the serialized data and remote function as parcels"). Supports
+// trivially copyable types, strings and vectors; deliberately minimal — the
+// HPX parcel format is richer, but the halo-exchange payloads Octo-Tiger
+// ships are flat arrays of doubles.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace octo::dist {
+
+class oarchive {
+  public:
+    template <class T>
+    void write(const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto* p = reinterpret_cast<const std::byte*>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void write_string(const std::string& s) {
+        write(static_cast<std::uint64_t>(s.size()));
+        const auto* p = reinterpret_cast<const std::byte*>(s.data());
+        buf_.insert(buf_.end(), p, p + s.size());
+    }
+
+    template <class T>
+    void write_vector(const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(static_cast<std::uint64_t>(v.size()));
+        const auto* p = reinterpret_cast<const std::byte*>(v.data());
+        buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+
+    std::vector<std::byte> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::byte> buf_;
+};
+
+class iarchive {
+  public:
+    explicit iarchive(const std::vector<std::byte>& buf) : buf_(&buf) {}
+
+    template <class T>
+    T read() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        check(sizeof(T));
+        T v;
+        std::memcpy(&v, buf_->data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::string read_string() {
+        const auto n = read<std::uint64_t>();
+        check(n);
+        std::string s(reinterpret_cast<const char*>(buf_->data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    template <class T>
+    std::vector<T> read_vector() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto n = read<std::uint64_t>();
+        check(n * sizeof(T));
+        std::vector<T> v(n);
+        std::memcpy(v.data(), buf_->data() + pos_, n * sizeof(T));
+        pos_ += n * sizeof(T);
+        return v;
+    }
+
+    std::size_t remaining() const { return buf_->size() - pos_; }
+
+  private:
+    void check(std::size_t n) const {
+        if (pos_ + n > buf_->size()) throw error("archive: truncated payload");
+    }
+    const std::vector<std::byte>* buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace octo::dist

@@ -1,0 +1,67 @@
+#include "fmm/direct.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace octo::fmm {
+
+using amr::node_key;
+
+direct_result solve_direct(const amr::tree& t, double softening2) {
+    struct particle {
+        double m;
+        dvec3 x;
+        node_key node;
+        int cell;
+    };
+    std::vector<particle> ps;
+
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& n = t.node(k);
+            OCTO_ASSERT(n.fields != nullptr);
+            const auto& g = *n.fields;
+            const double V = g.geom.cell_volume();
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        const double m = g.interior(amr::f_rho, i, j, kk) * V;
+                        ps.push_back({m, g.geom.cell_center(i, j, kk), k,
+                                      cell_index(i, j, kk)});
+                    }
+        }
+    }
+
+    direct_result out;
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (!t.node(k).refined) out.gravity.emplace(k, node_gravity{});
+        }
+    }
+
+    const std::size_t n = ps.size();
+    for (std::size_t a = 0; a < n; ++a) {
+        auto& ga = out.gravity.at(ps[a].node);
+        double phi = 0.0;
+        dvec3 acc{0, 0, 0};
+        for (std::size_t b = 0; b < n; ++b) {
+            if (a == b) continue;
+            const dvec3 d = ps[a].x - ps[b].x;
+            const double r2 = norm2(d) + softening2;
+            const double rinv = 1.0 / std::sqrt(r2);
+            const double rinv3 = rinv * rinv * rinv;
+            phi -= ps[b].m * rinv;
+            acc -= ps[b].m * rinv3 * d;
+        }
+        ga.phi[ps[a].cell] = phi;
+        ga.gx[ps[a].cell] = acc.x;
+        ga.gy[ps[a].cell] = acc.y;
+        ga.gz[ps[a].cell] = acc.z;
+    }
+    return out;
+}
+
+} // namespace octo::fmm

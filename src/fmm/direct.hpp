@@ -1,0 +1,25 @@
+#pragma once
+// O(N^2) direct-summation gravity over all leaf cells. This is the accuracy
+// reference for the FMM (the "direct summation" the paper's related-work
+// section contrasts with) and is used by tests and the accuracy ablation.
+// Cells are treated as point masses at their centers of mass, matching the
+// FMM's leaf-level monopole approximation, so any difference between the two
+// is pure expansion/truncation error.
+
+#include <unordered_map>
+
+#include "amr/tree.hpp"
+#include "fmm/node_data.hpp"
+
+namespace octo::fmm {
+
+struct direct_result {
+    /// Per leaf node: SoA acceleration + potential over the 512 cells.
+    std::unordered_map<amr::node_key, node_gravity> gravity;
+};
+
+/// Compute gravity by direct summation over every pair of leaf cells.
+/// `softening2` is an optional Plummer softening (0 for exact Newtonian).
+direct_result solve_direct(const amr::tree& t, double softening2 = 0.0);
+
+} // namespace octo::fmm

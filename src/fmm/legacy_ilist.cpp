@@ -1,0 +1,71 @@
+#include "fmm/legacy_ilist.hpp"
+
+#include <cmath>
+
+#include "fmm/stencil.hpp"
+
+namespace octo::fmm {
+
+interaction_list build_interaction_list() {
+    interaction_list out;
+    const auto& st = interaction_stencil();
+    out.pairs.reserve(static_cast<std::size_t>(INX3) * st.size());
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int k = 0; k < INX; ++k) {
+                const auto rec = static_cast<std::int32_t>(cell_index(i, j, k));
+                const int bit = (i & 1) | ((j & 1) << 1) | ((k & 1) << 2);
+                for (const auto& e : st) {
+                    if (((e.parity_mask >> bit) & 1) == 0) continue;
+                    out.pairs.push_back(
+                        {rec, static_cast<std::int32_t>(partner_buffer::index(
+                                  i + e.dx, j + e.dy, k + e.dz))});
+                }
+            }
+    return out;
+}
+
+void legacy_monopole_kernel(const interaction_list& list,
+                            std::vector<aos_cell>& receivers,
+                            const std::vector<aos_cell>& partners) {
+    // One gather per pair, scalar math, scattered accumulation: the memory
+    // access pattern the stencil/SoA rewrite eliminated.
+    for (const auto& p : list.pairs) {
+        aos_cell& r = receivers[static_cast<std::size_t>(p.receiver)];
+        const aos_cell& q = partners[static_cast<std::size_t>(p.partner)];
+        const double dx = r.x - q.x;
+        const double dy = r.y - q.y;
+        const double dz = r.z - q.z;
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double rinv = 1.0 / std::sqrt(r2);
+        const double mrinv = q.m * rinv;
+        const double mrinv3 = mrinv * rinv * rinv;
+        r.phi -= mrinv;
+        r.gx -= dx * mrinv3;
+        r.gy -= dy * mrinv3;
+        r.gz -= dz * mrinv3;
+    }
+}
+
+std::vector<aos_cell> to_aos_partners(const partner_buffer& buf) {
+    std::vector<aos_cell> out(partner_buffer::P3);
+    for (int i = 0; i < partner_buffer::P3; ++i) {
+        out[static_cast<std::size_t>(i)] = {buf.m[i], buf.x[i], buf.y[i],
+                                            buf.z[i],  0,        0,
+                                            0,        0};
+    }
+    return out;
+}
+
+std::vector<aos_cell> to_aos_receivers(const node_moments& mom) {
+    std::vector<aos_cell> out(INX3);
+    for (int i = 0; i < INX3; ++i) {
+        out[static_cast<std::size_t>(i)] = {mom.m[i],      mom.com[0][i],
+                                            mom.com[1][i], mom.com[2][i],
+                                            0,             0,
+                                            0,             0};
+    }
+    return out;
+}
+
+} // namespace octo::fmm

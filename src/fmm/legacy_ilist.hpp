@@ -1,0 +1,57 @@
+#pragma once
+// The "old" FMM organisation the paper's ablation compares against (§4.3):
+// "Originally, lookup of close neighbor cells was performed using an
+// interaction list, and data was stored in an array-of-struct format. In
+// order to improve cache-efficiency and vector-unit usage, we changed it to
+// a stencil-based approach and are now utilizing a struct-of-arrays
+// datastructure. Compared to the old interaction-list approach, this led to
+// a speedup of the total application runtime between 1.90 and 2.22 on
+// AVX512 CPUs and between 1.23 and 1.35 on AVX2 CPUs."
+//
+// This module reimplements that legacy organisation — an explicit list of
+// (receiver, partner) index pairs over array-of-struct cell records — so the
+// ablation benchmark (bench_ablation_stencil) can regenerate the comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "fmm/node_data.hpp"
+
+namespace octo::fmm {
+
+/// Array-of-struct cell record (the legacy layout).
+struct aos_cell {
+    double m;
+    double x, y, z;
+    double phi;
+    double gx, gy, gz;
+};
+
+/// The per-node interaction list: one entry per (receiver cell, partner
+/// cell) pair, built from the same 1074-element criterion, with partner
+/// indices into a padded AoS array.
+struct interaction_list {
+    struct pair {
+        std::int32_t receiver; ///< index into the 512 interior cells
+        std::int32_t partner;  ///< index into the padded AoS buffer
+    };
+    std::vector<pair> pairs;
+};
+
+/// Build the interaction list for one node (every receiver against the full
+/// stencil). Deterministic; ~550k entries.
+interaction_list build_interaction_list();
+
+/// Legacy monopole-monopole kernel: walks the interaction list over AoS
+/// records. Numerically identical to monopole_kernel, structurally the
+/// pre-optimization code path.
+void legacy_monopole_kernel(const interaction_list& list,
+                            std::vector<aos_cell>& receivers,
+                            const std::vector<aos_cell>& partners);
+
+/// Convert SoA node data into the padded AoS partner array (zero-mass cells
+/// included) and the 512 receiver records. Helpers for the ablation bench.
+std::vector<aos_cell> to_aos_partners(const partner_buffer& buf);
+std::vector<aos_cell> to_aos_receivers(const node_moments& mom);
+
+} // namespace octo::fmm

@@ -1,0 +1,680 @@
+#include "fmm/solver.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "runtime/apex.hpp"
+#include "runtime/future.hpp"
+#include "support/assert.hpp"
+
+namespace octo::fmm {
+
+using amr::box_geometry;
+using amr::H_BW;
+using amr::key_child;
+using amr::key_neighbor;
+using amr::node_key;
+using amr::tree;
+
+solver::solver(options o)
+    : opt_(o), pool_(o.pool != nullptr ? o.pool : &rt::thread_pool::global()) {}
+
+const node_gravity& solver::gravity(node_key k) const {
+    auto it = gravity_.find(k);
+    OCTO_ASSERT_MSG(it != gravity_.end(), "gravity not computed for node");
+    return it->second;
+}
+
+const node_moments& solver::moments(node_key k) const {
+    auto it = moments_.find(k);
+    OCTO_ASSERT_MSG(it != moments_.end(), "moments not computed for node");
+    return it->second;
+}
+
+void solver::compute_leaf_moments(tree& t, node_key k) {
+    const auto& n = t.node(k);
+    OCTO_ASSERT_MSG(n.fields != nullptr, "leaf without field data");
+    const auto& g = *n.fields;
+    const double V = g.geom.cell_volume();
+
+    auto& mom = moments_.at(k);
+    auto& invm = invm_.at(k);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                const int c = cell_index(i, j, kk);
+                const double m = g.interior(amr::f_rho, i, j, kk) * V;
+                mom.m[c] = m;
+                const dvec3 ctr = g.geom.cell_center(i, j, kk);
+                mom.com[0][c] = ctr.x;
+                mom.com[1][c] = ctr.y;
+                mom.com[2][c] = ctr.z;
+                for (auto& q : mom.q) q[c] = 0.0; // homogeneous cell: the
+                // isotropic cube moment never contributes (traceless tensors)
+                invm[c] = m > 0.0 ? 1.0 / m : 0.0;
+            }
+}
+
+void solver::m2m(tree& t, node_key k) {
+    auto& mom = moments_.at(k);
+    auto& invm = invm_.at(k);
+    const box_geometry geom = t.geometry(k);
+
+    for (int c = 0; c < 8; ++c) {
+        const node_key ck = key_child(k, c);
+        const auto& cm = moments_.at(ck);
+        const int ox = ((c >> 0) & 1) * (INX / 2);
+        const int oy = ((c >> 1) & 1) * (INX / 2);
+        const int oz = ((c >> 2) & 1) * (INX / 2);
+
+        for (int pi = 0; pi < INX / 2; ++pi)
+            for (int pj = 0; pj < INX / 2; ++pj)
+                for (int pk = 0; pk < INX / 2; ++pk) {
+                    const int pc = cell_index(ox + pi, oy + pj, oz + pk);
+                    double m = 0.0;
+                    dvec3 com{0, 0, 0};
+                    for (int ci = 0; ci < 2; ++ci)
+                        for (int cj = 0; cj < 2; ++cj)
+                            for (int ck2 = 0; ck2 < 2; ++ck2) {
+                                const int cc = cell_index(2 * pi + ci, 2 * pj + cj,
+                                                          2 * pk + ck2);
+                                m += cm.m[cc];
+                                com += cm.m[cc] * dvec3{cm.com[0][cc], cm.com[1][cc],
+                                                        cm.com[2][cc]};
+                            }
+                    if (m > 0.0) {
+                        com /= m;
+                    } else {
+                        com = geom.cell_center(ox + pi, oy + pj, oz + pk);
+                    }
+                    double q[6] = {0, 0, 0, 0, 0, 0};
+                    for (int ci = 0; ci < 2; ++ci)
+                        for (int cj = 0; cj < 2; ++cj)
+                            for (int ck2 = 0; ck2 < 2; ++ck2) {
+                                const int cc = cell_index(2 * pi + ci, 2 * pj + cj,
+                                                          2 * pk + ck2);
+                                const dvec3 d = dvec3{cm.com[0][cc], cm.com[1][cc],
+                                                      cm.com[2][cc]} -
+                                                com;
+                                int s = 0;
+                                for (int a = 0; a < 3; ++a)
+                                    for (int b = a; b < 3; ++b, ++s) {
+                                        q[s] += cm.q[s][cc] + cm.m[cc] * d[a] * d[b];
+                                    }
+                            }
+                    mom.m[pc] = m;
+                    mom.com[0][pc] = com.x;
+                    mom.com[1][pc] = com.y;
+                    mom.com[2][pc] = com.z;
+                    for (int s = 0; s < 6; ++s) mom.q[s][pc] = q[s];
+                    invm[pc] = m > 0.0 ? 1.0 / m : 0.0;
+                }
+    }
+}
+
+void solver::fill_buffer_region(tree& t, node_key nb, const ivec3& off,
+                                partner_buffer& buf) const {
+    constexpr int R = partner_buffer::reach;
+    const auto& mom = moments_.at(nb);
+    // Padded-region index range covered by this neighbor.
+    const int lo[3] = {std::max(off.x * INX, -R), std::max(off.y * INX, -R),
+                       std::max(off.z * INX, -R)};
+    const int hi[3] = {std::min(off.x * INX + INX, INX + R),
+                       std::min(off.y * INX + INX, INX + R),
+                       std::min(off.z * INX + INX, INX + R)};
+    (void)t;
+    for (int i = lo[0]; i < hi[0]; ++i)
+        for (int j = lo[1]; j < hi[1]; ++j)
+            for (int k = lo[2]; k < hi[2]; ++k) {
+                const int src = cell_index(i - off.x * INX, j - off.y * INX,
+                                           k - off.z * INX);
+                const int dst = partner_buffer::index(i, j, k);
+                if (mom.m[src] == 0.0) continue;
+                buf.m[dst] = mom.m[src];
+                buf.x[dst] = mom.com[0][src];
+                buf.y[dst] = mom.com[1][src];
+                buf.z[dst] = mom.com[2][src];
+                for (int s = 0; s < 6; ++s) buf.q[s][dst] = mom.q[s][src];
+                buf.any = true;
+            }
+}
+
+namespace {
+
+/// Initialize a buffer's partner positions to the geometric cell centers of
+/// the padded region so that distances are never zero for empty cells.
+void init_buffer_geometry(const box_geometry& geom, partner_buffer& buf) {
+    constexpr int R = partner_buffer::reach;
+    for (int i = -R; i < INX + R; ++i)
+        for (int j = -R; j < INX + R; ++j)
+            for (int k = -R; k < INX + R; ++k) {
+                const int d = partner_buffer::index(i, j, k);
+                const dvec3 c = geom.cell_center(i, j, k);
+                buf.x[d] = c.x;
+                buf.y[d] = c.y;
+                buf.z[d] = c.z;
+            }
+}
+
+std::uint64_t stencil_interactions(const std::vector<stencil_element>& st,
+                                   bool masked) {
+    std::uint64_t n = 0;
+    for (const auto& e : st) {
+        if (masked && e.inner) continue;
+        ++n;
+    }
+    return n * static_cast<std::uint64_t>(INX3);
+}
+
+} // namespace
+
+void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pending) {
+    const bool self_refined = t.node(k).refined;
+    const bool is_root = (k == amr::root_key);
+    const auto* stencil = is_root ? &root_stencil() : &interaction_stencil();
+
+    // Assemble the two partner buffers: cells from leaf neighbors (monopole
+    // partners) and from refined neighbors (multipole partners). The node's
+    // own cells go into the buffer matching its own type.
+    auto mono = std::make_shared<partner_buffer>();
+    auto multi = std::make_shared<partner_buffer>();
+    const box_geometry geom = t.geometry(k);
+    init_buffer_geometry(geom, *mono);
+    init_buffer_geometry(geom, *multi);
+
+    for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+            for (int dz = -1; dz <= 1; ++dz) {
+                node_key nb = k;
+                if (dx != 0 || dy != 0 || dz != 0) {
+                    nb = key_neighbor(k, {dx, dy, dz});
+                    if (nb == amr::invalid_key || !t.contains(nb)) continue;
+                }
+                const bool nb_refined = t.node(nb).refined;
+                fill_buffer_region(t, nb, {dx, dy, dz},
+                                   nb_refined ? *multi : *mono);
+            }
+
+    auto& out = gravity_.at(k);
+    const auto& self_mom = moments_.at(k);
+    const auto& self_invm = invm_.at(k);
+
+    // Launch one kernel per non-empty partner class. GPU offload follows the
+    // paper's policy (§5.1): grab an idle stream if one exists, otherwise the
+    // launching thread runs the (vectorized) kernel itself.
+    struct launch_spec {
+        kernel_class kc;
+        bool monopole_math; // both sides leaves: the cheap kernel
+        kernel_options opt;
+        std::shared_ptr<partner_buffer> buf;
+        std::uint64_t flops;
+    };
+    std::vector<launch_spec> launches;
+
+    if (mono->any) {
+        launch_spec s;
+        s.buf = mono;
+        s.opt.stencil = stencil;
+        s.opt.conserve = opt_.conserve;
+        s.opt.use_inner_mask = false; // leaf partners: nothing to defer to
+        if (self_refined) {
+            // multipole-monopole (merged kernel; partner moments are zero)
+            s.kc = kernel_class::fmm_multipole;
+            s.monopole_math = false;
+            s.flops = stencil_interactions(*stencil, false) *
+                      multi_flops_per_interaction;
+        } else {
+            s.kc = kernel_class::fmm_monopole;
+            s.monopole_math = true;
+            s.flops = stencil_interactions(*stencil, false) *
+                      mono_flops_per_interaction;
+        }
+        launches.push_back(std::move(s));
+    }
+    if (multi->any) {
+        launch_spec s;
+        s.buf = multi;
+        s.opt.stencil = stencil;
+        s.opt.conserve = opt_.conserve;
+        // refined partners: inner pairs deferred only if we are refined too
+        s.opt.use_inner_mask = self_refined;
+        s.kc = self_refined ? kernel_class::fmm_multipole
+                            : kernel_class::fmm_monopole_multipole;
+        s.monopole_math = false;
+        s.flops = stencil_interactions(*stencil, s.opt.use_inner_mask) *
+                  multi_flops_per_interaction;
+        launches.push_back(std::move(s));
+    }
+
+    for (auto& s : launches) {
+        auto run_scalar = [&self_mom, &self_invm, &out, s]() {
+            if (s.monopole_math) {
+                monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
+            } else {
+                multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt, out);
+            }
+        };
+        if (opt_.device != nullptr) {
+            if (auto lease = opt_.device->try_acquire_stream()) {
+                pending.push_back(lease->launch(run_scalar, s.flops, s.kc));
+                continue;
+            }
+        }
+        // CPU path (vectorized).
+        count_launch(s.kc, exec_site::cpu);
+        if (opt_.vectorized) {
+            if (s.monopole_math) {
+                monopole_kernel<simd::dpack>(self_mom, *s.buf, s.opt, out);
+            } else {
+                multipole_kernel<simd::dpack>(self_mom, self_invm, *s.buf, s.opt,
+                                              out);
+            }
+        } else {
+            run_scalar();
+        }
+        count_flops(s.kc, exec_site::cpu, s.flops);
+    }
+}
+
+namespace {
+
+/// Solve the 3x3 system K w = b (K symmetric) with light Tikhonov
+/// regularization for near-singular K (collinear mass distributions).
+dvec3 solve3x3_sym(double K[3][3], const dvec3& b) {
+    const double tr = K[0][0] + K[1][1] + K[2][2];
+    if (tr <= 0.0) return {0, 0, 0};
+    const double eps = 1e-12 * tr;
+    double A[3][4] = {{K[0][0] + eps, K[0][1], K[0][2], b.x},
+                      {K[1][0], K[1][1] + eps, K[1][2], b.y},
+                      {K[2][0], K[2][1], K[2][2] + eps, b.z}};
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < 3; ++col) {
+        int piv = col;
+        for (int r = col + 1; r < 3; ++r) {
+            if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
+        }
+        if (std::abs(A[piv][col]) < 1e-300) return {0, 0, 0};
+        if (piv != col) {
+            for (int cc = 0; cc < 4; ++cc) std::swap(A[piv][cc], A[col][cc]);
+        }
+        for (int r = 0; r < 3; ++r) {
+            if (r == col) continue;
+            const double f = A[r][col] / A[col][col];
+            for (int cc = col; cc < 4; ++cc) A[r][cc] -= f * A[col][cc];
+        }
+    }
+    return {A[0][3] / A[0][0], A[1][3] / A[1][1], A[2][3] / A[2][2]};
+}
+
+} // namespace
+
+void solver::l2l(tree& t, node_key k) {
+    (void)t;
+    const auto& parentL = gravity_.at(k);
+    const auto& pm = moments_.at(k);
+
+    // Gather pointers to the 8 children's data once.
+    const node_gravity* childL[8];
+    const node_moments* childM[8];
+    node_gravity* childLw[8];
+    for (int c = 0; c < 8; ++c) {
+        const node_key ck = key_child(k, c);
+        childLw[c] = &gravity_.at(ck);
+        childL[c] = childLw[c];
+        childM[c] = &moments_.at(ck);
+    }
+
+    // Per PARENT cell: translate the expansion to its 8 child cells.
+    for (int pi = 0; pi < INX; ++pi)
+        for (int pj = 0; pj < INX; ++pj)
+            for (int pk = 0; pk < INX; ++pk) {
+                const int pc = cell_index(pi, pj, pk);
+                expansion<double> src;
+                for (int s = 0; s < n_taylor; ++s) src[s] = parentL.L[s][pc];
+
+                // Locate the owning child node and the 2x2x2 child cells.
+                const int oc = (pi / (INX / 2)) | ((pj / (INX / 2)) << 1) |
+                               ((pk / (INX / 2)) << 2);
+                const int bi = (pi % (INX / 2)) * 2;
+                const int bj = (pj % (INX / 2)) * 2;
+                const int bk = (pk % (INX / 2)) * 2;
+
+                struct child_ref {
+                    int cell;
+                    double m;
+                    dvec3 delta;
+                    dvec3 da; // acceleration redistribution (from -L1 shift)
+                    double dphi;
+                    double dL2[6];
+                };
+                child_ref ch[8];
+                int nch = 0;
+                for (int ci = 0; ci < 2; ++ci)
+                    for (int cj = 0; cj < 2; ++cj)
+                        for (int ck2 = 0; ck2 < 2; ++ck2) {
+                            auto& r = ch[nch++];
+                            r.cell = cell_index(bi + ci, bj + cj, bk + ck2);
+                            const auto& cm = *childM[oc];
+                            r.m = cm.m[r.cell];
+                            r.delta = {cm.com[0][r.cell] - pm.com[0][pc],
+                                       cm.com[1][r.cell] - pm.com[1][pc],
+                                       cm.com[2][r.cell] - pm.com[2][pc]};
+                            const double d[3] = {r.delta.x, r.delta.y, r.delta.z};
+                            // Potential shift (no conservation constraint).
+                            r.dphi = evaluate(src, d) - src[0];
+                            // Gradient shift = redistribution of the force.
+                            double grad[3];
+                            evaluate_gradient(src, d, grad);
+                            r.da = {-(grad[0] - src[1]), -(grad[1] - src[2]),
+                                    -(grad[2] - src[3])};
+                            // L2 shift (feeds the next L2L level).
+                            int s2 = 0;
+                            for (int a = 0; a < 3; ++a)
+                                for (int b = a; b < 3; ++b, ++s2) {
+                                    double v = 0;
+                                    for (int e = 0; e < 3; ++e) {
+                                        int u = a, v2 = b, w = e;
+                                        if (u > v2) std::swap(u, v2);
+                                        if (v2 > w) std::swap(v2, w);
+                                        if (u > v2) std::swap(u, v2);
+                                        v += src[idx3(u, v2, w)] * d[e];
+                                    }
+                                    r.dL2[s2] = v;
+                                }
+                        }
+
+                if (opt_.conserve == am_mode::central_projection) {
+                    // (i) Remove the net force the redistribution would
+                    // inject (it is already carried by the pair forces).
+                    double mtot = 0;
+                    dvec3 fsum{0, 0, 0};
+                    for (int c = 0; c < 8; ++c) {
+                        mtot += ch[c].m;
+                        fsum += ch[c].m * ch[c].da;
+                    }
+                    if (mtot > 0.0) {
+                        const dvec3 mean = fsum / mtot;
+                        for (int c = 0; c < 8; ++c) ch[c].da -= mean;
+
+                        // (ii) Absorb the internal torque into a rigid
+                        // rotation field w x delta (the same trick the
+                        // hydro reconstruction uses for spin):
+                        // solve (tr(Q) I - Q) w = -T.
+                        dvec3 T{0, 0, 0};
+                        double Q[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+                        for (int c = 0; c < 8; ++c) {
+                            T += ch[c].m * cross(ch[c].delta, ch[c].da);
+                            for (int a = 0; a < 3; ++a)
+                                for (int b = 0; b < 3; ++b) {
+                                    Q[a][b] += ch[c].m * ch[c].delta[a] *
+                                               ch[c].delta[b];
+                                }
+                        }
+                        double K[3][3];
+                        const double trQ = Q[0][0] + Q[1][1] + Q[2][2];
+                        for (int a = 0; a < 3; ++a)
+                            for (int b = 0; b < 3; ++b) {
+                                K[a][b] = (a == b ? trQ : 0.0) - Q[a][b];
+                            }
+                        const dvec3 w = solve3x3_sym(K, -T);
+                        for (int c = 0; c < 8; ++c) {
+                            ch[c].da += cross(w, ch[c].delta);
+                        }
+                    }
+                }
+
+                // Spin-torque ledger: pass the parent cell's deposits down
+                // (mass-weighted) and, in spin_deposit mode, also deposit the
+                // negation of the internal torque this redistribution adds.
+                dvec3 ledger{parentL.tq[0][pc], parentL.tq[1][pc],
+                             parentL.tq[2][pc]};
+                double mtot = 0;
+                for (int c = 0; c < 8; ++c) mtot += ch[c].m;
+                if (opt_.conserve == am_mode::spin_deposit) {
+                    dvec3 T_int{0, 0, 0};
+                    for (int c = 0; c < 8; ++c) {
+                        T_int += ch[c].m * cross(ch[c].delta, ch[c].da);
+                    }
+                    // Deeper L2L levels will emit additional net forces from
+                    // redistributing this L3 against each child's INTERNAL
+                    // quadrupole q_c (the telescoped sum of its sub-tree's
+                    // point moments), applied at the child's COM rather than
+                    // here: account for the displaced torque now, so the
+                    // ledger closes across arbitrarily deep trees.
+                    dvec3 T_deep{0, 0, 0};
+                    const auto& cm = *childM[oc];
+                    for (int c = 0; c < 8; ++c) {
+                        const int cc = ch[c].cell;
+                        dvec3 tv{0, 0, 0};
+                        int s2 = 0;
+                        for (int a = 0; a < 3; ++a)
+                            for (int b = a; b < 3; ++b, ++s2) {
+                                const double qv = cm.q[s2][cc];
+                                for (int d = 0; d < 3; ++d) {
+                                    int u = d, v = a, w = b;
+                                    if (u > v) std::swap(u, v);
+                                    if (v > w) std::swap(v, w);
+                                    if (u > v) std::swap(u, v);
+                                    tv[d] += mult2(a, b) * qv *
+                                             src[idx3(u, v, w)];
+                                }
+                            }
+                        const dvec3 F_deep = -0.5 * tv;
+                        T_deep += cross(ch[c].delta, F_deep);
+                    }
+                    ledger -= T_int + T_deep;
+                }
+
+                // Accumulate into the children.
+                for (int c = 0; c < 8; ++c) {
+                    auto& out = *childLw[oc];
+                    const int cc = ch[c].cell;
+                    out.L[0][cc] += src[0] + ch[c].dphi;
+                    out.L[1][cc] += src[1] - ch[c].da.x;
+                    out.L[2][cc] += src[2] - ch[c].da.y;
+                    out.L[3][cc] += src[3] - ch[c].da.z;
+                    for (int s2 = 0; s2 < 6; ++s2) {
+                        out.L[4 + s2][cc] += src[4 + s2] + ch[c].dL2[s2];
+                    }
+                    for (int s = 10; s < n_taylor; ++s) out.L[s][cc] += src[s];
+                    const double share = mtot > 0.0 ? ch[c].m / mtot : 0.125;
+                    out.tq[0][cc] += share * ledger.x;
+                    out.tq[1][cc] += share * ledger.y;
+                    out.tq[2][cc] += share * ledger.z;
+                }
+            }
+}
+
+void solver::evaluate_node(node_key k) {
+    auto& g = gravity_.at(k);
+    for (int c = 0; c < INX3; ++c) {
+        g.phi[c] = g.L[0][c];
+        g.gx[c] = -g.L[1][c];
+        g.gy[c] = -g.L[2][c];
+        g.gz[c] = -g.L[3][c];
+    }
+}
+
+void solver::solve(tree& t) {
+    moments_.clear();
+    gravity_.clear();
+    invm_.clear();
+
+    // Pre-create all entries single-threaded so parallel phases never mutate
+    // the maps.
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            moments_.emplace(k, node_moments{});
+            gravity_.emplace(k, node_gravity{});
+            invm_.emplace(k, aligned_vector<double>(INX3, 0.0));
+        }
+    }
+
+    rt::apex_timer total_timer("fmm::solve");
+
+    // Phase 1a: leaf moments, in parallel.
+    {
+        rt::apex_timer timer("fmm::moments");
+        std::vector<rt::future<void>> fs;
+        for (const auto& level : t.levels()) {
+            for (const node_key k : level) {
+                if (!t.node(k).refined) {
+                    fs.push_back(rt::async(*pool_, [this, &t, k] {
+                        compute_leaf_moments(t, k);
+                    }));
+                }
+            }
+        }
+        for (auto& f : fs) f.get();
+    }
+
+    // Phase 1b: M2M bottom-up, level barriers.
+    auto m2m_timer = std::make_unique<rt::apex_timer>("fmm::m2m");
+    for (int level = t.max_level() - 1; level >= 0; --level) {
+        std::vector<rt::future<void>> fs;
+        for (const node_key k : t.levels()[level]) {
+            if (t.node(k).refined) {
+                fs.push_back(rt::async(*pool_, [this, &t, k] { m2m(t, k); }));
+            }
+        }
+        for (auto& f : fs) f.get();
+    }
+
+    m2m_timer.reset();
+
+    // Phase 2: same-level interactions for every node at every level — the
+    // hotspot, launched as one task per node (paper: millions of small
+    // kernels rather than a few large ones).
+    {
+        rt::apex_timer timer("fmm::same_level");
+        std::mutex mu;
+        std::vector<rt::future<void>> device_futures;
+        std::vector<rt::future<void>> fs;
+        for (const auto& level : t.levels()) {
+            for (const node_key k : level) {
+                fs.push_back(rt::async(*pool_, [this, &t, k, &mu, &device_futures] {
+                    std::vector<rt::future<void>> pending;
+                    same_level(t, k, pending);
+                    if (!pending.empty()) {
+                        std::lock_guard lock(mu);
+                        for (auto& p : pending) {
+                            device_futures.push_back(std::move(p));
+                        }
+                    }
+                }));
+            }
+        }
+        for (auto& f : fs) f.get();
+        for (auto& f : device_futures) f.get();
+    }
+
+    // Phase 3: L2L top-down, level barriers.
+    auto l2l_timer = std::make_unique<rt::apex_timer>("fmm::l2l");
+    for (int level = 0; level < t.max_level(); ++level) {
+        std::vector<rt::future<void>> fs;
+        for (const node_key k : t.levels()[level]) {
+            if (t.node(k).refined) {
+                fs.push_back(rt::async(*pool_, [this, &t, k] { l2l(t, k); }));
+            }
+        }
+        for (auto& f : fs) f.get();
+    }
+
+    l2l_timer.reset();
+
+    // Phase 4: evaluate gravity per cell.
+    {
+        std::vector<rt::future<void>> fs;
+        for (const auto& level : t.levels()) {
+            for (const node_key k : level) {
+                fs.push_back(rt::async(*pool_, [this, k] { evaluate_node(k); }));
+            }
+        }
+        for (auto& f : fs) f.get();
+    }
+}
+
+dvec3 solver::total_force(const tree& t) const {
+    dvec3 F{0, 0, 0};
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& mom = moments_.at(k);
+            const auto& g = gravity_.at(k);
+            for (int c = 0; c < INX3; ++c) {
+                F += mom.m[c] * dvec3{g.gx[c], g.gy[c], g.gz[c]};
+            }
+        }
+    }
+    return F;
+}
+
+dvec3 solver::total_torque(const tree& t) const {
+    dvec3 T{0, 0, 0};
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& mom = moments_.at(k);
+            const auto& g = gravity_.at(k);
+            for (int c = 0; c < INX3; ++c) {
+                const dvec3 r{mom.com[0][c], mom.com[1][c], mom.com[2][c]};
+                T += cross(r, mom.m[c] * dvec3{g.gx[c], g.gy[c], g.gz[c]});
+            }
+        }
+    }
+    return T;
+}
+
+double solver::potential_at(const tree& t, const dvec3& r) const {
+    node_key k = amr::root_key;
+    while (t.node(k).refined) {
+        const box_geometry g = t.geometry(k);
+        const double half = g.dx * INX / 2.0;
+        const int cx = r.x >= g.origin.x + half ? 1 : 0;
+        const int cy = r.y >= g.origin.y + half ? 1 : 0;
+        const int cz = r.z >= g.origin.z + half ? 1 : 0;
+        k = key_child(k, cx | (cy << 1) | (cz << 2));
+    }
+    const box_geometry g = t.geometry(k);
+    const int i = std::clamp(static_cast<int>((r.x - g.origin.x) / g.dx), 0, INX - 1);
+    const int j = std::clamp(static_cast<int>((r.y - g.origin.y) / g.dx), 0, INX - 1);
+    const int kk = std::clamp(static_cast<int>((r.z - g.origin.z) / g.dx), 0, INX - 1);
+    const int c = cell_index(i, j, kk);
+    const auto& L = gravity_.at(k);
+    const auto& mom = moments_.at(k);
+    expansion<double> e;
+    for (int s = 0; s < n_taylor; ++s) e[s] = L.L[s][c];
+    const double delta[3] = {r.x - mom.com[0][c], r.y - mom.com[1][c],
+                             r.z - mom.com[2][c]};
+    return evaluate(e, delta);
+}
+
+dvec3 solver::total_spin_torque(const tree& t) const {
+    dvec3 T{0, 0, 0};
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& g = gravity_.at(k);
+            for (int c = 0; c < INX3; ++c) {
+                T += dvec3{g.tq[0][c], g.tq[1][c], g.tq[2][c]};
+            }
+        }
+    }
+    return T;
+}
+
+double solver::potential_energy(const tree& t) const {
+    double U = 0.0;
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& mom = moments_.at(k);
+            const auto& g = gravity_.at(k);
+            for (int c = 0; c < INX3; ++c) U += 0.5 * mom.m[c] * g.phi[c];
+        }
+    }
+    return U;
+}
+
+} // namespace octo::fmm

@@ -1,0 +1,87 @@
+#pragma once
+// The gravitational FMM solver (paper §4.3): three steps on the octree —
+//   1. bottom-up multipole moments + centers of mass (M2M),
+//   2. same-level stencil interactions (the hotspot; optionally offloaded to
+//      the simulated GPU as many small kernels on streams, §5.1),
+//   3. top-down accumulation of the Taylor expansions (L2L).
+//
+// Coverage: every cell pair interacts exactly once — at the finest level
+// where both sides exist and the two-level criterion selects the pair (see
+// stencil.hpp); the root level uses a full stencil so no far pair is lost.
+//
+// Conservation: with conserve_angular set (default), pair forces are central
+// along the line of centers of mass, so total force and total torque vanish
+// to rounding — Octo-Tiger's headline property (§4.2).
+
+#include <unordered_map>
+
+#include "amr/tree.hpp"
+#include "fmm/kernels.hpp"
+#include "gpu/device.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace octo::fmm {
+
+/// Solver configuration. (Namespace-scope so it can serve as a defaulted
+/// constructor argument: nested classes with member initializers cannot be
+/// brace-defaulted inside their still-incomplete enclosing class.)
+struct solver_options {
+    am_mode conserve = am_mode::spin_deposit;
+    bool vectorized = true;           ///< SIMD-pack kernels on the CPU path
+    gpu::device* device = nullptr;    ///< offload same-level kernels when set
+    rt::thread_pool* pool = nullptr;  ///< defaults to the global pool
+};
+
+class solver {
+  public:
+    using options = solver_options;
+
+    explicit solver(options o = {});
+
+    /// Compute gravity for the whole tree. Leaf nodes must hold field data
+    /// (rho is read; everything else is untouched). Results are stored per
+    /// node and available via gravity().
+    void solve(amr::tree& t);
+
+    const node_gravity& gravity(amr::node_key k) const;
+    const node_moments& moments(amr::node_key k) const;
+
+    // ---- diagnostics (used by tests and the conservation ledger) ----------
+
+    /// Sum over leaf cells of m * g — zero to rounding in conserving mode.
+    dvec3 total_force(const amr::tree& t) const;
+    /// Sum over leaf cells of com x (m * g) — zero to rounding in
+    /// central_projection mode; cancelled by total_spin_torque() in
+    /// spin_deposit mode.
+    dvec3 total_torque(const amr::tree& t) const;
+    /// Sum of the per-cell spin-torque deposits over all leaves
+    /// (am_mode::spin_deposit): total_torque() + total_spin_torque() is zero
+    /// to rounding.
+    dvec3 total_spin_torque(const amr::tree& t) const;
+    /// Gravitational potential energy 0.5 * sum m * phi.
+    double potential_energy(const amr::tree& t) const;
+
+    /// Evaluate the potential at an arbitrary point by Taylor-evaluating the
+    /// containing leaf cell's local expansion about its center of mass.
+    /// Used by the SCF solver, which needs smooth point values.
+    double potential_at(const amr::tree& t, const dvec3& r) const;
+
+  private:
+    void compute_leaf_moments(amr::tree& t, amr::node_key k);
+    void m2m(amr::tree& t, amr::node_key k);
+    void same_level(amr::tree& t, amr::node_key k,
+                    std::vector<rt::future<void>>& pending);
+    void l2l(amr::tree& t, amr::node_key k);
+    void evaluate_node(amr::node_key k);
+    void fill_buffer_region(amr::tree& t, amr::node_key nb, const ivec3& off,
+                            partner_buffer& buf) const;
+
+    options opt_;
+    rt::thread_pool* pool_;
+    std::unordered_map<amr::node_key, node_moments> moments_;
+    std::unordered_map<amr::node_key, node_gravity> gravity_;
+    std::unordered_map<amr::node_key, aligned_vector<double>> invm_;
+};
+
+
+} // namespace octo::fmm

@@ -1,0 +1,14 @@
+#include "fmm/taylor.hpp"
+
+// The Taylor algebra is header-only (it must inline into the kernels); this
+// translation unit exists to give the header a home for compile checking and
+// to anchor the explicit sanity constants.
+
+namespace octo::fmm {
+
+static_assert(idx2(0, 0) == 4 && idx2(2, 2) == 9);
+static_assert(idx3(0, 0, 0) == 10 && idx3(2, 2, 2) == 19);
+static_assert(idx3(0, 1, 2) == 14);
+static_assert(mult3(0, 1, 2) == 6.0 && mult3(0, 0, 1) == 3.0 && mult3(1, 1, 1) == 1.0);
+
+} // namespace octo::fmm

@@ -1,0 +1,68 @@
+#include "gpu/device.hpp"
+
+#include "support/assert.hpp"
+
+namespace octo::gpu {
+
+device_spec p100() {
+    return {.name = "NVIDIA P100",
+            .peak_gflops = 4700.0,
+            .num_sms = 56,
+            .max_streams = 128,
+            .blocks_per_kernel = 8,
+            .launch_overhead_us = 5.0};
+}
+
+device_spec v100() {
+    return {.name = "NVIDIA V100",
+            .peak_gflops = 7000.0,
+            .num_sms = 80,
+            .max_streams = 128,
+            .blocks_per_kernel = 8,
+            .launch_overhead_us = 5.0};
+}
+
+device::device(device_spec spec, unsigned nworkers)
+    : spec_(std::move(spec)), workers_(std::make_unique<rt::thread_pool>(nworkers)) {
+    OCTO_ASSERT(spec_.max_streams > 0);
+}
+
+device::~device() = default;
+
+std::optional<stream_lease> device::try_acquire_stream() {
+    // Lock-free optimistic acquire, matching the paper's requirement that
+    // scheduling stays "lock-free, low-overhead" (§1).
+    unsigned cur = in_use_.load(std::memory_order_relaxed);
+    while (cur < spec_.max_streams) {
+        if (in_use_.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel)) {
+            return stream_lease(this);
+        }
+    }
+    return std::nullopt;
+}
+
+void device::release_stream() {
+    const unsigned prev = in_use_.fetch_sub(1, std::memory_order_acq_rel);
+    OCTO_ASSERT(prev > 0);
+}
+
+rt::future<void> device::enqueue(std::function<void()> kernel, std::uint64_t flops,
+                                 kernel_class kc) {
+    kernels_.fetch_add(1, std::memory_order_relaxed);
+    count_launch(kc, exec_site::gpu);
+    return rt::async(*workers_, [this, kernel = std::move(kernel), flops, kc] {
+        kernel();
+        count_flops(kc, exec_site::gpu, flops);
+        release_stream(); // stream becomes idle once its work drained
+    });
+}
+
+rt::future<void> stream_lease::launch(std::function<void()> kernel, std::uint64_t flops,
+                                      kernel_class kc) {
+    OCTO_ASSERT_MSG(dev_ != nullptr, "launch on an empty stream lease");
+    device* d = dev_;
+    dev_ = nullptr; // the device releases the stream when the kernel completes
+    return d->enqueue(std::move(kernel), flops, kc);
+}
+
+} // namespace octo::gpu

@@ -1,0 +1,60 @@
+#include "hydro/flux.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace octo::hydro {
+
+using namespace octo::amr;
+
+primitives to_primitives(const state& u, const phys::ideal_gas_eos& eos) {
+    primitives pr;
+    pr.rho = std::max(u[f_rho], rho_floor);
+    pr.v = {u[f_sx] / pr.rho, u[f_sy] / pr.rho, u[f_sz] / pr.rho};
+    const double ke = 0.5 * pr.rho * norm2(pr.v);
+    pr.internal = std::max(eos.internal_energy(u[f_egas], ke, u[f_tau]), 0.0);
+    pr.p = eos.pressure(pr.internal);
+    pr.c = eos.sound_speed(pr.rho, pr.internal);
+    return pr;
+}
+
+state physical_flux(const state& u, const primitives& pr, int a) {
+    state f{};
+    const double va = pr.v[a];
+    for (int q = 0; q < n_fields; ++q) f[q] = u[q] * va;
+    // Pressure terms.
+    f[f_sx + a] += pr.p;
+    f[f_egas] += pr.p * va;
+    return f;
+}
+
+double max_wave_speed(const primitives& pr, int a) {
+    return std::abs(pr.v[a]) + pr.c;
+}
+
+state kt_flux(const state& uL, const state& uR, int a,
+              const phys::ideal_gas_eos& eos, double* max_speed) {
+    const primitives pL = to_primitives(uL, eos);
+    const primitives pR = to_primitives(uR, eos);
+
+    const double ap = std::max({pL.v[a] + pL.c, pR.v[a] + pR.c, 0.0});
+    const double am = std::min({pL.v[a] - pL.c, pR.v[a] - pR.c, 0.0});
+    if (max_speed != nullptr) {
+        *max_speed = std::max(*max_speed, std::max(ap, -am));
+    }
+
+    state out{};
+    if (ap == 0.0 && am == 0.0) return out;
+
+    const state fL = physical_flux(uL, pL, a);
+    const state fR = physical_flux(uR, pR, a);
+    const double inv = 1.0 / (ap - am);
+    for (int q = 0; q < n_fields; ++q) {
+        out[q] = (ap * fL[q] - am * fR[q]) * inv + (ap * am) * inv * (uR[q] - uL[q]);
+    }
+    return out;
+}
+
+} // namespace octo::hydro

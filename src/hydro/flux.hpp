@@ -1,0 +1,16 @@
+#pragma once
+// Kurganov–Tadmor central-upwind numerical flux (paper §4.2: "Octo-Tiger
+// uses the central advection scheme of [Kurganov & Tadmor 2000]").
+
+#include "hydro/state.hpp"
+
+namespace octo::hydro {
+
+/// Central-upwind flux at a face along axis `a` from the left/right states.
+///   F = (a+ F(UL) - a- F(UR)) / (a+ - a-) + (a+ a-)/(a+ - a-) (UR - UL)
+/// with a+ = max(vL+cL, vR+cR, 0) and a- = min(vL-cL, vR-cR, 0).
+/// Also returns the maximal absolute signal speed for CFL control.
+state kt_flux(const state& uL, const state& uR, int a,
+              const phys::ideal_gas_eos& eos, double* max_speed = nullptr);
+
+} // namespace octo::hydro

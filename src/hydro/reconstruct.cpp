@@ -1,0 +1,68 @@
+#include "hydro/reconstruct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octo::hydro {
+namespace {
+
+double minmod(double a, double b) {
+    if (a * b <= 0.0) return 0.0;
+    return std::abs(a) < std::abs(b) ? a : b;
+}
+
+/// Van-Leer limited slope of cell i (indices relative to q).
+double limited_slope(const double* q, int i) {
+    const double dc = 0.5 * (q[i + 1] - q[i - 1]);
+    const double dl = 2.0 * (q[i] - q[i - 1]);
+    const double dr = 2.0 * (q[i + 1] - q[i]);
+    if (dl * dr <= 0.0) return 0.0;
+    return minmod(dc, minmod(dl, dr));
+}
+
+} // namespace
+
+void ppm_reconstruct(const double* q, int n, double* qface_lo, double* qface_hi) {
+    // Step 1: fourth-order interface values with limited slopes
+    // (CW84 eq. 1.6 with the slope limiting of eq. 1.8).
+    // iface[i] is the value at face i-1/2 (lower face of cell i), for
+    // i in [0, n] — needs cells i-2..i+1.
+    double iface_storage[64 + 1];
+    double* iface = iface_storage;
+    for (int i = 0; i <= n; ++i) {
+        const double dql = limited_slope(q, i - 1);
+        const double dqr = limited_slope(q, i);
+        iface[i] = q[i - 1] + 0.5 * (q[i] - q[i - 1]) - (dqr - dql) / 6.0;
+    }
+
+    // Step 2: per-cell monotonicity limiting (CW84 eq. 1.10).
+    for (int i = 0; i < n; ++i) {
+        double lo = iface[i];
+        double hi = iface[i + 1];
+        const double qc = q[i];
+        if ((hi - qc) * (qc - lo) <= 0.0) {
+            // Local extremum: flatten.
+            lo = qc;
+            hi = qc;
+        } else {
+            const double d = hi - lo;
+            const double six = 6.0 * (qc - 0.5 * (lo + hi));
+            if (d * six > d * d) {
+                lo = 3.0 * qc - 2.0 * hi;
+            } else if (-d * d > d * six) {
+                hi = 3.0 * qc - 2.0 * lo;
+            }
+        }
+        qface_lo[i] = lo;
+        qface_hi[i] = hi;
+    }
+}
+
+void pcm_reconstruct(const double* q, int n, double* qface_lo, double* qface_hi) {
+    for (int i = 0; i < n; ++i) {
+        qface_lo[i] = q[i];
+        qface_hi[i] = q[i];
+    }
+}
+
+} // namespace octo::hydro

@@ -1,0 +1,22 @@
+#pragma once
+// PPM reconstruction (Colella & Woodward 1984), used by Octo-Tiger to
+// compute the thermodynamic variables at cell faces (paper §4.2).
+//
+// Reconstruction operates on one 1-D pencil at a time: given cell averages
+// q[-2..n+1] (n interior cells plus two ghosts each side), produce left/right
+// face states qL[i], qR[i] for each cell i, where qL is the value at the
+// cell's lower face and qR at its upper face, monotonicity-limited.
+
+#include <cstddef>
+
+namespace octo::hydro {
+
+/// PPM face values with the standard monotonicity limiter.
+/// `q` points at the first interior cell; q[-2], q[-1], q[n], q[n+1] must be
+/// valid ghost values. Writes qface_lo[i] and qface_hi[i] for i in [0, n).
+void ppm_reconstruct(const double* q, int n, double* qface_lo, double* qface_hi);
+
+/// Piecewise-constant fallback (first order), used in ablation benches.
+void pcm_reconstruct(const double* q, int n, double* qface_lo, double* qface_hi);
+
+} // namespace octo::hydro

@@ -1,0 +1,132 @@
+#include "hydro/riemann_exact.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace octo::hydro {
+namespace {
+
+/// Pressure function f_K(p) and derivative for one side (Toro ch. 4).
+void side_function(double p, const riemann_state& s, double gamma, double& f,
+                   double& fd) {
+    const double A = 2.0 / ((gamma + 1.0) * s.rho);
+    const double B = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    const double c = std::sqrt(gamma * s.p / s.rho);
+    if (p > s.p) {
+        // Shock.
+        const double q = std::sqrt(A / (p + B));
+        f = (p - s.p) * q;
+        fd = q * (1.0 - 0.5 * (p - s.p) / (p + B));
+    } else {
+        // Rarefaction.
+        const double pr = p / s.p;
+        f = 2.0 * c / (gamma - 1.0) * (std::pow(pr, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+        fd = std::pow(pr, -(gamma + 1.0) / (2.0 * gamma)) / (s.rho * c);
+    }
+}
+
+/// Newton iteration for the star-region pressure.
+double star_pressure(const riemann_state& l, const riemann_state& r, double gamma) {
+    // Two-rarefaction initial guess.
+    const double cl = std::sqrt(gamma * l.p / l.rho);
+    const double cr = std::sqrt(gamma * r.p / r.rho);
+    const double z = (gamma - 1.0) / (2.0 * gamma);
+    double p = std::pow((cl + cr - 0.5 * (gamma - 1.0) * (r.u - l.u)) /
+                            (cl / std::pow(l.p, z) + cr / std::pow(r.p, z)),
+                        1.0 / z);
+    p = std::max(p, 1e-12);
+    for (int it = 0; it < 60; ++it) {
+        double fl, fld, fr, frd;
+        side_function(p, l, gamma, fl, fld);
+        side_function(p, r, gamma, fr, frd);
+        const double f = fl + fr + (r.u - l.u);
+        const double d = fld + frd;
+        const double dp = f / d;
+        p -= dp;
+        p = std::max(p, 1e-14);
+        if (std::abs(dp) < 1e-14 * p) break;
+    }
+    return p;
+}
+
+} // namespace
+
+riemann_state riemann_exact(const riemann_state& l, const riemann_state& r, double xi,
+                            double gamma) {
+    const double cl = std::sqrt(gamma * l.p / l.rho);
+    const double cr = std::sqrt(gamma * r.p / r.rho);
+    const double pstar = star_pressure(l, r, gamma);
+    double fl, fld, fr, frd;
+    side_function(pstar, l, gamma, fl, fld);
+    side_function(pstar, r, gamma, fr, frd);
+    const double ustar = 0.5 * (l.u + r.u) + 0.5 * (fr - fl);
+
+    riemann_state out{};
+    if (xi < ustar) {
+        // Left of the contact.
+        if (pstar > l.p) {
+            // Left shock.
+            const double sl =
+                l.u - cl * std::sqrt((gamma + 1.0) / (2.0 * gamma) * pstar / l.p +
+                                     (gamma - 1.0) / (2.0 * gamma));
+            if (xi < sl) return l;
+            const double g1 = (gamma - 1.0) / (gamma + 1.0);
+            out.rho = l.rho * (pstar / l.p + g1) / (g1 * pstar / l.p + 1.0);
+            out.u = ustar;
+            out.p = pstar;
+            return out;
+        }
+        // Left rarefaction.
+        const double cstar = cl * std::pow(pstar / l.p, (gamma - 1.0) / (2.0 * gamma));
+        const double head = l.u - cl;
+        const double tail = ustar - cstar;
+        if (xi < head) return l;
+        if (xi > tail) {
+            out.rho = l.rho * std::pow(pstar / l.p, 1.0 / gamma);
+            out.u = ustar;
+            out.p = pstar;
+            return out;
+        }
+        // Inside the fan.
+        const double u = 2.0 / (gamma + 1.0) * (cl + 0.5 * (gamma - 1.0) * l.u + xi);
+        const double c = 2.0 / (gamma + 1.0) * (cl + 0.5 * (gamma - 1.0) * (l.u - xi));
+        out.rho = l.rho * std::pow(c / cl, 2.0 / (gamma - 1.0));
+        out.u = u;
+        out.p = l.p * std::pow(c / cl, 2.0 * gamma / (gamma - 1.0));
+        return out;
+    }
+    // Right of the contact (mirror).
+    if (pstar > r.p) {
+        const double sr =
+            r.u + cr * std::sqrt((gamma + 1.0) / (2.0 * gamma) * pstar / r.p +
+                                 (gamma - 1.0) / (2.0 * gamma));
+        if (xi > sr) return r;
+        const double g1 = (gamma - 1.0) / (gamma + 1.0);
+        out.rho = r.rho * (pstar / r.p + g1) / (g1 * pstar / r.p + 1.0);
+        out.u = ustar;
+        out.p = pstar;
+        return out;
+    }
+    const double cstar = cr * std::pow(pstar / r.p, (gamma - 1.0) / (2.0 * gamma));
+    const double head = r.u + cr;
+    const double tail = ustar + cstar;
+    if (xi > head) return r;
+    if (xi < tail) {
+        out.rho = r.rho * std::pow(pstar / r.p, 1.0 / gamma);
+        out.u = ustar;
+        out.p = pstar;
+        return out;
+    }
+    const double u = 2.0 / (gamma + 1.0) * (-cr + 0.5 * (gamma - 1.0) * r.u + xi);
+    const double c = 2.0 / (gamma + 1.0) * (cr - 0.5 * (gamma - 1.0) * (r.u - xi));
+    out.rho = r.rho * std::pow(c / cr, 2.0 / (gamma - 1.0));
+    out.u = u;
+    out.p = r.p * std::pow(c / cr, 2.0 * gamma / (gamma - 1.0));
+    return out;
+}
+
+riemann_state sod_left() { return {1.0, 0.0, 1.0}; }
+riemann_state sod_right() { return {0.125, 0.0, 0.1}; }
+
+} // namespace octo::hydro

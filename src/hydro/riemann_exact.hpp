@@ -1,0 +1,25 @@
+#pragma once
+// Exact solver for the 1-D Riemann problem of the Euler equations (Toro's
+// classic iterative star-region solver). This is the analytic reference for
+// the Sod shock-tube verification test (paper §4.2: "The first two are
+// purely hydrodynamic tests: the Sod shock tube and the Sedov-Taylor blast
+// wave. Both have analytical solutions which we can use for comparisons.").
+
+namespace octo::hydro {
+
+struct riemann_state {
+    double rho;
+    double u; ///< velocity
+    double p;
+};
+
+/// Sample the exact solution of the Riemann problem (left, right) at
+/// similarity coordinate xi = x/t. `gamma` is the adiabatic index.
+riemann_state riemann_exact(const riemann_state& left, const riemann_state& right,
+                            double xi, double gamma);
+
+/// Canonical Sod initial data: (1, 0, 1) | (0.125, 0, 0.1).
+riemann_state sod_left();
+riemann_state sod_right();
+
+} // namespace octo::hydro

@@ -1,0 +1,79 @@
+#include "hydro/sedov.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace octo::hydro {
+namespace {
+
+// Self-similar profile functions behind the shock in lambda = r/R:
+//   u = Vs U(lambda), rho = rho0 Omega(lambda), p = rho0 Vs^2 P(lambda),
+// with the strong-shock boundary values at lambda = 1 and the ODE system
+// (derived from the Euler equations with R ~ t^(2/5)):
+//   (U - l) Omega'       = -Omega (U' + 2U/l)
+//   (U - l) U' + P'/Omega = (3/2) U
+//   (U - l) (P'/P - gamma Omega'/Omega) = 3
+struct profile {
+    double U, Om, P;
+};
+
+void derivs(double l, const profile& s, double gamma, profile& d) {
+    const double Ul = s.U - l;
+    const double denom = gamma - s.Om * Ul * Ul / s.P;
+    const double num = 3.0 - 1.5 * s.U * s.Om * Ul / s.P - 2.0 * gamma * s.U / l;
+    d.U = num / denom;
+    d.Om = -s.Om * (d.U + 2.0 * s.U / l) / Ul;
+    d.P = s.Om * (1.5 * s.U - Ul * d.U);
+}
+
+} // namespace
+
+sedov_solution sedov_solve(double gamma) {
+    OCTO_ASSERT(gamma > 1.0);
+    profile s{2.0 / (gamma + 1.0), (gamma + 1.0) / (gamma - 1.0), 2.0 / (gamma + 1.0)};
+
+    // RK4 inward from the shock; accumulate the energy integral
+    //   I = int_0^1 (1/2 Omega U^2 + P/(gamma-1)) lambda^2 dlambda.
+    const double l_end = 1e-4;
+    const int nsteps = 20000;
+    const double h = -(1.0 - l_end) / nsteps;
+    double l = 1.0;
+    double I = 0.0;
+    auto integrand = [&](double ll, const profile& p) {
+        return (0.5 * p.Om * p.U * p.U + p.P / (gamma - 1.0)) * ll * ll;
+    };
+    for (int i = 0; i < nsteps; ++i) {
+        profile k1, k2, k3, k4, tmp;
+        derivs(l, s, gamma, k1);
+        tmp = {s.U + 0.5 * h * k1.U, s.Om + 0.5 * h * k1.Om, s.P + 0.5 * h * k1.P};
+        derivs(l + 0.5 * h, tmp, gamma, k2);
+        tmp = {s.U + 0.5 * h * k2.U, s.Om + 0.5 * h * k2.Om, s.P + 0.5 * h * k2.P};
+        derivs(l + 0.5 * h, tmp, gamma, k3);
+        tmp = {s.U + h * k3.U, s.Om + h * k3.Om, s.P + h * k3.P};
+        derivs(l + h, tmp, gamma, k4);
+
+        // Trapezoid on the energy integral (h is negative: integrate down).
+        profile next{s.U + h / 6.0 * (k1.U + 2 * k2.U + 2 * k3.U + k4.U),
+                     s.Om + h / 6.0 * (k1.Om + 2 * k2.Om + 2 * k3.Om + k4.Om),
+                     s.P + h / 6.0 * (k1.P + 2 * k2.P + 2 * k3.P + k4.P)};
+        I += -h * 0.5 * (integrand(l, s) + integrand(l + h, next));
+        s = next;
+        l += h;
+    }
+
+    sedov_solution out;
+    out.gamma = gamma;
+    // E = 4 pi rho0 Vs^2 R^3 I with Vs = (2/5) R/t:
+    // E = (16 pi / 25) rho0 R^5 / t^2 * I  =>  alpha = 16 pi I / 25.
+    out.alpha = 16.0 * M_PI * I / 25.0;
+    return out;
+}
+
+double sedov_solution::shock_radius(double E, double rho0, double t) const {
+    return std::pow(E * t * t / (alpha * rho0), 0.2);
+}
+
+double sedov_solution::density_jump() const { return (gamma + 1.0) / (gamma - 1.0); }
+
+} // namespace octo::hydro

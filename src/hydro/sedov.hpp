@@ -1,0 +1,25 @@
+#pragma once
+// Sedov–Taylor point-blast similarity solution — the second analytic
+// reference of the verification suite (paper §4.2). The spherical blast of
+// energy E into a cold uniform medium of density rho0 has shock radius
+//   R(t) = (E t^2 / (alpha rho0))^(1/5),
+// with alpha a gamma-dependent constant obtained by integrating the
+// self-similar profiles (alpha ~ 0.851 for gamma = 1.4).
+
+namespace octo::hydro {
+
+struct sedov_solution {
+    double gamma;
+    double alpha; ///< energy integral constant
+
+    /// Shock radius at time t for blast energy E into density rho0.
+    double shock_radius(double E, double rho0, double t) const;
+    /// Post-shock (strong-shock) density jump rho2/rho0.
+    double density_jump() const;
+};
+
+/// Compute the Sedov alpha constant for `gamma` by numerically integrating
+/// the self-similar energy integral.
+sedov_solution sedov_solve(double gamma);
+
+} // namespace octo::hydro

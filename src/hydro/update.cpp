@@ -1,0 +1,560 @@
+#include "hydro/update.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "hydro/flux.hpp"
+#include "hydro/reconstruct.hpp"
+#include "runtime/apex.hpp"
+#include "runtime/future.hpp"
+#include "support/assert.hpp"
+
+namespace octo::hydro {
+
+using namespace octo::amr;
+
+namespace {
+
+/// Face-flux storage of one leaf: for each axis, (INX+1) x INX x INX state
+/// vectors; plane index p along the axis is the face between cells p-1 and p.
+struct leaf_fluxes {
+    // [axis][(p * INX + b) * INX + c] with (b, c) the transverse coordinates
+    // in axis order ((y,z) for x, (x,z) for y, (x,y) for z).
+    std::vector<state> f[3];
+    leaf_fluxes() {
+        for (auto& a : f) a.assign((INX + 1) * INX * INX, state{});
+    }
+    static int index(int p, int b, int c) { return (p * INX + b) * INX + c; }
+};
+
+/// Cell (i,j,k) from axis-ordered (p, b, c).
+void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
+    switch (axis) {
+        case 0: i = p; j = b; k = c; break;
+        case 1: i = b; j = p; k = c; break;
+        default: i = b; j = c; k = p; break;
+    }
+}
+
+/// Gather the pencil of conserved states along `axis` through transverse
+/// position (b, c), from cell index -H_BW to INX-1+H_BW (ghosts included).
+void gather_pencil(const subgrid& g, int axis, int b, int c,
+                   std::vector<state>& pencil) {
+    pencil.resize(INX + 2 * H_BW);
+    for (int p = -H_BW; p < INX + H_BW; ++p) {
+        int i, j, k;
+        axis_cell(axis, p, b, c, i, j, k);
+        auto& u = pencil[static_cast<std::size_t>(p + H_BW)];
+        for (int q = 0; q < n_fields; ++q) {
+            u[static_cast<std::size_t>(q)] = g.at(q, i + H_BW, j + H_BW, k + H_BW);
+        }
+    }
+}
+
+/// Reconstruct primitive-like variables along a pencil and return per-cell
+/// lower/upper face conserved states for cells [-1, INX] (we need face
+/// states one cell beyond the interior to form the boundary fluxes).
+struct face_states {
+    // Index 0 corresponds to cell -1; size INX + 2.
+    std::vector<state> lo, hi;
+};
+
+void reconstruct_pencil(const std::vector<state>& pencil, bool use_ppm,
+                        const phys::ideal_gas_eos& eos, face_states& out) {
+    const int n = INX + 2; // cells -1 .. INX
+    out.lo.assign(n, state{});
+    out.hi.assign(n, state{});
+
+    // Variables reconstructed: rho, v, p as primitives; tau, passives and
+    // spin as mass fractions (q/rho); the face conserved states are then
+    // assembled from the face primitives.
+    constexpr int nv = 6 + 1 + n_passive + 3; // rho,v3,p + tau_f + pass_f + l_f
+    static_assert(nv <= 16);
+    std::vector<double> q(static_cast<std::size_t>(nv) * (INX + 2 * H_BW));
+    const int stride = INX + 2 * H_BW;
+    for (int p = 0; p < stride; ++p) {
+        const auto& u = pencil[static_cast<std::size_t>(p)];
+        const primitives pr = to_primitives(u, eos);
+        double* col = q.data();
+        col[0 * stride + p] = pr.rho;
+        col[1 * stride + p] = pr.v.x;
+        col[2 * stride + p] = pr.v.y;
+        col[3 * stride + p] = pr.v.z;
+        col[4 * stride + p] = pr.p;
+        col[5 * stride + p] = u[f_tau] / pr.rho;
+        for (int s = 0; s < n_passive; ++s) {
+            col[(6 + s) * stride + p] = u[first_passive + s] / pr.rho;
+        }
+        col[(6 + n_passive) * stride + p] = u[f_lx] / pr.rho;
+        col[(7 + n_passive) * stride + p] = u[f_ly] / pr.rho;
+        col[(8 + n_passive) * stride + p] = u[f_lz] / pr.rho;
+    }
+
+    // Reconstruct each variable over cells [-1, INX] (n cells), which needs
+    // ghosts at -3..-2 and INX+1..INX+2: available with H_BW = 3.
+    std::vector<double> flo(static_cast<std::size_t>(nv) * n);
+    std::vector<double> fhi(static_cast<std::size_t>(nv) * n);
+    for (int v = 0; v < nv; ++v) {
+        const double* base = q.data() + v * stride + (H_BW - 1); // cell -1
+        if (use_ppm) {
+            ppm_reconstruct(base, n, flo.data() + v * n, fhi.data() + v * n);
+        } else {
+            pcm_reconstruct(base, n, flo.data() + v * n, fhi.data() + v * n);
+        }
+    }
+
+    // Assemble conserved face states.
+    const double gamma = eos.gamma();
+    for (int cidx = 0; cidx < n; ++cidx) {
+        for (int side = 0; side < 2; ++side) {
+            const double* f = (side == 0 ? flo.data() : fhi.data());
+            state& u = (side == 0 ? out.lo : out.hi)[static_cast<std::size_t>(cidx)];
+            const double rho = std::max(f[0 * n + cidx], rho_floor);
+            const dvec3 v{f[1 * n + cidx], f[2 * n + cidx], f[3 * n + cidx]};
+            const double p = std::max(f[4 * n + cidx], 0.0);
+            const double internal = p / (gamma - 1.0);
+            u[f_rho] = rho;
+            u[f_sx] = rho * v.x;
+            u[f_sy] = rho * v.y;
+            u[f_sz] = rho * v.z;
+            u[f_egas] = internal + 0.5 * rho * norm2(v);
+            u[f_tau] = std::max(f[5 * n + cidx], 0.0) * rho;
+            for (int s = 0; s < n_passive; ++s) {
+                u[first_passive + s] = f[(6 + s) * n + cidx] * rho;
+            }
+            u[f_lx] = f[(6 + n_passive) * n + cidx] * rho;
+            u[f_ly] = f[(7 + n_passive) * n + cidx] * rho;
+            u[f_lz] = f[(8 + n_passive) * n + cidx] * rho;
+        }
+    }
+}
+
+/// Compute all face fluxes of one leaf. Returns the max signal speed seen.
+double compute_leaf_fluxes(const subgrid& g, const step_options& opt,
+                           leaf_fluxes& out) {
+    double max_speed = 0.0;
+    std::vector<state> pencil;
+    face_states fs;
+    for (int axis = 0; axis < 3; ++axis) {
+        for (int b = 0; b < INX; ++b) {
+            for (int c = 0; c < INX; ++c) {
+                gather_pencil(g, axis, b, c, pencil);
+                reconstruct_pencil(pencil, opt.use_ppm, opt.eos, fs);
+                // Face p (between cells p-1 and p) for p in [0, INX]:
+                // left state = hi of cell p-1, right state = lo of cell p.
+                for (int p = 0; p <= INX; ++p) {
+                    const state& uL = fs.hi[static_cast<std::size_t>(p)];     // cell p-1
+                    const state& uR = fs.lo[static_cast<std::size_t>(p + 1)]; // cell p
+                    out.f[axis][static_cast<std::size_t>(leaf_fluxes::index(p, b, c))] =
+                        kt_flux(uL, uR, axis, opt.eos, &max_speed);
+                }
+            }
+        }
+    }
+    return max_speed;
+}
+
+struct reflux_moment {
+    dvec3 m{0, 0, 0};
+};
+
+/// Replace the coarse side's boundary fluxes with the restriction of the
+/// fine side's, and collect the tangential moment needed by the angular
+/// momentum ledger (see step()). Returns per-face-cell moments.
+void reflux_face(tree& t, node_key coarse, int axis, int dir,
+                 std::unordered_map<node_key, leaf_fluxes>& fluxes,
+                 std::vector<reflux_moment>& moments) {
+    const node_key nb = key_neighbor(coarse, {axis == 0 ? dir : 0,
+                                              axis == 1 ? dir : 0,
+                                              axis == 2 ? dir : 0});
+    OCTO_ASSERT(nb != invalid_key && t.contains(nb) && t.node(nb).refined);
+
+    auto& cf = fluxes.at(coarse);
+    const box_geometry cg = t.geometry(coarse);
+    const double dxf = cg.dx / 2.0;
+
+    // Coarse boundary plane index and the fine plane on the children.
+    const int cplane = dir > 0 ? INX : 0;
+    const int fplane = dir > 0 ? 0 : INX;
+
+    moments.assign(INX * INX, reflux_moment{});
+
+    for (int b = 0; b < INX; ++b) {
+        for (int c = 0; c < INX; ++c) {
+            // Child of nb covering coarse transverse cell (b, c): the child
+            // must touch the shared face: its octant bit along `axis` is 0
+            // for dir>0 (the -axis side of nb), 1 for dir<0.
+            int obit[3];
+            obit[axis] = dir > 0 ? 0 : 1;
+            // Transverse axes in axis order.
+            const int ta = axis == 0 ? 1 : 0;
+            const int tb = axis == 2 ? 1 : 2;
+            obit[ta] = b / (INX / 2);
+            obit[tb] = c / (INX / 2);
+            const int oct = obit[0] | (obit[1] << 1) | (obit[2] << 2);
+            const node_key child = key_child(nb, oct);
+            OCTO_ASSERT(t.contains(child));
+            const auto& ff = fluxes.at(child);
+
+            state sum{};
+            dvec3 moment{0, 0, 0};
+            // Coarse face center (for the tangential moment).
+            int ci, cj, ck;
+            axis_cell(axis, cplane, b, c, ci, cj, ck);
+            dvec3 face_center = cg.cell_center(ci, cj, ck);
+            face_center[axis] -= 0.5 * cg.dx; // center of the lower face of cell
+
+            const box_geometry fg = t.geometry(child);
+            for (int db = 0; db < 2; ++db) {
+                for (int dc = 0; dc < 2; ++dc) {
+                    const int fb = 2 * (b % (INX / 2)) + db;
+                    const int fc = 2 * (c % (INX / 2)) + dc;
+                    const state& f =
+                        ff.f[axis][static_cast<std::size_t>(
+                            leaf_fluxes::index(fplane, fb, fc))];
+                    for (int q = 0; q < n_fields; ++q) sum[q] += f[q];
+                    // Fine face center.
+                    int fi, fj, fk;
+                    axis_cell(axis, fplane, fb, fc, fi, fj, fk);
+                    dvec3 fcc = fg.cell_center(fi, fj, fk);
+                    fcc[axis] -= 0.5 * fg.dx;
+                    dvec3 tang = fcc - face_center;
+                    tang[axis] = 0.0;
+                    const dvec3 Fs{f[f_sx], f[f_sy], f[f_sz]};
+                    moment += cross(tang, Fs) * (dxf * dxf); // A_f * (t x F)
+                }
+            }
+            state& cflux = cf.f[axis][static_cast<std::size_t>(
+                leaf_fluxes::index(cplane, b, c))];
+            for (int q = 0; q < n_fields; ++q) cflux[q] = sum[q] / 4.0;
+            moments[static_cast<std::size_t>(b * INX + c)].m = moment;
+        }
+    }
+}
+
+} // namespace
+
+double cfl_timestep(tree& t, const step_options& opt) {
+    fill_all_ghosts(t, opt.bc);
+    double dt = std::numeric_limits<double>::max();
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& g = *t.node(k).fields;
+            double max_speed = 1e-30;
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        state u;
+                        for (int q = 0; q < n_fields; ++q) {
+                            u[static_cast<std::size_t>(q)] =
+                                g.interior(q, i, j, kk);
+                        }
+                        const primitives pr = to_primitives(u, opt.eos);
+                        for (int a = 0; a < 3; ++a) {
+                            max_speed = std::max(max_speed, max_wave_speed(pr, a));
+                        }
+                    }
+            dt = std::min(dt, opt.cfl * g.geom.dx / max_speed);
+        }
+    }
+    return dt;
+}
+
+namespace {
+
+/// One Euler stage: U <- U + dt * L(U) over all leaves. Ghosts must be
+/// filled. If `blend_with` is non-null (second RK stage), the result is
+/// 0.5 * (*blend_with) + 0.5 * (U + dt L(U)).
+void stage(tree& t, double dt, const step_options& opt,
+           const std::unordered_map<node_key, std::vector<double>>* blend_with,
+           rt::thread_pool& pool) {
+    // Pass 1: fluxes for every leaf, in parallel.
+    std::unordered_map<node_key, leaf_fluxes> fluxes;
+    std::vector<node_key> leaves = t.leaves_sfc();
+    for (const node_key k : leaves) fluxes.emplace(k, leaf_fluxes{});
+    {
+        std::vector<rt::future<void>> fs;
+        fs.reserve(leaves.size());
+        for (const node_key k : leaves) {
+            fs.push_back(rt::async(pool, [&t, &opt, &fluxes, k] {
+                compute_leaf_fluxes(*t.node(k).fields, opt, fluxes.at(k));
+            }));
+        }
+        for (auto& f : fs) f.get();
+    }
+
+    // Pass 2: reflux coarse faces adjacent to refined same-level neighbors.
+    // Key: (leaf, axis, dir) -> per-face-cell tangential moments.
+    struct reflux_entry {
+        node_key leaf;
+        int axis;
+        int dir;
+        std::vector<reflux_moment> moments;
+    };
+    std::vector<reflux_entry> refluxes;
+    for (const node_key k : leaves) {
+        for (int axis = 0; axis < 3; ++axis) {
+            for (int dir = -1; dir <= 1; dir += 2) {
+                const node_key nb = key_neighbor(k, {axis == 0 ? dir : 0,
+                                                     axis == 1 ? dir : 0,
+                                                     axis == 2 ? dir : 0});
+                if (nb == invalid_key || !t.contains(nb)) continue;
+                if (!t.node(nb).refined) continue;
+                reflux_entry e;
+                e.leaf = k;
+                e.axis = axis;
+                e.dir = dir;
+                reflux_face(t, k, axis, dir, fluxes, e.moments);
+                refluxes.push_back(std::move(e));
+            }
+        }
+    }
+
+    // Pass 3: conservative update + ledger + sources, in parallel.
+    {
+        std::vector<rt::future<void>> fs;
+        fs.reserve(leaves.size());
+        for (const node_key k : leaves) {
+            fs.push_back(rt::async(pool, [&, k] {
+                subgrid& g = *t.node(k).fields;
+                const auto& lf = fluxes.at(k);
+                const double dx = g.geom.dx;
+                const double lambda = dt / dx;
+
+                // Pre-update density/momentum for the source terms.
+                std::vector<double> old_rho(INX3);
+                std::vector<dvec3> old_s(INX3);
+                for (int i = 0; i < INX; ++i)
+                    for (int j = 0; j < INX; ++j)
+                        for (int kk = 0; kk < INX; ++kk) {
+                            const auto c = static_cast<std::size_t>(
+                                ((i * INX) + j) * INX + kk);
+                            old_rho[c] = g.interior(f_rho, i, j, kk);
+                            old_s[c] = {g.interior(f_sx, i, j, kk),
+                                        g.interior(f_sy, i, j, kk),
+                                        g.interior(f_sz, i, j, kk)};
+                        }
+
+                for (int i = 0; i < INX; ++i)
+                    for (int j = 0; j < INX; ++j)
+                        for (int kk = 0; kk < INX; ++kk) {
+                            state du{};
+                            dvec3 dl{0, 0, 0}; // spin ledger
+                            for (int axis = 0; axis < 3; ++axis) {
+                                int p, b, c;
+                                switch (axis) {
+                                    case 0: p = i; b = j; c = kk; break;
+                                    case 1: p = j; b = i; c = kk; break;
+                                    default: p = kk; b = i; c = j; break;
+                                }
+                                const state& fl = lf.f[axis][static_cast<std::size_t>(
+                                    leaf_fluxes::index(p, b, c))];
+                                const state& fh = lf.f[axis][static_cast<std::size_t>(
+                                    leaf_fluxes::index(p + 1, b, c))];
+                                for (int q = 0; q < n_fields; ++q) {
+                                    du[static_cast<std::size_t>(q)] -=
+                                        lambda * (fh[static_cast<std::size_t>(q)] -
+                                                  fl[static_cast<std::size_t>(q)]);
+                                }
+                                // Angular-momentum ledger: each face's
+                                // momentum transport carries L about the face
+                                // center; the cell-centered update loses
+                                // (dx e_a) x F per face pair. Each adjacent
+                                // cell absorbs -1/2 dt e_a x F into its spin.
+                                dvec3 ea{0, 0, 0};
+                                ea[axis] = 1.0;
+                                const dvec3 Fl{fl[f_sx], fl[f_sy], fl[f_sz]};
+                                const dvec3 Fh{fh[f_sx], fh[f_sy], fh[f_sz]};
+                                dl -= 0.5 * dt * cross(ea, Fl);
+                                dl -= 0.5 * dt * cross(ea, Fh);
+                            }
+                            for (int q = 0; q < n_fields; ++q) {
+                                g.interior(q, i, j, kk) +=
+                                    du[static_cast<std::size_t>(q)];
+                            }
+                            g.interior(f_lx, i, j, kk) += dl.x;
+                            g.interior(f_ly, i, j, kk) += dl.y;
+                            g.interior(f_lz, i, j, kk) += dl.z;
+                        }
+
+                // Coarse-fine residual moments for this leaf's refluxed faces.
+                for (const auto& e : refluxes) {
+                    if (e.leaf != k) continue;
+                    const double V = g.geom.cell_volume();
+                    for (int b = 0; b < INX; ++b)
+                        for (int c = 0; c < INX; ++c) {
+                            const dvec3 M =
+                                e.moments[static_cast<std::size_t>(b * INX + c)].m;
+                            // Residual spin: -dt * sum A_f (t x F) / V,
+                            // signed by which side of the cell the face is.
+                            const double sgn = e.dir > 0 ? -1.0 : 1.0;
+                            int ci, cj, ck;
+                            axis_cell(e.axis, e.dir > 0 ? INX - 1 : 0, b, c, ci,
+                                      cj, ck);
+                            const dvec3 corr = (sgn * dt / V) * M;
+                            g.interior(f_lx, ci, cj, ck) += corr.x;
+                            g.interior(f_ly, ci, cj, ck) += corr.y;
+                            g.interior(f_lz, ci, cj, ck) += corr.z;
+                        }
+                }
+
+                // Sources: gravity (+ spin-torque deposits) and rotating
+                // frame. They must use the PRE-update state: the FMM solved
+                // for that density, so only then does sum(V rho g) vanish to
+                // rounding (machine-precision momentum conservation).
+                std::optional<gravity_field> gf;
+                if (opt.gravity) gf = opt.gravity(k);
+                const double V = g.geom.cell_volume();
+                for (int i = 0; i < INX; ++i)
+                    for (int j = 0; j < INX; ++j)
+                        for (int kk = 0; kk < INX; ++kk) {
+                            const std::size_t old_idx = static_cast<std::size_t>(
+                                ((i * INX) + j) * INX + kk);
+                            const double rho = old_rho[old_idx];
+                            const dvec3 s = old_s[old_idx];
+                            if (gf) {
+                                const int cidx = (i * INX + j) * INX + kk;
+                                const dvec3 acc{gf->gx[cidx], gf->gy[cidx],
+                                                gf->gz[cidx]};
+                                g.interior(f_sx, i, j, kk) += dt * rho * acc.x;
+                                g.interior(f_sy, i, j, kk) += dt * rho * acc.y;
+                                g.interior(f_sz, i, j, kk) += dt * rho * acc.z;
+                                g.interior(f_egas, i, j, kk) += dt * dot(s, acc);
+                                // FMM spin-torque ledger (per-cell total
+                                // torque -> spin density).
+                                g.interior(f_lx, i, j, kk) +=
+                                    dt * gf->tqx[cidx] / V;
+                                g.interior(f_ly, i, j, kk) +=
+                                    dt * gf->tqy[cidx] / V;
+                                g.interior(f_lz, i, j, kk) +=
+                                    dt * gf->tqz[cidx] / V;
+                            }
+                            if (norm2(opt.omega) > 0.0) {
+                                // Rotating frame: Coriolis + centrifugal
+                                // (pre-update state, like gravity).
+                                const dvec3 r = g.geom.cell_center(i, j, kk);
+                                const dvec3 v = s / std::max(rho, rho_floor);
+                                const dvec3 a =
+                                    -2.0 * cross(opt.omega, v) -
+                                    cross(opt.omega, cross(opt.omega, r));
+                                g.interior(f_sx, i, j, kk) += dt * rho * a.x;
+                                g.interior(f_sy, i, j, kk) += dt * rho * a.y;
+                                g.interior(f_sz, i, j, kk) += dt * rho * a.z;
+                                g.interior(f_egas, i, j, kk) +=
+                                    dt * rho * dot(v, a);
+                            }
+                        }
+
+                // RK blend.
+                if (blend_with != nullptr) {
+                    const auto& u0 = blend_with->at(k);
+                    std::size_t idx = 0;
+                    for (int q = 0; q < n_fields; ++q)
+                        for (int i = 0; i < INX; ++i)
+                            for (int j = 0; j < INX; ++j)
+                                for (int kk = 0; kk < INX; ++kk, ++idx) {
+                                    double& u = g.interior(q, i, j, kk);
+                                    u = 0.5 * (u0[idx] + u);
+                                }
+                }
+
+                // Dual-energy bookkeeping + floors (after the blend so the
+                // committed state is consistent).
+                for (int i = 0; i < INX; ++i)
+                    for (int j = 0; j < INX; ++j)
+                        for (int kk = 0; kk < INX; ++kk) {
+                            double& rho = g.interior(f_rho, i, j, kk);
+                            rho = std::max(rho, rho_floor);
+                            const dvec3 s{g.interior(f_sx, i, j, kk),
+                                          g.interior(f_sy, i, j, kk),
+                                          g.interior(f_sz, i, j, kk)};
+                            const double ke = 0.5 * norm2(s) / rho;
+                            double& E = g.interior(f_egas, i, j, kk);
+                            double& tau = g.interior(f_tau, i, j, kk);
+                            tau = std::max(tau, tau_floor);
+                            const double from_total = E - ke;
+                            if (from_total > opt.eos.de_switch() * E &&
+                                from_total > 0.0) {
+                                // Low-Mach: total energy is reliable; sync tau.
+                                tau = opt.eos.tau_from_internal(from_total);
+                            } else {
+                                // High-Mach: rebuild E from the tracer.
+                                E = ke + opt.eos.internal_from_tau(tau);
+                            }
+                        }
+            }));
+        }
+        for (auto& f : fs) f.get();
+    }
+}
+
+} // namespace
+
+double step(tree& t, const step_options& opt) {
+    rt::apex_timer timer("hydro::step");
+    rt::apex_count("hydro::steps");
+    rt::thread_pool& pool =
+        opt.pool != nullptr ? *opt.pool : rt::thread_pool::global();
+
+    const double dt = opt.fixed_dt > 0.0 ? opt.fixed_dt : cfl_timestep(t, opt);
+
+    // Save U^n for the RK2 blend.
+    std::unordered_map<node_key, std::vector<double>> u0;
+    for (const node_key k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        auto& v = u0[k];
+        v.reserve(static_cast<std::size_t>(n_fields) * INX3);
+        for (int q = 0; q < n_fields; ++q)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        v.push_back(g.interior(q, i, j, kk));
+                    }
+    }
+
+    if (opt.before_stage) opt.before_stage();
+    fill_all_ghosts(t, opt.bc);
+    stage(t, dt, opt, nullptr, pool);
+    if (opt.before_stage) opt.before_stage();
+    fill_all_ghosts(t, opt.bc);
+    stage(t, dt, opt, &u0, pool);
+    return dt;
+}
+
+totals compute_totals(const tree& t) {
+    totals out;
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) continue;
+            const auto& g = *t.node(k).fields;
+            const double V = g.geom.cell_volume();
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        out.mass += V * g.interior(f_rho, i, j, kk);
+                        const dvec3 s{g.interior(f_sx, i, j, kk),
+                                      g.interior(f_sy, i, j, kk),
+                                      g.interior(f_sz, i, j, kk)};
+                        const dvec3 l{g.interior(f_lx, i, j, kk),
+                                      g.interior(f_ly, i, j, kk),
+                                      g.interior(f_lz, i, j, kk)};
+                        out.momentum += V * s;
+                        out.angular_momentum +=
+                            V * (cross(g.geom.cell_center(i, j, kk), s) + l);
+                        out.egas += V * g.interior(f_egas, i, j, kk);
+                        out.tau += V * g.interior(f_tau, i, j, kk);
+                        for (int s2 = 0; s2 < n_passive; ++s2) {
+                            out.passive[s2] +=
+                                V * g.interior(first_passive + s2, i, j, kk);
+                        }
+                    }
+        }
+    }
+    return out;
+}
+
+} // namespace octo::hydro

@@ -1,0 +1,69 @@
+#pragma once
+// The finite-volume update over the AMR tree: PPM reconstruction per pencil,
+// Kurganov–Tadmor fluxes, SSP-RK2 time integration with a global timestep
+// (as in Octo-Tiger), flux refluxing at coarse–fine boundaries, the
+// angular-momentum ledger that keeps total L = sum V (r x s + l) conserved
+// to rounding (paper §4.2, Després–Labourasse-style spin absorption), the
+// dual-energy bookkeeping, and optional gravity / rotating-frame sources.
+
+#include <functional>
+#include <optional>
+
+#include "amr/halo.hpp"
+#include "amr/tree.hpp"
+#include "hydro/state.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace octo::hydro {
+
+/// Per-node gravity data supplied by the gravity solver (cell index order
+/// (i*8+j)*8+k over interior cells): accelerations and the spin-torque
+/// ledger deposits (total torque per cell per unit time).
+struct gravity_field {
+    const double* gx;
+    const double* gy;
+    const double* gz;
+    const double* tqx;
+    const double* tqy;
+    const double* tqz;
+};
+
+/// Lookup for the gravity of a leaf node; empty means no gravity.
+using gravity_lookup =
+    std::function<std::optional<gravity_field>(amr::node_key)>;
+
+struct step_options {
+    phys::ideal_gas_eos eos{};
+    amr::boundary_kind bc = amr::boundary_kind::outflow;
+    double cfl = 0.4;
+    bool use_ppm = true;        ///< false: piecewise-constant (ablation)
+    double fixed_dt = 0.0;      ///< >0: skip the CFL computation
+    dvec3 omega{0, 0, 0};       ///< rotating-frame angular velocity
+    gravity_lookup gravity;     ///< optional gravitational coupling
+    /// Invoked before each RK stage (after the previous stage's update, with
+    /// current fields). The coupled driver re-solves gravity here so the
+    /// source terms see exactly the mass distribution the FMM solved — the
+    /// requirement for machine-precision momentum conservation.
+    std::function<void()> before_stage;
+    rt::thread_pool* pool = nullptr;
+};
+
+/// Advance the whole tree by one SSP-RK2 step; returns the dt taken.
+/// Leaves must hold field data; ghost zones are filled internally.
+double step(amr::tree& t, const step_options& opt);
+
+/// Global CFL timestep for the current state (used by step / diagnostics).
+double cfl_timestep(amr::tree& t, const step_options& opt);
+
+/// Conserved-quantity ledger over all leaves.
+struct totals {
+    double mass = 0;
+    dvec3 momentum{0, 0, 0};
+    dvec3 angular_momentum{0, 0, 0}; ///< orbital (r x s) + spin (l)
+    double egas = 0;                 ///< gas total energy
+    double tau = 0;
+    double passive[amr::n_passive] = {0, 0, 0, 0, 0};
+};
+totals compute_totals(const amr::tree& t);
+
+} // namespace octo::hydro

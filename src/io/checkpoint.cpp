@@ -1,0 +1,100 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace octo::io {
+
+using namespace octo::amr;
+
+namespace {
+
+constexpr std::uint64_t magic = 0x4f43544f53494d31ULL; // "OCTOSIM1"
+
+template <class T>
+void put(std::ofstream& out, const T& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::ifstream& in) {
+    T v{};
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!in) throw error("checkpoint: truncated file");
+    return v;
+}
+
+} // namespace
+
+void write_checkpoint(const tree& t, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw error("cannot open " + path);
+    put(out, magic);
+    const auto& root = t.root_geometry();
+    put(out, root.origin.x);
+    put(out, root.origin.y);
+    put(out, root.origin.z);
+    put(out, root.dx);
+
+    // Refined node keys (children are implied), then leaves with data.
+    std::vector<node_key> refined;
+    std::vector<node_key> with_data;
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (t.node(k).refined) refined.push_back(k);
+            if (!t.node(k).refined && t.node(k).fields != nullptr) {
+                with_data.push_back(k);
+            }
+        }
+    }
+    put(out, static_cast<std::uint64_t>(refined.size()));
+    for (const node_key k : refined) put(out, k);
+    put(out, static_cast<std::uint64_t>(with_data.size()));
+    for (const node_key k : with_data) {
+        put(out, k);
+        const auto& g = *t.node(k).fields;
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        put(out, g.interior(f, i, j, kk));
+                    }
+    }
+    if (!out) throw error("checkpoint: write failed for " + path);
+}
+
+tree read_checkpoint(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw error("cannot open " + path);
+    if (get<std::uint64_t>(in) != magic) throw error("checkpoint: bad magic");
+    box_geometry root;
+    root.origin.x = get<double>(in);
+    root.origin.y = get<double>(in);
+    root.origin.z = get<double>(in);
+    root.dx = get<double>(in);
+    tree t(root);
+
+    const auto nrefined = get<std::uint64_t>(in);
+    // Keys were written level-by-level, so parents precede children.
+    for (std::uint64_t i = 0; i < nrefined; ++i) {
+        const auto k = get<node_key>(in);
+        t.refine(k);
+    }
+    const auto ndata = get<std::uint64_t>(in);
+    for (std::uint64_t d = 0; d < ndata; ++d) {
+        const auto k = get<node_key>(in);
+        auto& g = t.ensure_fields(k);
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        g.interior(f, i, j, kk) = get<double>(in);
+                    }
+    }
+    return t;
+}
+
+} // namespace octo::io

@@ -1,0 +1,22 @@
+#pragma once
+// Binary checkpoint / restart. The paper's scaling methodology is built on
+// restart files: "A level 13 restart file ... was used as the basis for all
+// runs. For all levels the restart file for level 13 was read and refined to
+// higher levels of resolution through conservative interpolation of the
+// evolved variables" (§6.2). write/read here plus simulation::regrid
+// reproduce exactly that workflow.
+
+#include <string>
+
+#include "amr/tree.hpp"
+
+namespace octo::io {
+
+/// Serialize the tree structure (keys) and every leaf's interior field data.
+void write_checkpoint(const amr::tree& t, const std::string& path);
+
+/// Rebuild a tree from a checkpoint. The root geometry is restored from the
+/// file; field storage is allocated for every node that had data.
+amr::tree read_checkpoint(const std::string& path);
+
+} // namespace octo::io

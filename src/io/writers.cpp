@@ -1,0 +1,79 @@
+#include "io/writers.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace octo::io {
+
+using namespace octo::amr;
+
+double sample(const tree& t, int field, const dvec3& r) {
+    const box_geometry root = t.root_geometry();
+    const double edge = root.dx * INX;
+    if (r.x < root.origin.x || r.y < root.origin.y || r.z < root.origin.z ||
+        r.x >= root.origin.x + edge || r.y >= root.origin.y + edge ||
+        r.z >= root.origin.z + edge) {
+        return 0.0;
+    }
+    node_key k = root_key;
+    while (t.node(k).refined) {
+        const box_geometry g = t.geometry(k);
+        const double half = g.dx * INX / 2.0;
+        const int cx = r.x >= g.origin.x + half ? 1 : 0;
+        const int cy = r.y >= g.origin.y + half ? 1 : 0;
+        const int cz = r.z >= g.origin.z + half ? 1 : 0;
+        k = key_child(k, cx | (cy << 1) | (cz << 2));
+    }
+    const auto& n = t.node(k);
+    if (n.fields == nullptr) return 0.0;
+    const box_geometry g = n.fields->geom;
+    const int i = std::clamp(static_cast<int>((r.x - g.origin.x) / g.dx), 0, INX - 1);
+    const int j = std::clamp(static_cast<int>((r.y - g.origin.y) / g.dx), 0, INX - 1);
+    const int kk = std::clamp(static_cast<int>((r.z - g.origin.z) / g.dx), 0, INX - 1);
+    return n.fields->interior(field, i, j, kk);
+}
+
+void write_cells_csv(const tree& t, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw error("cannot open " + path);
+    out << "x,y,z,level,dx";
+    for (int f = 0; f < n_fields; ++f) out << ',' << field_name(f);
+    out << '\n';
+    for (const auto k : t.leaves_sfc()) {
+        const auto& n = t.node(k);
+        if (n.fields == nullptr) continue;
+        const auto& g = *n.fields;
+        const int level = key_level(k);
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const dvec3 c = g.geom.cell_center(i, j, kk);
+                    out << c.x << ',' << c.y << ',' << c.z << ',' << level << ','
+                        << g.geom.dx;
+                    for (int f = 0; f < n_fields; ++f) {
+                        out << ',' << g.interior(f, i, j, kk);
+                    }
+                    out << '\n';
+                }
+    }
+}
+
+void write_slice_csv(const tree& t, int field, double z0, int n,
+                     const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw error("cannot open " + path);
+    const box_geometry root = t.root_geometry();
+    const double edge = root.dx * INX;
+    for (int row = 0; row < n; ++row) {
+        const double y = root.origin.y + (row + 0.5) * edge / n;
+        for (int col = 0; col < n; ++col) {
+            const double x = root.origin.x + (col + 0.5) * edge / n;
+            out << (col ? "," : "") << sample(t, field, {x, y, z0});
+        }
+        out << '\n';
+    }
+}
+
+} // namespace octo::io

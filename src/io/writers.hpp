@@ -1,0 +1,24 @@
+#pragma once
+// Output writers — the Silo/HDF5 substitution (DESIGN.md): CSV dumps of the
+// leaf cells and uniform-grid slice resampling for quick visualization of
+// merger runs (Fig 1-style density maps, as text data).
+
+#include <string>
+
+#include "amr/tree.hpp"
+
+namespace octo::io {
+
+/// Write every leaf cell as one CSV row:
+///   x,y,z,level,dx,rho,sx,...,frac_atmos
+void write_cells_csv(const amr::tree& t, const std::string& path);
+
+/// Resample one field onto a uniform n x n grid on the plane z = z0 and
+/// write it as CSV (row-major, y down). Nearest-cell sampling.
+void write_slice_csv(const amr::tree& t, int field, double z0, int n,
+                     const std::string& path);
+
+/// Sample one field at a point by nearest-cell lookup (0 outside the domain).
+double sample(const amr::tree& t, int field, const dvec3& r);
+
+} // namespace octo::io

@@ -1,0 +1,52 @@
+#include "net/model.hpp"
+
+namespace octo::net {
+
+network_params mpi_like() {
+    return {.name = "mpi",
+            .latency_us = 1.6,
+            .per_message_cpu_us = 2.8, // matching + staging copies
+            .bandwidth_GBs = 9.5,
+            .progress_poll_us = 6.0, // progress only between tasks
+            .parcel_us = 45.0,
+            .contention_factor = 0.30,
+            .node_contention = 0.70,
+            .one_sided = false};
+}
+
+network_params libfabric_like() {
+    return {.name = "libfabric",
+            .latency_us = 0.9,
+            .per_message_cpu_us = 0.7, // RMA put, no staging copy
+            .bandwidth_GBs = 9.5,
+            .progress_poll_us = 0.5, // polled from the scheduling loop
+            .parcel_us = 34.0,
+            .contention_factor = 0.03,
+            .node_contention = 0.05,
+            .one_sided = true};
+}
+
+double registration_seconds(const network_params& p, std::size_t bytes) {
+    if (!p.one_sided) return 0.0; // two-sided stages through pre-pinned buffers
+    // Pinning cost: a fixed syscall-ish component plus a page-table walk
+    // proportional to size.
+    return 0.9e-6 + static_cast<double>(bytes) / (200.0 * 1e9);
+}
+
+double modeled_message_seconds(const network_params& p, std::size_t bytes,
+                               bool registered) {
+    const double pin = registered ? 0.0 : registration_seconds(p, bytes);
+    return p.latency_us * 1e-6 + p.progress_poll_us * 1e-6 + pin +
+           static_cast<double>(bytes) / (p.bandwidth_GBs * 1e9);
+}
+
+double modeled_cpu_seconds(const network_params& p, std::size_t bytes) {
+    // Two-sided backends additionally copy through staging buffers, charging
+    // CPU time proportional to size.
+    const double copy = p.one_sided
+                            ? 0.0
+                            : static_cast<double>(bytes) / (4.0 * 1e9); // memcpy
+    return p.per_message_cpu_us * 1e-6 + copy;
+}
+
+} // namespace octo::net

@@ -1,0 +1,60 @@
+#pragma once
+// Network timing models for the two parcelports (paper §5.2, §6.3) and for
+// the cluster-scaling simulator. The parameters encode the protocol-level
+// differences the paper attributes the libfabric gains to:
+//   * "Explicit use of RMA for the transfer of halo buffers"  -> fewer copies
+//   * "Lower latency on send and receive of all parcels"      -> latency_us
+//   * "Direct control of all memory copies"                   -> per-message cost
+//   * "Reduced overhead between receipt of a completion event and setting a
+//      ready future" + scheduler-integrated polling            -> progress_poll_us
+//   * two-sided tag matching & locking                        -> contention
+
+#include <cstddef>
+
+namespace octo::net {
+
+struct network_params {
+    const char* name;
+    double latency_us;         ///< wire + NIC latency per message
+    double per_message_cpu_us; ///< send+receive CPU overhead (matching, copies)
+    double bandwidth_GBs;      ///< per-NIC bandwidth
+    double progress_poll_us;   ///< mean delay before a polling thread notices
+                               ///< a completion (two-sided backends)
+    /// Effective per-parcel handling cost at the application level
+    /// (serialization, scheduling, protocol work), microseconds.
+    double parcel_us;
+    double contention_factor;  ///< per-parcel cost growth per 10'000
+                               ///< concurrent messages on a node
+    /// Per-parcel cost growth per 1000 participating nodes (matching-queue
+    /// pressure and fabric-wide synchronization, dominant for two-sided).
+    double node_contention;
+    bool one_sided;
+};
+
+/// The default HPX MPI parcelport: two-sided Isend/Irecv with tag matching,
+/// staging copies and progress coupled to scheduler polling (paper §5.2).
+network_params mpi_like();
+
+/// The libfabric parcelport: one-sided RMA puts, pinned buffers, completion
+/// queue polled from the scheduling loop (paper §5.2).
+network_params libfabric_like();
+
+/// Modeled one-way delivery time of a message of `bytes`, excluding queueing.
+/// `registered` marks payloads in user-registered RMA regions (paper §7
+/// future work: "user-controlled RMA buffers that allow the user to
+/// instruct the runtime that certain memory regions will be used repeatedly
+/// for communication (and thus amortize memory pinning/registration
+/// costs)") — they skip the per-message pin/registration cost on one-sided
+/// transports.
+double modeled_message_seconds(const network_params& p, std::size_t bytes,
+                               bool registered = false);
+
+/// Per-message memory pin/registration cost on one-sided transports
+/// (amortized away by registration; irrelevant for two-sided staging).
+double registration_seconds(const network_params& p, std::size_t bytes);
+
+/// Modeled CPU time consumed on the hosting cores per message (the overhead
+/// that competes with compute tasks — what the scaling model charges).
+double modeled_cpu_seconds(const network_params& p, std::size_t bytes);
+
+} // namespace octo::net

@@ -1,0 +1,100 @@
+#include "net/parcelport.hpp"
+
+#include <chrono>
+
+namespace octo::net {
+
+// ---- MPI-like ----------------------------------------------------------------
+
+mpi_parcelport::mpi_parcelport(dist::runtime& rt, network_params params)
+    : rt_(rt), params_(params) {
+    progress_ = std::thread([this] { progress_loop(); });
+}
+
+mpi_parcelport::~mpi_parcelport() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    progress_.join();
+}
+
+void mpi_parcelport::send(dist::parcel p) {
+    // Two-sided: stage a COPY of the payload (the send buffer must survive
+    // until matched, and the match copies into the posted receive buffer).
+    std::vector<std::byte> staged_copy(p.payload.begin(), p.payload.end());
+    dist::parcel q{p.dest, p.action, std::move(staged_copy)};
+    std::lock_guard lock(mutex_);
+    stats_.parcels_sent += 1;
+    stats_.bytes_sent += q.payload.size();
+    stats_.modeled_latency_total += modeled_message_seconds(params_, q.payload.size());
+    staged_.push_back(std::move(q));
+}
+
+void mpi_parcelport::progress_loop() {
+    // Deliveries only happen when the progress engine runs — at the polling
+    // cadence, not at send time.
+    const auto tick =
+        std::chrono::microseconds(static_cast<long>(params_.progress_poll_us));
+    for (;;) {
+        std::deque<dist::parcel> batch;
+        {
+            std::lock_guard lock(mutex_);
+            if (stop_ && staged_.empty()) return;
+            batch.swap(staged_);
+        }
+        for (auto& p : batch) rt_.deliver(std::move(p));
+        std::this_thread::sleep_for(tick);
+    }
+}
+
+dist::port_stats mpi_parcelport::stats() const {
+    std::lock_guard lock(const_cast<std::mutex&>(mutex_));
+    return stats_;
+}
+
+// ---- libfabric-like ------------------------------------------------------------
+
+libfabric_parcelport::libfabric_parcelport(dist::runtime& rt, network_params params)
+    : rt_(rt), params_(params) {}
+
+void libfabric_parcelport::send(dist::parcel p) {
+    {
+        std::lock_guard lock(mutex_);
+        stats_.parcels_sent += 1;
+        stats_.bytes_sent += p.payload.size();
+        stats_.modeled_latency_total += modeled_message_seconds(
+            params_, p.payload.size(),
+            registered_sizes_.count(p.payload.size()) != 0);
+    }
+    // One-sided: the RMA put completes and the completion event immediately
+    // schedules the action — no staging copy, no progress thread.
+    rt_.deliver(std::move(p));
+}
+
+dist::port_stats libfabric_parcelport::stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+void libfabric_parcelport::register_size_class(std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    registered_sizes_.insert(bytes);
+}
+
+bool libfabric_parcelport::is_registered(std::size_t bytes) const {
+    std::lock_guard lock(mutex_);
+    return registered_sizes_.count(bytes) != 0;
+}
+
+dist::parcelport_factory make_mpi_port() {
+    return [](dist::runtime& rt) { return std::make_unique<mpi_parcelport>(rt); };
+}
+
+dist::parcelport_factory make_libfabric_port() {
+    return [](dist::runtime& rt) {
+        return std::make_unique<libfabric_parcelport>(rt);
+    };
+}
+
+} // namespace octo::net

@@ -1,0 +1,74 @@
+#pragma once
+// Ideal-gas equation of state with the dual-energy formalism of Bryan et al.
+// (Enzo), as used by Octo-Tiger (paper §4.2): "We evolve both the gas total
+// energy as well as the entropy. The internal energy is then computed from
+// one or the other depending on the mach number (entropy for high mach flows
+// and total gas energy for low mach ones)."
+//
+// Following Octo-Tiger we evolve tau = (rho * eps)^(1/gamma) ("entropy
+// tracer"): for smooth adiabatic flow tau obeys a pure advection equation,
+// and the internal energy density recovered from it, u = tau^gamma, does not
+// suffer the catastrophic cancellation of E - kinetic in high-Mach regions.
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace octo::phys {
+
+class ideal_gas_eos {
+  public:
+    /// gamma: adiabatic index; de_switch: dual-energy switch threshold —
+    /// internal energy comes from tau when (E - KE) < de_switch * E.
+    explicit ideal_gas_eos(double gamma = 5.0 / 3.0, double de_switch = 1e-3)
+        : gamma_(gamma), de_switch_(de_switch) {
+        OCTO_ASSERT(gamma > 1.0);
+        OCTO_ASSERT(de_switch >= 0.0 && de_switch < 1.0);
+    }
+
+    double gamma() const { return gamma_; }
+    double de_switch() const { return de_switch_; }
+
+    /// Pressure from internal energy density u = rho*eps.
+    double pressure(double u) const { return (gamma_ - 1.0) * u; }
+
+    /// Sound speed from density and internal energy density.
+    double sound_speed(double rho, double u) const {
+        OCTO_ASSERT(rho > 0.0);
+        const double p = pressure(u);
+        return std::sqrt(gamma_ * p / rho);
+    }
+
+    /// Entropy tracer from internal energy density: tau = u^(1/gamma).
+    double tau_from_internal(double u) const {
+        return std::pow(std::max(u, 0.0), 1.0 / gamma_);
+    }
+
+    /// Internal energy density from the entropy tracer: u = tau^gamma.
+    double internal_from_tau(double tau) const {
+        return std::pow(std::max(tau, 0.0), gamma_);
+    }
+
+    /// Dual-energy selection (Bryan et al.): choose internal energy from the
+    /// total-energy budget when it is well resolved, from tau otherwise.
+    ///   E: gas total energy density, ke: kinetic energy density, tau: tracer.
+    double internal_energy(double E, double ke, double tau) const {
+        const double from_total = E - ke;
+        if (from_total > de_switch_ * E && from_total > 0.0) {
+            return from_total;
+        }
+        return internal_from_tau(tau);
+    }
+
+    /// True if the cell is in the high-Mach regime where tau is used.
+    bool uses_entropy(double E, double ke) const {
+        const double from_total = E - ke;
+        return !(from_total > de_switch_ * E && from_total > 0.0);
+    }
+
+  private:
+    double gamma_;
+    double de_switch_;
+};
+
+} // namespace octo::phys

@@ -1,0 +1,119 @@
+#include "physics/polytrope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/units.hpp"
+#include "support/assert.hpp"
+
+namespace octo::phys {
+
+double lane_emden_solution::theta_at(double x) const {
+    if (x >= xi1 || xi.empty()) return 0.0;
+    if (x <= 0.0) return 1.0;
+    // Uniform mesh: O(1) lookup.
+    const double h = xi[1] - xi[0];
+    const auto i = static_cast<std::size_t>(x / h);
+    if (i + 1 >= theta.size()) return std::max(theta.back(), 0.0);
+    const double t = (x - xi[i]) / h;
+    return std::max((1.0 - t) * theta[i] + t * theta[i + 1], 0.0);
+}
+
+lane_emden_solution solve_lane_emden(double n, double h) {
+    OCTO_ASSERT(n >= 0.0 && n < 5.0);
+    lane_emden_solution sol;
+    sol.n = n;
+
+    // State y = (theta, phi) with phi = xi^2 dtheta/dxi:
+    //   dtheta/dxi = phi / xi^2,  dphi/dxi = -xi^2 theta^n.
+    // Start from the series expansion theta = 1 - xi^2/6 + n xi^4/120 to
+    // avoid the coordinate singularity at xi = 0.
+    double xi = h;
+    double theta = 1.0 - xi * xi / 6.0 + n * std::pow(xi, 4) / 120.0;
+    double phi = -std::pow(xi, 3) / 3.0 + n * std::pow(xi, 5) / 30.0;
+
+    sol.xi.push_back(0.0);
+    sol.theta.push_back(1.0);
+
+    auto f_theta = [](double x, double ph) { return ph / (x * x); };
+    auto f_phi = [n](double x, double th) {
+        return -x * x * std::pow(std::max(th, 0.0), n);
+    };
+
+    while (theta > 0.0 && xi < 50.0) {
+        sol.xi.push_back(xi);
+        sol.theta.push_back(theta);
+
+        const double k1t = f_theta(xi, phi);
+        const double k1p = f_phi(xi, theta);
+        const double k2t = f_theta(xi + h / 2, phi + h / 2 * k1p);
+        const double k2p = f_phi(xi + h / 2, theta + h / 2 * k1t);
+        const double k3t = f_theta(xi + h / 2, phi + h / 2 * k2p);
+        const double k3p = f_phi(xi + h / 2, theta + h / 2 * k2t);
+        const double k4t = f_theta(xi + h, phi + h * k3p);
+        const double k4p = f_phi(xi + h, theta + h * k3t);
+
+        theta += h / 6.0 * (k1t + 2 * k2t + 2 * k3t + k4t);
+        phi += h / 6.0 * (k1p + 2 * k2p + 2 * k3p + k4p);
+        xi += h;
+    }
+    OCTO_ASSERT_MSG(theta <= 0.0, "Lane-Emden integration did not reach the surface");
+
+    // Linear interpolation of the zero crossing.
+    const double xi_prev = sol.xi.back();
+    const double th_prev = sol.theta.back();
+    const double frac = th_prev / (th_prev - theta);
+    sol.xi1 = xi_prev + frac * h;
+    sol.dtheta_dxi_at_xi1 = phi / (sol.xi1 * sol.xi1);
+    return sol;
+}
+
+polytrope::polytrope(double mass, double radius, double n)
+    : mass_(mass), radius_(radius), n_(n), le_(solve_lane_emden(n)) {
+    OCTO_ASSERT(mass > 0.0 && radius > 0.0);
+
+    // Standard scalings (G = 1 code units):
+    //   R = alpha * xi1
+    //   M = -4 pi alpha^3 rho_c xi1^2 theta'(xi1)
+    alpha_ = radius_ / le_.xi1;
+    const double mass_coeff =
+        -4.0 * M_PI * std::pow(alpha_, 3) * le_.xi1 * le_.xi1 * le_.dtheta_dxi_at_xi1;
+    rho_c_ = mass_ / mass_coeff;
+    // K from alpha^2 = (n+1) K rho_c^(1/n - 1) / (4 pi G).
+    K_ = 4.0 * M_PI * G * alpha_ * alpha_ /
+         ((n_ + 1.0) * std::pow(rho_c_, 1.0 / n_ - 1.0));
+
+    // Precompute enclosed mass m(xi) = -4 pi alpha^3 rho_c xi^2 theta'(xi)
+    // via the trapezoid integral of 4 pi r^2 rho for robustness.
+    m_enc_.resize(le_.xi.size(), 0.0);
+    for (std::size_t i = 1; i < le_.xi.size(); ++i) {
+        const double r0 = alpha_ * le_.xi[i - 1];
+        const double r1 = alpha_ * le_.xi[i];
+        const double rho0 = rho_c_ * std::pow(std::max(le_.theta[i - 1], 0.0), n_);
+        const double rho1 = rho_c_ * std::pow(std::max(le_.theta[i], 0.0), n_);
+        m_enc_[i] = m_enc_[i - 1] +
+                    0.5 * (4.0 * M_PI * r0 * r0 * rho0 + 4.0 * M_PI * r1 * r1 * rho1) *
+                        (r1 - r0);
+    }
+}
+
+double polytrope::rho(double r) const {
+    const double th = le_.theta_at(r / alpha_);
+    return rho_c_ * std::pow(th, n_);
+}
+
+double polytrope::pressure(double r) const {
+    const double d = rho(r);
+    return K_ * std::pow(d, 1.0 + 1.0 / n_);
+}
+
+double polytrope::enclosed_mass(double r) const {
+    if (r >= radius_) return mass_;
+    const double x = r / alpha_;
+    const double h = le_.xi[1] - le_.xi[0];
+    const auto i = std::min(static_cast<std::size_t>(x / h), m_enc_.size() - 2);
+    const double t = (x - le_.xi[i]) / h;
+    return (1.0 - t) * m_enc_[i] + t * m_enc_[i + 1];
+}
+
+} // namespace octo::phys

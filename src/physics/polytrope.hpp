@@ -1,0 +1,58 @@
+#pragma once
+// Lane–Emden polytropes: the building block of the initial stellar models.
+// The SCF module (Hachisu 1986) iterates polytropic density fields to a
+// rotating equilibrium; single-star verification tests (Tasker et al. tests
+// 3 & 4 in paper §4.2) use a spherical polytrope directly.
+
+#include <vector>
+
+#include "support/vec3.hpp"
+
+namespace octo::phys {
+
+/// Numerical solution of the Lane–Emden equation of index n:
+///   (1/xi^2) d/dxi (xi^2 dtheta/dxi) = -theta^n,  theta(0)=1, theta'(0)=0.
+struct lane_emden_solution {
+    double n = 1.5;                  ///< polytropic index
+    double xi1 = 0.0;                ///< first zero of theta (stellar surface)
+    double dtheta_dxi_at_xi1 = 0.0;  ///< theta'(xi1), sets the mass integral
+    std::vector<double> xi;          ///< radial mesh
+    std::vector<double> theta;       ///< theta(xi) on the mesh
+
+    /// theta at arbitrary xi via linear interpolation (0 beyond the surface).
+    double theta_at(double x) const;
+};
+
+/// Integrate the Lane–Emden equation with RK4 until theta crosses zero.
+/// `h` is the integration step in xi.
+lane_emden_solution solve_lane_emden(double n, double h = 1e-4);
+
+/// A physical polytropic star of mass M and radius R with index n,
+/// scaled from the Lane–Emden solution.
+class polytrope {
+  public:
+    polytrope(double mass, double radius, double n = 1.5);
+
+    double mass() const { return mass_; }
+    double radius() const { return radius_; }
+    double n() const { return n_; }
+    double rho_central() const { return rho_c_; }
+    /// Polytropic constant K in p = K rho^(1+1/n).
+    double K() const { return K_; }
+
+    /// Density at radius r from the center (0 outside the star).
+    double rho(double r) const;
+    /// Pressure at radius r.
+    double pressure(double r) const;
+    /// Gravitational potential of the star at distance r (exact for the
+    /// spherically symmetric profile; used by equilibrium tests).
+    double enclosed_mass(double r) const;
+
+  private:
+    double mass_, radius_, n_;
+    double rho_c_ = 0.0, K_ = 0.0, alpha_ = 0.0;
+    lane_emden_solution le_;
+    std::vector<double> m_enc_; // enclosed mass on the Lane–Emden mesh
+};
+
+} // namespace octo::phys

@@ -1,0 +1,36 @@
+#pragma once
+// Code units for the stellar-merger scenario. Octo-Tiger works in a unit
+// system where G = 1; we use solar units: mass in M_sun, length in R_sun,
+// G = 1, which makes the time unit sqrt(R_sun^3 / (G M_sun)) ≈ 1594 s.
+// The V1309 scenario parameters from paper §6 are expressed directly in
+// these units (e.g. domain edge 1.02e3 R_sun, separation 6.37 R_sun).
+
+namespace octo::phys {
+
+/// Newton's constant in code units (solar units with G = 1).
+inline constexpr double G = 1.0;
+
+// CGS values, used only when converting diagnostics to physical units.
+inline constexpr double G_cgs = 6.67430e-8;        // cm^3 g^-1 s^-2
+inline constexpr double M_sun_cgs = 1.98892e33;    // g
+inline constexpr double R_sun_cgs = 6.957e10;      // cm
+inline constexpr double day_s = 86400.0;           // s
+
+/// One code time unit in seconds: sqrt(R_sun^3 / (G M_sun)).
+inline double code_time_s() {
+    return 1593.9; // sqrt(R_sun_cgs^3 / (G_cgs * M_sun_cgs)), precomputed
+}
+
+/// Convert a period in days to code units.
+inline double days_to_code(double days) { return days * day_s / code_time_s(); }
+
+// V1309 Scorpii scenario constants (paper §3, §6).
+namespace v1309 {
+inline constexpr double m_primary = 1.54;       // M_sun (accretor)
+inline constexpr double m_secondary = 0.17;     // M_sun (donor)
+inline constexpr double separation = 6.37;      // R_sun, centers of mass
+inline constexpr double domain_edge = 1.02e3;   // R_sun, cubic grid edge
+inline constexpr double period_days = 1.42;     // initial binary/grid period
+} // namespace v1309
+
+} // namespace octo::phys

@@ -1,0 +1,54 @@
+#pragma once
+// The M1 closure of the two-moment radiation transport scheme — the
+// extension the paper announces in §7: "we have already developed a
+// radiation transport module for Octo-Tiger based on the two moment
+// approach adapted by [Skinner & Ostriker 2013]. This will be required to
+// simulate the V1309 merger with high accuracy."
+//
+// The two evolved moments are the radiation energy density E and flux F.
+// The pressure tensor P is closed with the Levermore M1 interpolation
+// between the diffusion limit (P = E/3 I) and free streaming (P = E n n):
+//     f   = |F| / (c E)                      (reduced flux, 0 <= f <= 1)
+//     chi = (3 + 4 f^2) / (5 + 2 sqrt(4 - 3 f^2))
+//     P   = E [ (1-chi)/2 I + (3 chi - 1)/2 n n ]
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/vec3.hpp"
+
+namespace octo::rad {
+
+/// Eddington factor chi(f) of the M1 closure. chi(0) = 1/3 (diffusion),
+/// chi(1) = 1 (free streaming), monotone in between.
+inline double eddington_factor(double f) {
+    f = std::clamp(f, 0.0, 1.0);
+    return (3.0 + 4.0 * f * f) / (5.0 + 2.0 * std::sqrt(4.0 - 3.0 * f * f));
+}
+
+/// Radiation pressure tensor (symmetric, row-major 3x3) for energy density
+/// E and flux Fr, with radiation speed c.
+inline void pressure_tensor(double E, const dvec3& Fr, double c, double P[3][3]) {
+    const double fnorm = norm(Fr);
+    const double f = E > 0.0 ? std::min(fnorm / (c * E), 1.0) : 0.0;
+    const double chi = eddington_factor(f);
+    const double diag = 0.5 * (1.0 - chi) * E;
+    const double aniso = 0.5 * (3.0 * chi - 1.0) * E;
+    dvec3 n{0, 0, 0};
+    if (fnorm > 0.0) n = Fr / fnorm;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            P[i][j] = (i == j ? diag : 0.0) + aniso * n[i] * n[j];
+        }
+    }
+}
+
+/// Enforce the flux-limiting |F| <= c E (realizability of the M1 moments).
+inline dvec3 limit_flux(double E, const dvec3& Fr, double c) {
+    const double fmax = c * std::max(E, 0.0);
+    const double fn = norm(Fr);
+    if (fn <= fmax || fn == 0.0) return Fr;
+    return Fr * (fmax / fn);
+}
+
+} // namespace octo::rad

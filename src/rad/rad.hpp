@@ -1,0 +1,58 @@
+#pragma once
+// Two-moment (M1) radiation transport over the AMR tree, operator-split
+// from the hydro step (paper §7 future work; scheme after Skinner &
+// Ostriker 2013 with a reduced speed of light).
+//
+// Per sub-step:
+//   1. explicit transport of (E, F) with Rusanov fluxes at speed c_hat and
+//      the M1 pressure closure — subcycled to the radiation CFL within the
+//      hydro dt;
+//   2. implicit local matter coupling (gray opacity kappa):
+//         dE/dt   = c_hat kappa rho (a_R T^4 - E)
+//         dF/dt   = -c_hat kappa rho F
+//         de_gas  = -dE
+//      solved cell-by-cell with a Newton iteration that conserves
+//      E_gas + E_rad to rounding.
+//
+// The radiation moments live in the regular sub-grid fields (f_erad,
+// f_fr*), so ghost fill, AMR prolongation/restriction and checkpointing
+// come from the AMR layer. Transport at coarse-fine boundaries is NOT
+// refluxed (unlike the hydro), so radiation conservation is exact on
+// uniform grids and first-order-accurate across AMR jumps (documented in
+// DESIGN.md).
+
+#include "amr/halo.hpp"
+#include "amr/tree.hpp"
+#include "physics/eos.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace octo::rad {
+
+struct rad_options {
+    double c_hat = 10.0;       ///< reduced speed of light (code units)
+    double kappa = 0.0;        ///< gray opacity [area/mass]; 0 = transport only
+    double a_rad = 1.0;        ///< radiation constant a_R in code units
+    double cfl = 0.4;
+    phys::ideal_gas_eos eos{};
+    /// c_v such that e_gas = c_v rho T (monatomic ideal gas in code units).
+    double c_v = 1.0;
+    amr::boundary_kind bc = amr::boundary_kind::outflow;
+    rt::thread_pool* pool = nullptr;
+};
+
+/// Advance the radiation moments (and, with kappa > 0, the gas energy) by
+/// `dt`, subcycling internally to the radiation CFL. Returns the number of
+/// subcycles taken.
+int step(amr::tree& t, double dt, const rad_options& opt);
+
+/// Total radiation energy over all leaves (diagnostics / conservation).
+double total_radiation_energy(const amr::tree& t);
+
+/// Equilibrium radiation energy density a_R T^4 for gas internal energy
+/// density u = c_v rho T.
+inline double equilibrium_erad(double u_gas, double rho, const rad_options& o) {
+    const double T = u_gas / (o.c_v * rho);
+    return o.a_rad * T * T * T * T;
+}
+
+} // namespace octo::rad

@@ -1,0 +1,58 @@
+#include "runtime/apex.hpp"
+
+#include <algorithm>
+
+namespace octo::rt {
+
+apex_registry& apex_registry::instance() {
+    static apex_registry r;
+    return r;
+}
+
+void apex_registry::increment(const std::string& counter, std::uint64_t by) {
+    std::lock_guard lock(mutex_);
+    counters_[counter] += by;
+}
+
+std::uint64_t apex_registry::counter(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void apex_registry::record_time(const std::string& timer, double seconds) {
+    std::lock_guard lock(mutex_);
+    auto& t = timers_[timer];
+    t.count += 1;
+    t.total_seconds += seconds;
+}
+
+timer_stats apex_registry::timer(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    auto it = timers_.find(name);
+    return it == timers_.end() ? timer_stats{} : it->second;
+}
+
+std::vector<std::pair<std::string, timer_stats>> apex_registry::timer_report() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, timer_stats>> out(timers_.begin(),
+                                                         timers_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.second.total_seconds > b.second.total_seconds;
+    });
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> apex_registry::counter_report()
+    const {
+    std::lock_guard lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+}
+
+void apex_registry::reset() {
+    std::lock_guard lock(mutex_);
+    counters_.clear();
+    timers_.clear();
+}
+
+} // namespace octo::rt

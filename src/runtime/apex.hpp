@@ -1,0 +1,72 @@
+#pragma once
+// APEX substitute (paper §4.1): "APEX, an in-situ profiling and adaptive
+// tuning framework ... HPX provides a performance counter and adaptive
+// tuning framework that allows users to access performance data, such as
+// core utilization, task overheads, and network throughput; these
+// diagnostic tools were instrumental in scaling Octo-Tiger to the full
+// machine."
+//
+// This provides the two pieces Octo-Tiger actually consumes:
+//   * named event counters (increment anywhere, read anywhere),
+//   * scoped timers aggregated by name (count + total wall seconds).
+// Lock-free on the hot path is not needed here — instrumentation points are
+// at task/phase granularity.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace octo::rt {
+
+struct timer_stats {
+    std::uint64_t count = 0;
+    double total_seconds = 0;
+};
+
+class apex_registry {
+  public:
+    static apex_registry& instance();
+
+    void increment(const std::string& counter, std::uint64_t by = 1);
+    std::uint64_t counter(const std::string& name) const;
+
+    void record_time(const std::string& timer, double seconds);
+    timer_stats timer(const std::string& name) const;
+
+    /// All timers, sorted by total time descending (the profile report).
+    std::vector<std::pair<std::string, timer_stats>> timer_report() const;
+    /// All counters.
+    std::vector<std::pair<std::string, std::uint64_t>> counter_report() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, timer_stats> timers_;
+};
+
+/// RAII scoped timer: accumulates its lifetime into the named APEX timer.
+class apex_timer {
+  public:
+    explicit apex_timer(std::string name) : name_(std::move(name)) {}
+    ~apex_timer() {
+        apex_registry::instance().record_time(name_, watch_.seconds());
+    }
+    apex_timer(const apex_timer&) = delete;
+    apex_timer& operator=(const apex_timer&) = delete;
+
+  private:
+    std::string name_;
+    stopwatch watch_;
+};
+
+inline void apex_count(const std::string& counter, std::uint64_t by = 1) {
+    apex_registry::instance().increment(counter, by);
+}
+
+} // namespace octo::rt

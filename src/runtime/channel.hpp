@@ -1,0 +1,66 @@
+#pragma once
+// HPX-style channel (paper §5.2): "The asynchronous send/receive abstraction
+// in HPX has been extended with the concept of a channel that the receiving
+// end may fetch futures from (for N timesteps ahead if desired) and the
+// sending end may push data into as it is generated."
+//
+// Octo-Tiger uses channels for halo exchange between neighbouring octree
+// nodes; our AMR layer does the same. A channel is an ordered, unbounded
+// stream: the i-th get() receives the i-th set().
+
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "runtime/future.hpp"
+
+namespace octo::rt {
+
+template <class T>
+class channel {
+  public:
+    /// Push a value into the channel. If a receiver is already waiting for
+    /// this slot its future becomes ready immediately (and its continuations
+    /// are scheduled); otherwise the value is buffered.
+    void set(T value) {
+        promise<T> waiting;
+        {
+            std::lock_guard lock(mutex_);
+            if (pending_gets_.empty()) {
+                buffered_.push_back(std::move(value));
+                return;
+            }
+            // Satisfy the oldest outstanding get(). set_value runs outside
+            // the lock so continuations can call back into the channel.
+            waiting = std::move(pending_gets_.front());
+            pending_gets_.pop_front();
+        }
+        waiting.set_value(std::move(value));
+    }
+
+    /// Fetch a future for the next value in stream order. May be called
+    /// several slots ahead of the sender (N-timesteps-ahead prefetch).
+    future<T> get() {
+        std::lock_guard lock(mutex_);
+        if (!buffered_.empty()) {
+            auto f = make_ready_future(std::move(buffered_.front()));
+            buffered_.pop_front();
+            return f;
+        }
+        pending_gets_.emplace_back();
+        return pending_gets_.back().get_future();
+    }
+
+    /// Number of buffered (sent but unreceived) values.
+    std::size_t buffered() const {
+        std::lock_guard lock(mutex_);
+        return buffered_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<T> buffered_;
+    std::deque<promise<T>> pending_gets_;
+};
+
+} // namespace octo::rt

@@ -1,0 +1,359 @@
+#pragma once
+// Futures with continuations — the core of the HPX-substitute runtime.
+//
+// The paper (§4.1, §5.1) builds everything on "Futurization": dataflow
+// execution trees of futures whose continuations are scheduled only when
+// their dependencies are satisfied. This header provides the subset
+// Octo-Tiger uses:
+//   * promise<T> / future<T> with exceptions propagated through the state,
+//   * future::then(f) — attach a continuation, returning a new future,
+//   * async(pool, f) — spawn a task returning a future,
+//   * make_ready_future(v),
+//   * when_all(...) — join heterogeneous or homogeneous future sets.
+//
+// Blocking semantics: future::get() on a pool worker thread *helps* — it
+// executes other pending tasks while waiting. This emulates HPX's
+// suspend-and-reschedule of user-level threads and is what allows millions
+// of fine-grained tasks without deadlocking a small OS-thread pool.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace octo::rt {
+
+template <class T>
+class future;
+template <class T>
+class promise;
+
+namespace detail {
+
+/// Unit type standing in for void results.
+struct unit {};
+
+template <class T>
+struct state_value {
+    using type = T;
+};
+template <>
+struct state_value<void> {
+    using type = unit;
+};
+
+template <class T>
+class shared_state {
+  public:
+    using value_type = typename state_value<T>::type;
+
+    bool is_ready() const {
+        std::lock_guard lock(mutex_);
+        return ready_;
+    }
+
+    void set_value(value_type v) {
+        std::vector<std::function<void()>> conts;
+        {
+            std::lock_guard lock(mutex_);
+            OCTO_ASSERT_MSG(!ready_, "promise satisfied twice");
+            value_.emplace(std::move(v));
+            ready_ = true;
+            conts.swap(continuations_);
+        }
+        cv_.notify_all();
+        for (auto& c : conts) c();
+    }
+
+    void set_exception(std::exception_ptr e) {
+        std::vector<std::function<void()>> conts;
+        {
+            std::lock_guard lock(mutex_);
+            OCTO_ASSERT_MSG(!ready_, "promise satisfied twice");
+            exception_ = e;
+            ready_ = true;
+            conts.swap(continuations_);
+        }
+        cv_.notify_all();
+        for (auto& c : conts) c();
+    }
+
+    /// Wait until ready. Pool workers help-execute tasks while waiting.
+    void wait() {
+        thread_pool* pool = thread_pool::current();
+        if (pool != nullptr) {
+            while (!is_ready()) {
+                if (!pool->run_pending_task()) std::this_thread::yield();
+            }
+            return;
+        }
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return ready_; });
+    }
+
+    value_type get() {
+        wait();
+        std::lock_guard lock(mutex_);
+        if (exception_) std::rethrow_exception(exception_);
+        OCTO_ASSERT(value_.has_value());
+        // Moving out matches std::future one-shot semantics.
+        value_type out = std::move(*value_);
+        value_.reset();
+        consumed_ = true;
+        return out;
+    }
+
+    /// Attach a callback that runs exactly once when the state is ready.
+    /// Runs immediately (in the calling thread) if already ready.
+    void on_ready(std::function<void()> cb) {
+        {
+            std::lock_guard lock(mutex_);
+            if (!ready_) {
+                continuations_.push_back(std::move(cb));
+                return;
+            }
+        }
+        cb();
+    }
+
+    bool has_exception() const {
+        std::lock_guard lock(mutex_);
+        return exception_ != nullptr;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::optional<value_type> value_;
+    std::exception_ptr exception_;
+    std::vector<std::function<void()>> continuations_;
+    bool ready_ = false;
+    bool consumed_ = false;
+};
+
+template <class F, class T>
+using then_result_t =
+    std::invoke_result_t<F, future<T>>; // continuations take the (ready) future
+
+template <class R>
+struct is_future : std::false_type {};
+template <class R>
+struct is_future<future<R>> : std::true_type {};
+
+} // namespace detail
+
+/// One-shot asynchronous value. Movable, shareable via share-by-copy of the
+/// underlying state is intentionally NOT provided (HPX shared_future would
+/// be the analogue); Octo-Tiger's dataflow is single-consumer.
+template <class T>
+class future {
+  public:
+    using state_type = detail::shared_state<T>;
+
+    future() = default;
+    explicit future(std::shared_ptr<state_type> s) : state_(std::move(s)) {}
+
+    bool valid() const { return state_ != nullptr; }
+    bool is_ready() const { return state_ && state_->is_ready(); }
+
+    void wait() const {
+        OCTO_ASSERT(valid());
+        state_->wait();
+    }
+
+    /// Retrieve the value (moves it out); rethrows stored exceptions.
+    T get() {
+        OCTO_ASSERT(valid());
+        auto s = std::move(state_);
+        if constexpr (std::is_void_v<T>) {
+            s->get();
+        } else {
+            return s->get();
+        }
+    }
+
+    /// Attach a continuation `f(future<T>)`; returns a future for its result.
+    /// The continuation is posted to `pool` when this future becomes ready.
+    template <class F>
+    auto then(thread_pool& pool, F f) -> future<detail::then_result_t<F, T>>;
+
+    /// then() on the global pool.
+    template <class F>
+    auto then(F f) {
+        return then(thread_pool::global(), std::move(f));
+    }
+
+    std::shared_ptr<state_type> state() const { return state_; }
+
+  private:
+    std::shared_ptr<state_type> state_;
+};
+
+template <class T>
+class promise {
+  public:
+    promise() : state_(std::make_shared<typename future<T>::state_type>()) {}
+
+    future<T> get_future() {
+        OCTO_ASSERT_MSG(!future_taken_, "get_future() called twice");
+        future_taken_ = true;
+        return future<T>(state_);
+    }
+
+    template <class U = T>
+    std::enable_if_t<!std::is_void_v<U>> set_value(U v) {
+        state_->set_value(std::move(v));
+    }
+    template <class U = T>
+    std::enable_if_t<std::is_void_v<U>> set_value() {
+        state_->set_value(detail::unit{});
+    }
+
+    void set_exception(std::exception_ptr e) { state_->set_exception(e); }
+
+    std::shared_ptr<typename future<T>::state_type> state() const { return state_; }
+
+  private:
+    std::shared_ptr<typename future<T>::state_type> state_;
+    bool future_taken_ = false;
+};
+
+template <class T>
+future<std::decay_t<T>> make_ready_future(T&& v) {
+    promise<std::decay_t<T>> p;
+    auto f = p.get_future();
+    p.set_value(std::forward<T>(v));
+    return f;
+}
+
+inline future<void> make_ready_future() {
+    promise<void> p;
+    auto f = p.get_future();
+    p.set_value();
+    return f;
+}
+
+namespace detail {
+
+/// Invoke `f` with the (ready) future `fut`, fulfilling promise `p` with the
+/// result; unwraps future<future<R>> one level as HPX does.
+template <class F, class T, class R>
+void run_continuation(F& f, future<T>& fut, promise<R>& p) {
+    try {
+        if constexpr (std::is_void_v<R>) {
+            f(std::move(fut));
+            p.set_value();
+        } else {
+            p.set_value(f(std::move(fut)));
+        }
+    } catch (...) {
+        p.set_exception(std::current_exception());
+    }
+}
+
+} // namespace detail
+
+template <class T>
+template <class F>
+auto future<T>::then(thread_pool& pool, F f) -> future<detail::then_result_t<F, T>> {
+    using R = detail::then_result_t<F, T>;
+    OCTO_ASSERT(valid());
+    auto state = std::move(state_);
+    auto p = std::make_shared<promise<R>>();
+    auto result = p->get_future();
+    state->on_ready([&pool, state, p, f = std::move(f)]() mutable {
+        pool.post([state, p, f = std::move(f)]() mutable {
+            future<T> ready(state);
+            detail::run_continuation(f, ready, *p);
+        });
+    });
+    return result;
+}
+
+/// Spawn `f()` as a task on `pool`; returns a future for its result.
+template <class F>
+auto async(thread_pool& pool, F f) -> future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto p = std::make_shared<promise<R>>();
+    auto result = p->get_future();
+    pool.post([p, f = std::move(f)]() mutable {
+        try {
+            if constexpr (std::is_void_v<R>) {
+                f();
+                p->set_value();
+            } else {
+                p->set_value(f());
+            }
+        } catch (...) {
+            p->set_exception(std::current_exception());
+        }
+    });
+    return result;
+}
+
+/// async() on the global pool.
+template <class F>
+auto async(F f) {
+    return async(thread_pool::global(), std::move(f));
+}
+
+/// Join a homogeneous set of futures: ready when all inputs are ready.
+/// Exceptions: the first stored exception is propagated.
+template <class T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
+    struct join_state {
+        std::atomic<std::size_t> remaining;
+        std::vector<future<T>> futures;
+        promise<std::vector<future<T>>> p;
+    };
+    auto js = std::make_shared<join_state>();
+    js->remaining.store(futures.size() + 1, std::memory_order_relaxed);
+    js->futures = std::move(futures);
+    auto result = js->p.get_future();
+
+    auto arm = [js] {
+        if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            js->p.set_value(std::move(js->futures));
+        }
+    };
+    for (auto& f : js->futures) {
+        OCTO_ASSERT(f.valid());
+        f.state()->on_ready(arm);
+    }
+    arm(); // drop the sentinel count
+    return result;
+}
+
+/// Join heterogeneous futures; result carries the (ready) input futures.
+template <class... Ts>
+future<std::tuple<future<Ts>...>> when_all(future<Ts>... fs) {
+    struct join_state {
+        std::atomic<std::size_t> remaining;
+        std::tuple<future<Ts>...> futures;
+        promise<std::tuple<future<Ts>...>> p;
+        explicit join_state(future<Ts>... f)
+            : remaining(sizeof...(Ts) + 1), futures(std::move(f)...) {}
+    };
+    auto js = std::make_shared<join_state>(std::move(fs)...);
+    auto result = js->p.get_future();
+    auto arm = [js] {
+        if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            js->p.set_value(std::move(js->futures));
+        }
+    };
+    std::apply([&](auto&... f) { (f.state()->on_ready(arm), ...); }, js->futures);
+    arm();
+    return result;
+}
+
+} // namespace octo::rt

@@ -1,0 +1,40 @@
+#pragma once
+// Counting latch compatible with the work-helping scheduler: waiting from a
+// pool worker executes pending tasks instead of blocking the OS thread.
+
+#include <atomic>
+
+#include "runtime/future.hpp"
+
+namespace octo::rt {
+
+class latch {
+  public:
+    explicit latch(std::ptrdiff_t count) : count_(count) {
+        OCTO_ASSERT(count >= 0);
+        if (count == 0) done_.set_value();
+    }
+
+    void count_down(std::ptrdiff_t n = 1) {
+        const auto prev = count_.fetch_sub(n, std::memory_order_acq_rel);
+        OCTO_ASSERT(prev >= n);
+        if (prev == n) done_.set_value();
+    }
+
+    bool try_wait() const { return count_.load(std::memory_order_acquire) == 0; }
+
+    void wait() { done_future().wait(); }
+
+    /// A future that becomes ready when the count reaches zero.
+    future<void> done_future() {
+        if (!fut_.valid()) fut_ = done_.get_future();
+        return future<void>(fut_.state());
+    }
+
+  private:
+    std::atomic<std::ptrdiff_t> count_;
+    promise<void> done_;
+    future<void> fut_;
+};
+
+} // namespace octo::rt

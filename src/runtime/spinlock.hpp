@@ -1,0 +1,26 @@
+#pragma once
+// Tiny spinlock for very short critical sections (shared-state transitions).
+// HPX likewise uses spinlocks internally so that blocking never involves the
+// OS scheduler on the fast path.
+
+#include <atomic>
+
+namespace octo::rt {
+
+class spinlock {
+  public:
+    void lock() noexcept {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            while (flag_.test(std::memory_order_relaxed)) {
+                // spin; pause would go here on x86
+            }
+        }
+    }
+    bool try_lock() noexcept { return !flag_.test_and_set(std::memory_order_acquire); }
+    void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+} // namespace octo::rt

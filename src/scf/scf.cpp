@@ -1,0 +1,245 @@
+#include "scf/scf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "physics/polytrope.hpp"
+#include "support/assert.hpp"
+
+namespace octo::scf {
+
+using namespace octo::amr;
+
+tree make_uniform_tree(double edge, int depth) {
+    box_geometry g;
+    g.origin = {-edge / 2, -edge / 2, -edge / 2};
+    g.dx = edge / INX;
+    tree t(g);
+    for (int d = 0; d < depth; ++d) {
+        for (const auto k : t.leaves_sfc()) t.refine(k);
+    }
+    for (const auto k : t.leaves_sfc()) t.ensure_fields(k);
+    return t;
+}
+
+namespace {
+
+/// Visit every leaf cell: f(subgrid&, i, j, k, center).
+template <class F>
+void for_each_cell(tree& t, F&& f) {
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    f(g, i, j, kk, g.geom.cell_center(i, j, kk));
+                }
+    }
+}
+
+/// Smooth potential sampling: Taylor-evaluate the FMM local expansion of the
+/// containing cell (nearest-cell values would quantize away the small
+/// boundary-point differences the Hachisu iteration solves for).
+class potential_field {
+  public:
+    potential_field(tree& t, const fmm::solver& s) : t_(&t), s_(&s) {}
+
+    double operator()(const dvec3& r) const { return s_->potential_at(*t_, r); }
+
+  private:
+    tree* t_;
+    const fmm::solver* s_;
+};
+
+} // namespace
+
+binary_model solve_binary(tree& t, const binary_params& p) {
+    OCTO_ASSERT(p.x1 < p.x2);
+    binary_model model;
+
+    // Initial guess: two spherical polytrope-ish blobs.
+    for_each_cell(t, [&](subgrid& g, int i, int j, int k, const dvec3& r) {
+        const double d1 = norm(r - dvec3{p.x1, 0, 0});
+        const double d2 = norm(r - dvec3{p.x2, 0, 0});
+        double rho = p.atmosphere;
+        if (d1 < p.r1) rho += p.rho_c1 * (1.0 - d1 / p.r1);
+        if (d2 < p.r2) rho += p.rho_c2 * (1.0 - d2 / p.r2);
+        g.interior(f_rho, i, j, k) = rho;
+    });
+
+    fmm::solver grav({.conserve = fmm::am_mode::none});
+
+    // Boundary points: outer and inner edges of each star along the x-axis.
+    const dvec3 out1{p.x1 - p.r1, 0, 0};
+    const dvec3 in1{p.x1 + p.r1, 0, 0};
+    const dvec3 out2{p.x2 + p.r2, 0, 0};
+
+    double omega2_prev = 0.0;
+    const double npow = p.n;
+
+    for (int it = 0; it < p.max_iterations; ++it) {
+        grav.solve(t);
+        potential_field phi(t, grav);
+
+        // Omega^2 from the primary's two surface points:
+        //   Phi(out1) - 1/2 w2 x_out^2 = Phi(in1) - 1/2 w2 x_in^2.
+        const double num = 2.0 * (phi(out1) - phi(in1));
+        const double den = norm2(dvec3{out1.x, 0, 0}) - norm2(dvec3{in1.x, 0, 0});
+        double omega2 = den != 0.0 ? num / den : 0.0;
+        omega2 = std::max(omega2, 0.0);
+
+        auto psi = [&](const dvec3& r) {
+            return phi(r) - 0.5 * omega2 * (r.x * r.x + r.y * r.y);
+        };
+        const double C1 = psi(out1);
+        const double C2 = psi(out2);
+
+        // Split plane between the stars: midpoint of the inner edges.
+        const double xsplit = 0.5 * (in1.x + (p.x2 - p.r2));
+
+        // Support masks: rebuild each star only near its center.
+        auto in_star1 = [&](const dvec3& r) {
+            return r.x < xsplit &&
+                   norm(r - dvec3{p.x1, 0, 0}) < p.support_factor * p.r1;
+        };
+        auto in_star2 = [&](const dvec3& r) {
+            return r.x >= xsplit &&
+                   norm(r - dvec3{p.x2, 0, 0}) < p.support_factor * p.r2;
+        };
+
+        // Peak enthalpies for the central-density normalization.
+        double H1max = 0.0, H2max = 0.0;
+        for_each_cell(t, [&](subgrid&, int, int, int, const dvec3& r) {
+            if (in_star1(r)) {
+                H1max = std::max(H1max, C1 - psi(r));
+            } else if (in_star2(r)) {
+                H2max = std::max(H2max, C2 - psi(r));
+            }
+        });
+        if (H1max <= 0.0 || H2max <= 0.0) {
+            // Degenerate configuration; bail out with what we have.
+            break;
+        }
+
+        // New density field: rho = rho_c (H / Hmax)^n within the support
+        // masks, atmosphere elsewhere; under-relaxed.
+        for_each_cell(t, [&](subgrid& g, int i, int j, int k, const dvec3& r) {
+            double rho_new = p.atmosphere;
+            if (in_star1(r)) {
+                const double H = C1 - psi(r);
+                if (H > 0.0) rho_new += p.rho_c1 * std::pow(H / H1max, npow);
+            } else if (in_star2(r)) {
+                const double H = C2 - psi(r);
+                if (H > 0.0) rho_new += p.rho_c2 * std::pow(H / H2max, npow);
+            }
+            double& rho = g.interior(f_rho, i, j, k);
+            rho = p.relax * rho_new + (1.0 - p.relax) * rho;
+        });
+
+        model.iterations = it + 1;
+        model.omega = std::sqrt(omega2);
+        if (it > 3 && omega2 > 0.0 &&
+            std::abs(omega2 - omega2_prev) <
+                p.tolerance * std::max(omega2, 1e-30)) {
+            model.converged = true;
+            // Record the realized polytropic constants K = Hmax /
+            // ((n+1) rho_c^(1/n)).
+            model.K1 = H1max / ((p.n + 1.0) * std::pow(p.rho_c1, 1.0 / p.n));
+            model.K2 = H2max / ((p.n + 1.0) * std::pow(p.rho_c2, 1.0 / p.n));
+            break;
+        }
+        omega2_prev = omega2;
+        model.K1 = H1max / ((p.n + 1.0) * std::pow(p.rho_c1, 1.0 / p.n));
+        model.K2 = H2max / ((p.n + 1.0) * std::pow(p.rho_c2, 1.0 / p.n));
+    }
+
+    // Masses and centers of mass of the two components.
+    const double xsplit = 0.5 * ((p.x1 + p.r1) + (p.x2 - p.r2));
+    for_each_cell(t, [&](subgrid& g, int i, int j, int k, const dvec3& r) {
+        const double V = g.geom.cell_volume();
+        const double m = g.interior(f_rho, i, j, k) * V;
+        if (r.x < xsplit) {
+            model.mass1 += m;
+            model.com1 += m * r;
+        } else {
+            model.mass2 += m;
+            model.com2 += m * r;
+        }
+    });
+    if (model.mass1 > 0) model.com1 /= model.mass1;
+    if (model.mass2 > 0) model.com2 /= model.mass2;
+
+    // Fill the remaining evolved fields: rigid rotation about the z-axis
+    // through the origin (the SCF frame's rotation center), polytropic
+    // pressure -> internal energy, passive scalars by component and density.
+    const double gamma = 1.0 + 1.0 / p.n;
+    phys::ideal_gas_eos eos(gamma);
+    for_each_cell(t, [&](subgrid& g, int i, int j, int k, const dvec3& r) {
+        const double rho = g.interior(f_rho, i, j, k);
+        const dvec3 v = model.omega * cross(dvec3{0, 0, 1}, r);
+        g.interior(f_sx, i, j, k) = rho * v.x;
+        g.interior(f_sy, i, j, k) = rho * v.y;
+        g.interior(f_sz, i, j, k) = rho * v.z;
+        const bool star1 = r.x < xsplit;
+        const double K = star1 ? model.K1 : model.K2;
+        const double pgas = K * std::pow(rho, gamma);
+        const double internal = pgas / (gamma - 1.0);
+        g.interior(f_egas, i, j, k) = internal + 0.5 * rho * norm2(v);
+        g.interior(f_tau, i, j, k) = eos.tau_from_internal(internal);
+        // Spin: rigid rotation has uniform vorticity 2*Omega; the cell-level
+        // spin about its own center for solid-body rotation is
+        // l = rho * Omega * (dx^2/6) per unit... we initialize from the
+        // second moment of a homogeneous cube: I = rho dx^2/6 per volume.
+        const double dx2 = g.geom.dx * g.geom.dx;
+        g.interior(f_lz, i, j, k) = rho * model.omega * dx2 / 6.0;
+        g.interior(f_lx, i, j, k) = 0.0;
+        g.interior(f_ly, i, j, k) = 0.0;
+        // Passive scalars (paper §4.2): accretor core/envelope, donor
+        // core/envelope, common atmosphere.
+        double fr[n_passive] = {0, 0, 0, 0, 0};
+        if (rho <= 10.0 * p.atmosphere) {
+            fr[4] = rho;
+        } else if (star1) {
+            (rho > 0.5 * p.rho_c1 ? fr[0] : fr[1]) = rho;
+        } else {
+            (rho > 0.5 * p.rho_c2 ? fr[2] : fr[3]) = rho;
+        }
+        for (int s = 0; s < n_passive; ++s) {
+            g.interior(first_passive + s, i, j, k) = fr[s];
+        }
+    });
+
+    return model;
+}
+
+void init_single_star(tree& t, double mass, double radius, double n,
+                      const dvec3& center, const dvec3& velocity,
+                      double atmosphere) {
+    const phys::polytrope star(mass, radius, n);
+    const double gamma = 1.0 + 1.0 / n;
+    phys::ideal_gas_eos eos(gamma);
+    for_each_cell(t, [&](subgrid& g, int i, int j, int k, const dvec3& r) {
+        const double rho = std::max(star.rho(norm(r - center)), atmosphere);
+        g.interior(f_rho, i, j, k) = rho;
+        g.interior(f_sx, i, j, k) = rho * velocity.x;
+        g.interior(f_sy, i, j, k) = rho * velocity.y;
+        g.interior(f_sz, i, j, k) = rho * velocity.z;
+        const double pgas =
+            std::max(star.pressure(norm(r - center)), atmosphere * 1e-3);
+        const double internal = pgas / (gamma - 1.0);
+        g.interior(f_egas, i, j, k) = internal + 0.5 * rho * norm2(velocity);
+        g.interior(f_tau, i, j, k) = eos.tau_from_internal(internal);
+        for (int s = 0; s < n_passive; ++s) {
+            g.interior(first_passive + s, i, j, k) = 0.0;
+        }
+        g.interior(f_lx, i, j, k) = 0.0;
+        g.interior(f_ly, i, j, k) = 0.0;
+        g.interior(f_lz, i, j, k) = 0.0;
+        // Core/envelope labels by density.
+        g.interior(first_passive + (rho > 0.2 * star.rho_central() ? 0 : 1), i,
+                   j, k) = rho;
+    });
+}
+
+} // namespace octo::scf

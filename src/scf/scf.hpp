@@ -1,0 +1,79 @@
+#pragma once
+// Self-Consistent Field initial models (paper §3, §4.2): "Octo-Tiger uses
+// its Self-Consistent Field module [Even & Tohline 2009, Hachisu 1986] to
+// produce an initial model for V1309 ... The stars are tidally synchronized,
+// and the stars have a common atmosphere."
+//
+// The Hachisu iteration: with polytropic enthalpy H = (n+1) K rho^(1/n),
+// a synchronously rotating equilibrium satisfies
+//     H(r) + Phi(r) - 1/2 Omega^2 (x^2 + y^2) = C_i        (inside star i)
+// Each cycle computes Phi from the current density with the FMM solver,
+// solves for (Omega^2, C_1, C_2) from prescribed boundary points on the
+// x-axis, rebuilds the density from the enthalpy, and under-relaxes.
+
+#include <functional>
+
+#include "amr/tree.hpp"
+#include "fmm/solver.hpp"
+#include "physics/eos.hpp"
+
+namespace octo::scf {
+
+struct binary_params {
+    double rho_c1 = 1.0;    ///< central density of the primary (accretor)
+    double rho_c2 = 0.5;    ///< central density of the secondary (donor)
+    double n = 1.5;         ///< polytropic index of both components
+    // Boundary points on the x-axis (positions in domain units). The primary
+    // is centered near x1, the secondary near x2; the model is solved for
+    // the surfaces passing through the given inner/outer edge points.
+    // The stars must span several cells of the SCF grid or the discrete
+    // asymmetry of the sampled mass overwhelms the boundary-point potential
+    // differences the iteration solves for (r / dx >= 3 or so).
+    double x1 = -0.14;      ///< primary center estimate
+    double x2 = 0.28;       ///< secondary center estimate
+    double r1 = 0.14;       ///< primary radius along the axis
+    double r2 = 0.09;       ///< secondary radius along the axis
+    int tree_depth = 2;     ///< uniform octree depth for the SCF grid
+    int max_iterations = 40;
+    double relax = 0.5;     ///< under-relaxation factor
+    double tolerance = 1e-4; ///< relative change in Omega for convergence
+    double atmosphere = 1e-10; ///< floor density outside the stars
+    /// Stars are rebuilt only within support_factor * r_i of their centers:
+    /// beyond corotation the effective potential rises again and H > 0
+    /// reappears, so an unmasked rebuild would fill the whole domain (the
+    /// classic Hachisu-iteration failure mode).
+    double support_factor = 1.5;
+};
+
+struct binary_model {
+    double omega = 0.0;  ///< orbital angular velocity of the synchronized frame
+    double mass1 = 0.0;
+    double mass2 = 0.0;
+    dvec3 com1{0, 0, 0}; ///< center of mass of the primary
+    dvec3 com2{0, 0, 0};
+    double K1 = 0.0;     ///< polytropic constants realized by the model
+    double K2 = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Solve the SCF equations on `t` (a uniform tree of the requested depth is
+/// built by the caller; leaves must have field storage). On return the tree
+/// holds rho, momenta (rigid rotation at `omega` about the z-axis through
+/// the system center of mass), egas/tau from the polytropic pressure, and
+/// the five passive scalars labeled (accretor core/envelope, donor
+/// core/envelope, atmosphere).
+binary_model solve_binary(amr::tree& t, const binary_params& p);
+
+/// Single spherical star (used by the Tasker et al. verification tests 3&4):
+/// a Lane–Emden polytrope of the given mass/radius sampled onto the tree,
+/// with pressure-consistent internal energy and optional uniform velocity.
+void init_single_star(amr::tree& t, double mass, double radius, double n,
+                      const dvec3& center, const dvec3& velocity,
+                      double atmosphere = 1e-10);
+
+/// Build a uniform tree of the given depth over a cube centered at the
+/// origin with the given edge length, with field storage on all leaves.
+amr::tree make_uniform_tree(double edge, int depth);
+
+} // namespace octo::scf

@@ -1,0 +1,138 @@
+#pragma once
+// Vc-substitute: a portable SIMD pack abstraction (DESIGN.md substitution
+// table). Octo-Tiger uses Vc (Kretz 2015) so that the same cell-to-cell
+// interaction template can be instantiated with vector types on the CPU and
+// with scalar types inside the CUDA kernel (paper §5.1). `octo::simd::pack`
+// plays exactly that role here: the FMM kernels are templates over the value
+// type and are instantiated with `pack<double, 4>` for the vectorized CPU
+// path and with plain `double` for the scalar / simulated-GPU path.
+//
+// Storage is a fixed-size array; every operation is a compile-time-width
+// loop, which GCC/Clang at -O3 compile to packed SIMD instructions. (GCC's
+// vector_size attribute cannot take a template-dependent width, so the
+// array form is the portable way to get this.)
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace octo::simd {
+
+template <class T, std::size_t W>
+class pack {
+    static_assert(W > 0 && (W & (W - 1)) == 0, "pack width must be a power of two");
+
+  public:
+    using value_type = T;
+    static constexpr std::size_t size() { return W; }
+
+    pack() = default;
+
+    /// Broadcast constructor.
+    pack(T s) { // NOLINT(google-explicit-constructor): broadcast is intended
+        for (std::size_t i = 0; i < W; ++i) v_[i] = s;
+    }
+
+    /// Element load from contiguous memory.
+    static pack load(const T* p) {
+        pack r;
+        for (std::size_t i = 0; i < W; ++i) r.v_[i] = p[i];
+        return r;
+    }
+    /// Element store to contiguous memory.
+    void store(T* p) const {
+        for (std::size_t i = 0; i < W; ++i) p[i] = v_[i];
+    }
+
+    T operator[](std::size_t i) const { return v_[i]; }
+    void set(std::size_t i, T val) { v_[i] = val; }
+
+    friend pack operator+(pack a, const pack& b) {
+        for (std::size_t i = 0; i < W; ++i) a.v_[i] += b.v_[i];
+        return a;
+    }
+    friend pack operator-(pack a, const pack& b) {
+        for (std::size_t i = 0; i < W; ++i) a.v_[i] -= b.v_[i];
+        return a;
+    }
+    friend pack operator*(pack a, const pack& b) {
+        for (std::size_t i = 0; i < W; ++i) a.v_[i] *= b.v_[i];
+        return a;
+    }
+    friend pack operator/(pack a, const pack& b) {
+        for (std::size_t i = 0; i < W; ++i) a.v_[i] /= b.v_[i];
+        return a;
+    }
+    friend pack operator-(const pack& a) { return pack(T{0}) - a; }
+
+    pack& operator+=(const pack& o) { return *this = *this + o; }
+    pack& operator-=(const pack& o) { return *this = *this - o; }
+    pack& operator*=(const pack& o) { return *this = *this * o; }
+    pack& operator/=(const pack& o) { return *this = *this / o; }
+
+    /// Horizontal sum of all lanes.
+    T hsum() const {
+        T s{0};
+        for (std::size_t i = 0; i < W; ++i) s += v_[i];
+        return s;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const pack& p) {
+        os << '[';
+        for (std::size_t i = 0; i < W; ++i) os << (i ? ", " : "") << p.v_[i];
+        return os << ']';
+    }
+
+  private:
+    std::array<T, W> v_{};
+};
+
+/// sqrt applied lane-wise.
+template <class T, std::size_t W>
+pack<T, W> sqrt(pack<T, W> a) {
+    pack<T, W> r;
+    for (std::size_t i = 0; i < W; ++i) r.set(i, std::sqrt(a[i]));
+    return r;
+}
+
+/// 1/sqrt applied lane-wise. The FMM interaction kernels are dominated by
+/// this operation (computing 1/|d| for each cell pair).
+template <class T, std::size_t W>
+pack<T, W> rsqrt(pack<T, W> a) {
+    pack<T, W> r;
+    for (std::size_t i = 0; i < W; ++i) r.set(i, T{1} / std::sqrt(a[i]));
+    return r;
+}
+
+template <class T, std::size_t W>
+pack<T, W> max(pack<T, W> a, const pack<T, W>& b) {
+    pack<T, W> r;
+    for (std::size_t i = 0; i < W; ++i) r.set(i, a[i] > b[i] ? a[i] : b[i]);
+    return r;
+}
+
+template <class T, std::size_t W>
+pack<T, W> min(pack<T, W> a, const pack<T, W>& b) {
+    pack<T, W> r;
+    for (std::size_t i = 0; i < W; ++i) r.set(i, a[i] < b[i] ? a[i] : b[i]);
+    return r;
+}
+
+// ---- Scalar counterparts so kernel templates work with T = double ---------
+// (the "instantiate the same function template with scalar datatypes and call
+// it within the GPU kernel" trick from paper §5.1)
+
+inline double rsqrt(double a) { return 1.0 / std::sqrt(a); }
+inline float rsqrt(float a) { return 1.0f / std::sqrt(a); }
+inline double hsum(double a) { return a; }
+template <class T, std::size_t W>
+T hsum(const pack<T, W>& p) {
+    return p.hsum();
+}
+
+/// Default vector width for double precision on this build.
+inline constexpr std::size_t default_width = 4; // AVX2-sized; AVX-512 would be 8
+using dpack = pack<double, default_width>;
+
+} // namespace octo::simd

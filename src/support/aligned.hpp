@@ -1,0 +1,49 @@
+#pragma once
+// Cache-line / SIMD-aligned storage. The FMM kernels are struct-of-arrays
+// (paper §4.3) and rely on aligned, contiguous buffers for vectorization.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace octo {
+
+inline constexpr std::size_t simd_alignment = 64; // AVX-512 / cache line
+
+template <class T, std::size_t Align = simd_alignment>
+struct aligned_allocator {
+    using value_type = T;
+
+    // allocator_traits cannot synthesize rebind across the non-type Align
+    // parameter, so it must be spelled out.
+    template <class U>
+    struct rebind {
+        using other = aligned_allocator<U, Align>;
+    };
+
+    aligned_allocator() = default;
+    template <class U>
+    aligned_allocator(const aligned_allocator<U, Align>&) noexcept {}
+
+    T* allocate(std::size_t n) {
+        if (n == 0) return nullptr;
+        void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+        return static_cast<T*>(p);
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <class U>
+    bool operator==(const aligned_allocator<U, Align>&) const noexcept {
+        return true;
+    }
+};
+
+/// std::vector with SIMD-aligned storage.
+template <class T>
+using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+} // namespace octo

@@ -1,0 +1,24 @@
+#pragma once
+// Always-on assertion macro. Numerical codes fail in ways optimized-out
+// asserts hide, so OCTO_ASSERT stays active in release builds. The cost is
+// negligible outside the innermost kernels, which avoid it.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace octo::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+    std::fprintf(stderr, "OCTO_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+                 msg != nullptr ? msg : "");
+    std::abort();
+}
+} // namespace octo::detail
+
+#define OCTO_ASSERT(expr)                                                                \
+    ((expr) ? static_cast<void>(0)                                                       \
+            : ::octo::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define OCTO_ASSERT_MSG(expr, msg)                                                       \
+    ((expr) ? static_cast<void>(0)                                                       \
+            : ::octo::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,15 @@
+#pragma once
+// Library-wide exception type. Thrown for user errors (bad configuration,
+// malformed input); internal invariant violations use OCTO_ASSERT instead.
+
+#include <stdexcept>
+#include <string>
+
+namespace octo {
+
+class error : public std::runtime_error {
+  public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+} // namespace octo

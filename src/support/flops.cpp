@@ -1,0 +1,101 @@
+#include "support/flops.hpp"
+
+#include <array>
+#include <mutex>
+#include <vector>
+
+namespace octo {
+namespace {
+
+constexpr int nclasses = static_cast<int>(kernel_class::count_);
+
+struct thread_counters {
+    struct slot {
+        std::atomic<std::uint64_t> cpu_flops{0};
+        std::atomic<std::uint64_t> gpu_flops{0};
+        std::atomic<std::uint64_t> cpu_launches{0};
+        std::atomic<std::uint64_t> gpu_launches{0};
+    };
+    std::array<slot, nclasses> slots;
+};
+
+std::mutex registry_mutex;
+std::vector<thread_counters*>& registry() {
+    static std::vector<thread_counters*> r;
+    return r;
+}
+
+thread_counters& local_counters() {
+    thread_local thread_counters* tc = [] {
+        auto* p = new thread_counters(); // intentionally leaked: counters must
+                                         // outlive the thread for end-of-run snapshots
+        std::lock_guard lock(registry_mutex);
+        registry().push_back(p);
+        return p;
+    }();
+    return *tc;
+}
+
+} // namespace
+
+double flop_totals::gpu_launch_fraction() const {
+    const auto total = launches();
+    return total == 0 ? 0.0 : static_cast<double>(gpu_launches) / static_cast<double>(total);
+}
+
+void count_flops(kernel_class k, exec_site site, std::uint64_t flops) noexcept {
+    auto& slot = local_counters().slots[static_cast<int>(k)];
+    if (site == exec_site::cpu) {
+        slot.cpu_flops.fetch_add(flops, std::memory_order_relaxed);
+    } else {
+        slot.gpu_flops.fetch_add(flops, std::memory_order_relaxed);
+    }
+}
+
+void count_launch(kernel_class k, exec_site site) noexcept {
+    auto& slot = local_counters().slots[static_cast<int>(k)];
+    if (site == exec_site::cpu) {
+        slot.cpu_launches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        slot.gpu_launches.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+flop_totals flop_snapshot(kernel_class k) {
+    flop_totals out;
+    std::lock_guard lock(registry_mutex);
+    for (const auto* tc : registry()) {
+        const auto& slot = tc->slots[static_cast<int>(k)];
+        out.cpu_flops += slot.cpu_flops.load(std::memory_order_relaxed);
+        out.gpu_flops += slot.gpu_flops.load(std::memory_order_relaxed);
+        out.cpu_launches += slot.cpu_launches.load(std::memory_order_relaxed);
+        out.gpu_launches += slot.gpu_launches.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+flop_totals flop_snapshot_all() {
+    flop_totals out;
+    for (int k = 0; k < nclasses; ++k) {
+        const auto s = flop_snapshot(static_cast<kernel_class>(k));
+        out.cpu_flops += s.cpu_flops;
+        out.gpu_flops += s.gpu_flops;
+        out.cpu_launches += s.cpu_launches;
+        out.gpu_launches += s.gpu_launches;
+    }
+    return out;
+}
+
+void flop_reset() {
+    std::lock_guard lock(registry_mutex);
+    for (auto* tc : registry()) {
+        for (auto& slot : tc->slots) {
+            slot.cpu_flops.store(0, std::memory_order_relaxed);
+            slot.gpu_flops.store(0, std::memory_order_relaxed);
+            slot.cpu_launches.store(0, std::memory_order_relaxed);
+            slot.gpu_launches.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+} // namespace octo

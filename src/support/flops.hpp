@@ -1,0 +1,59 @@
+#pragma once
+// Floating-point operation accounting, mirroring the paper's measurement
+// protocol (§6.1.1): "Each FMM kernel always executes a constant number of
+// floating point operations. We count the number of kernel launches in each
+// HPX thread and accumulate this number until the end of the simulation. We
+// can further record whether a kernel was executed on the CPU or the GPU."
+//
+// Counters are per-thread and lock-free on the hot path; a global registry
+// aggregates them on demand.
+
+#include <atomic>
+#include <cstdint>
+
+namespace octo {
+
+/// Where a kernel executed (paper tracks CPU vs GPU launches separately).
+enum class exec_site : int { cpu = 0, gpu = 1 };
+
+/// Aggregated FLOP / launch counters for one kernel class.
+struct flop_totals {
+    std::uint64_t cpu_flops = 0;
+    std::uint64_t gpu_flops = 0;
+    std::uint64_t cpu_launches = 0;
+    std::uint64_t gpu_launches = 0;
+
+    std::uint64_t flops() const { return cpu_flops + gpu_flops; }
+    std::uint64_t launches() const { return cpu_launches + gpu_launches; }
+    /// Fraction of launches that ran on the GPU (§6.1.2 reports e.g. 99.9997%).
+    double gpu_launch_fraction() const;
+};
+
+/// Kernel classes whose FLOPs the harness accounts for.
+enum class kernel_class : int {
+    fmm_multipole,        // combined multipole-multipole / multipole-monopole
+    fmm_monopole,         // monopole-monopole
+    fmm_monopole_multipole,
+    fmm_m2m,              // bottom-up moment computation
+    fmm_l2l,              // top-down expansion pass
+    hydro,                // everything in the fluid solver
+    other,
+    count_
+};
+
+/// Record `flops` executed by `site` for kernel class `k` on this thread.
+void count_flops(kernel_class k, exec_site site, std::uint64_t flops) noexcept;
+
+/// Record one kernel launch (without FLOPs; use together with count_flops).
+void count_launch(kernel_class k, exec_site site) noexcept;
+
+/// Snapshot of the global totals for one kernel class (sums all threads).
+flop_totals flop_snapshot(kernel_class k);
+
+/// Sum over every kernel class.
+flop_totals flop_snapshot_all();
+
+/// Reset all counters (benchmarks call this between configurations).
+void flop_reset();
+
+} // namespace octo

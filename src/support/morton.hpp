@@ -1,0 +1,49 @@
+#pragma once
+// 3-D Morton (Z-order) keys. Octo-Tiger distributes octree nodes onto
+// compute nodes with a space-filling curve (paper §4.2); we use Morton
+// order for the same purpose in the AMR partitioner and the cluster
+// simulator. Supports up to 21 bits per dimension (63-bit keys).
+
+#include <cstdint>
+
+#include "support/vec3.hpp"
+
+namespace octo {
+
+/// Spread the low 21 bits of `v` so that there are two zero bits between
+/// each original bit (the classic magic-number dilation).
+constexpr std::uint64_t morton_split3(std::uint64_t v) noexcept {
+    v &= 0x1fffff; // 21 bits
+    v = (v | v << 32) & 0x1f00000000ffffULL;
+    v = (v | v << 16) & 0x1f0000ff0000ffULL;
+    v = (v | v << 8) & 0x100f00f00f00f00fULL;
+    v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+    v = (v | v << 2) & 0x1249249249249249ULL;
+    return v;
+}
+
+/// Inverse of morton_split3.
+constexpr std::uint64_t morton_compact3(std::uint64_t v) noexcept {
+    v &= 0x1249249249249249ULL;
+    v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+    v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+    v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+    v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+    v = (v ^ (v >> 32)) & 0x1fffff;
+    return v;
+}
+
+/// Interleave (x, y, z) into a Morton key. Each coordinate must be < 2^21.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                                      std::uint32_t z) noexcept {
+    return morton_split3(x) | (morton_split3(y) << 1) | (morton_split3(z) << 2);
+}
+
+/// Decode a Morton key back into (x, y, z).
+constexpr vec3<std::uint32_t> morton_decode(std::uint64_t key) noexcept {
+    return {static_cast<std::uint32_t>(morton_compact3(key)),
+            static_cast<std::uint32_t>(morton_compact3(key >> 1)),
+            static_cast<std::uint32_t>(morton_compact3(key >> 2))};
+}
+
+} // namespace octo

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic, fast PRNG (xoshiro256**) so tests and benchmarks are
+// reproducible across platforms, unlike std::default_random_engine.
+
+#include <cstdint>
+
+namespace octo {
+
+/// splitmix64: used to seed xoshiro from a single 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — public-domain generator by Blackman & Vigna.
+class xoshiro256 {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr xoshiro256(std::uint64_t seed = 0x6f63746f2d73696dULL) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& si : s_) si = splitmix64(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform() noexcept {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    constexpr double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n).
+    constexpr std::uint64_t below(std::uint64_t n) noexcept { return operator()() % n; }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+} // namespace octo

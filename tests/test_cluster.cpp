@@ -1,0 +1,172 @@
+// Tests for the cluster experiment machinery: the Table 4 scenario trees,
+// the node-level discrete-event simulator (Table 2 / GPU starvation), and
+// the distributed scaling model (Fig 2 / Fig 3). These check the *shape*
+// invariants the paper reports; the bench binaries print the full series.
+
+#include <gtest/gtest.h>
+
+#include "cluster/event_sim.hpp"
+#include "cluster/machine_model.hpp"
+#include "cluster/scenario_tree.hpp"
+
+namespace {
+
+using namespace octo;
+using namespace octo::cluster;
+
+TEST(ScenarioTree, CountsTrackTable4) {
+    // Paper Table 4: 5417 / 10928 / 42947 / 2.24e5 / 1.5e6 sub-grids.
+    const double paper[5] = {5417, 10928, 42947, 2.24e5, 1.5e6};
+    std::size_t prev = 0;
+    for (int L = 13; L <= 15; ++L) { // deeper levels tested in the bench
+        const auto st = build_v1309_tree(L);
+        EXPECT_GT(st.subgrids, prev);
+        const double ratio = static_cast<double>(st.subgrids) / paper[L - 13];
+        EXPECT_GT(ratio, 0.5) << "level " << L;
+        EXPECT_LT(ratio, 2.0) << "level " << L;
+        EXPECT_EQ(st.paper_level, L);
+        EXPECT_GT(st.memory_gb, 0.0);
+        EXPECT_TRUE(st.tree.is_balanced21());
+        prev = st.subgrids;
+    }
+}
+
+TEST(ScenarioTree, GrowthRatioRisesTowardEight) {
+    // Table 4 growth factors: 2.0, 3.9, 5.2, 6.7 — rising toward 8.
+    const auto l13 = build_v1309_tree(13).subgrids;
+    const auto l14 = build_v1309_tree(14).subgrids;
+    const auto l15 = build_v1309_tree(15).subgrids;
+    const double r1 = static_cast<double>(l14) / l13;
+    const double r2 = static_cast<double>(l15) / l14;
+    EXPECT_GT(r2, r1);
+    EXPECT_LT(r2, 8.0);
+}
+
+TEST(ScenarioTree, PerSubgridMemoryIsPlausible) {
+    // Our per-node storage: fields with ghosts + FMM data; order 0.5 MB.
+    EXPECT_GT(bytes_per_subgrid(), 100e3);
+    EXPECT_LT(bytes_per_subgrid(), 5e6);
+}
+
+// ---- node-level DES (Table 2) ------------------------------------------------
+
+node_sim_config level14_like(node_spec n) {
+    node_sim_config c;
+    c.node = std::move(n);
+    c.work = v1309_workload();
+    c.leaves = 9562;  // level-14-analogue composition
+    c.refined = 1366;
+    return c;
+}
+
+TEST(NodeSim, CpuOnlyRateMatchesCalibration) {
+    // The 10-core Xeon must reproduce the paper's 125 GFLOP/s FMM rate
+    // (30% of peak) by construction of the calibration.
+    const auto row = measure_platform(xeon_e5_2660v3(10), v1309_workload(),
+                                      9562, 1366);
+    EXPECT_NEAR(row.fmm_gflops, 125.0, 15.0);
+    EXPECT_NEAR(row.fraction_of_peak, 0.30, 0.05);
+    EXPECT_EQ(row.execution, "CPU-only");
+}
+
+TEST(NodeSim, GpuAcceleratesTheFmm) {
+    const auto cfg_cpu = level14_like(xeon_e5_2660v3(10));
+    const auto cpu = simulate_node_step(cfg_cpu);
+    const auto cfg_gpu = level14_like(with_v100(xeon_e5_2660v3(10), 1));
+    const auto gpu = simulate_node_step(cfg_gpu);
+    EXPECT_LT(gpu.makespan_s, cpu.makespan_s);      // total runtime shrinks
+    EXPECT_GT(gpu.gpu_launch_fraction(), 0.85);     // paper: 99.9997%; our
+    // burst model launches a denser kernel wall, so a somewhat larger
+    // fraction falls back (see EXPERIMENTS.md)
+    EXPECT_EQ(gpu.fmm_flops, cpu.fmm_flops);        // same physics
+}
+
+TEST(NodeSim, StarvationWithManyCoresPerGpu) {
+    // Paper §6.1.2: 20 cores + 1 V100 launches a SMALLER fraction of kernels
+    // on the GPU than 10 cores + 1 V100 (97.4995% vs 99.9997%) because each
+    // thread owns fewer streams and falls back to slow CPU execution.
+    const auto g10 = simulate_node_step(level14_like(with_v100(xeon_e5_2660v3(10), 1)));
+    const auto g20 = simulate_node_step(level14_like(with_v100(xeon_e5_2660v3(20), 1)));
+    EXPECT_GT(g10.gpu_launch_fraction(), g20.gpu_launch_fraction());
+    EXPECT_GT(g20.gpu_launch_fraction(), 0.5); // still mostly on the GPU
+}
+
+TEST(NodeSim, SecondGpuRelievesStarvation) {
+    // Paper: 20 cores + 2 V100 achieves the best fraction of peak (37%).
+    const auto r1 = measure_platform(with_v100(xeon_e5_2660v3(20), 1),
+                                     v1309_workload(), 9562, 1366);
+    const auto r2 = measure_platform(with_v100(xeon_e5_2660v3(20), 2),
+                                     v1309_workload(), 9562, 1366);
+    EXPECT_LT(r2.total_runtime_s, r1.total_runtime_s);
+    EXPECT_GT(r2.gpu_launch_fraction, r1.gpu_launch_fraction);
+}
+
+TEST(NodeSim, FasterWithMoreCores) {
+    const auto c10 = simulate_node_step(level14_like(xeon_e5_2660v3(10)));
+    const auto c20 = simulate_node_step(level14_like(xeon_e5_2660v3(20)));
+    EXPECT_LT(c20.makespan_s, c10.makespan_s);
+    EXPECT_NEAR(c20.makespan_s, c10.makespan_s / 2.0, 0.15 * c10.makespan_s);
+}
+
+TEST(NodeSim, FlopAccountingIsExact) {
+    const auto cfg = level14_like(xeon_e5_2660v3(10));
+    const auto r = simulate_node_step(cfg);
+    const auto expect = static_cast<std::uint64_t>(
+        9562 * cfg.work.monopole_kernel_flops +
+        1366 * cfg.work.multipole_kernel_flops);
+    EXPECT_EQ(r.fmm_flops, expect);
+    EXPECT_EQ(r.kernels_total, 9562u + 1366u);
+}
+
+// ---- scaling model (Fig 2 / Fig 3) -------------------------------------------
+
+class ScalingModel : public ::testing::Test {
+  protected:
+    static scaling_point run(int paper_level, int nodes, bool libfabric) {
+        static auto st14 = build_v1309_tree(14);
+        auto& st = st14;
+        OCTO_ASSERT(paper_level == 14);
+        (void)paper_level;
+        auto parts = amr::partition_sfc(st.tree, nodes);
+        auto work = v1309_workload();
+        work.dependency_hops = critical_path_hops(14);
+        return model_step(st.subgrids, st.leaves, parts, nodes,
+                          with_p100(piz_daint_node()),
+                          libfabric ? net::libfabric_like() : net::mpi_like(),
+                          work);
+    }
+};
+
+TEST_F(ScalingModel, ThroughputGrowsThenSaturates) {
+    const double s1 = run(14, 1, true).subgrids_per_second;
+    const double s16 = run(14, 16, true).subgrids_per_second;
+    const double s256 = run(14, 256, true).subgrids_per_second;
+    const double s2048 = run(14, 2048, true).subgrids_per_second;
+    EXPECT_GT(s16, 8 * s1);      // near-linear at small scale
+    EXPECT_GT(s256, s16);        // still climbing
+    EXPECT_LT(s2048, 2048 * s1); // far from ideal at the tail
+}
+
+TEST_F(ScalingModel, LibfabricWinsAtScale) {
+    // Paper §6.3: "outperforms it by a factor of almost 3 for the largest
+    // runs" — and is slightly SLOWER at low node counts (Fig 3).
+    const double ratio1 =
+        run(14, 1, true).subgrids_per_second / run(14, 1, false).subgrids_per_second;
+    const double ratio2048 = run(14, 2048, true).subgrids_per_second /
+                             run(14, 2048, false).subgrids_per_second;
+    EXPECT_LT(ratio1, 1.0);
+    EXPECT_GT(ratio2048, 2.0);
+    EXPECT_LT(ratio2048, 4.0);
+}
+
+TEST_F(ScalingModel, RatioIncreasesWithNodeCount) {
+    double prev = 0;
+    for (int n : {64, 256, 1024, 2048}) {
+        const double r = run(14, n, true).subgrids_per_second /
+                         run(14, n, false).subgrids_per_second;
+        EXPECT_GT(r, prev * 0.95) << n; // monotone up to model noise
+        prev = r;
+    }
+}
+
+} // namespace

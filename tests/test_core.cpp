@@ -1,0 +1,347 @@
+// Tests for the coupled simulation driver: the Tasker et al. verification
+// tests 3 & 4 in the paper's form ("a single star in equilibrium at rest ...
+// and a single star in equilibrium in motion", §4.2), the coupled
+// machine-precision momentum/angular-momentum conservation (the headline
+// claim), regridding, and the GPU-offload equivalence at system level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "physics/polytrope.hpp"
+#include "io/checkpoint.hpp"
+#include "scf/scf.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace octo;
+using namespace octo::amr;
+using namespace octo::core;
+
+sim_options star_options() {
+    sim_options o;
+    o.eos = phys::ideal_gas_eos(1.0 + 1.0 / 1.5); // gamma = 5/3 for n = 3/2
+    o.bc = boundary_kind::outflow;
+    o.self_gravity = true;
+    return o;
+}
+
+/// A polytrope on a 32^3 grid (depth-2 tree over [-2,2]^3, star radius 1):
+/// 8 cells per stellar radius keeps the discrete hydrostatic balance within
+/// a few percent over several sound-crossing times.
+simulation make_star(const dvec3& velocity) {
+    auto t = scf::make_uniform_tree(4.0, 2);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, velocity, 1e-10);
+    return simulation(std::move(t), star_options());
+}
+
+TEST(Verification, StarInEquilibriumAtRest) {
+    // Tasker test 3 (paper's variant): the equilibrium structure should be
+    // retained. At 16^3 resolution we require the central density to hold
+    // within ~15% and the flow to stay strongly subsonic over several
+    // dynamical-time steps.
+    auto sim = make_star({0, 0, 0});
+    const auto before = sim.diagnostics();
+    for (int s = 0; s < 6; ++s) sim.advance();
+    const auto after = sim.diagnostics();
+
+    EXPECT_NEAR(after.rho_max, before.rho_max, 0.10 * before.rho_max);
+    EXPECT_NEAR(after.hydro.mass, before.hydro.mass,
+                before.hydro.mass * 1e-9);
+    // Velocities stay small: kinetic energy << |potential|.
+    double ekin = 0;
+    const auto& t = sim.grid();
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        const double V = g.geom.cell_volume();
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const double rho = g.interior(f_rho, i, j, kk);
+                    const dvec3 s{g.interior(f_sx, i, j, kk),
+                                  g.interior(f_sy, i, j, kk),
+                                  g.interior(f_sz, i, j, kk)};
+                    ekin += 0.5 * norm2(s) / rho * V;
+                }
+    }
+    EXPECT_LT(ekin, 0.06 * std::abs(after.e_potential));
+}
+
+TEST(Verification, StarInEquilibriumInMotion) {
+    // Tasker test 4 (paper's variant): same star, uniform velocity; the
+    // center of mass must advect at that velocity and the profile persist.
+    const dvec3 v{0.05, 0, 0};
+    auto sim = make_star(v);
+    const auto before = sim.diagnostics();
+    double time = 0;
+    for (int s = 0; s < 6; ++s) time += sim.advance();
+    const auto after = sim.diagnostics();
+
+    EXPECT_NEAR(after.center_of_mass.x, before.center_of_mass.x + v.x * time,
+                0.10 * v.x * time + 1e-8);
+    EXPECT_NEAR(after.rho_max, before.rho_max, 0.10 * before.rho_max);
+    // Momentum stays at m*v up to the (tiny) atmosphere boundary flux.
+    EXPECT_NEAR(after.hydro.momentum.x, before.hydro.momentum.x,
+                std::abs(before.hydro.momentum.x) * 1e-7);
+}
+
+TEST(Conservation, CoupledGravityHydroLedgerIsExact) {
+    // The paper's headline claim at system level: with self-gravity ON,
+    // total momentum AND total angular momentum (orbital + spin, including
+    // the FMM spin-torque deposits) are conserved to rounding.
+    // Domain 8x the blob sizes so the boundary stays numerically quiet over
+    // 3 steps; atmosphere at the density floor so residual boundary fluxes
+    // are ~1e-14 absolute.
+    auto t = scf::make_uniform_tree(8.0, 1);
+    // An asymmetric, rotating configuration so nothing is conserved "by
+    // symmetry": two unequal off-axis blobs with opposing motion.
+    scf::init_single_star(t, 1.0, 0.8, 1.5, {-0.3, 0.1, 0.0}, {0.0, 0.12, 0.0},
+                          1e-14);
+    // Overlay the second star by adding density manually.
+    {
+        phys::polytrope star2(0.3, 0.5, 1.5);
+        for (const auto k : t.leaves_sfc()) {
+            auto& g = *t.node(k).fields;
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        const dvec3 r = g.geom.cell_center(i, j, kk);
+                        const double add = star2.rho(norm(r - dvec3{0.7, -0.2, 0.1}));
+                        if (add > 0) {
+                            const double rho0 = g.interior(f_rho, i, j, kk);
+                            g.interior(f_rho, i, j, kk) = rho0 + add;
+                            // momentum: second star moves the other way
+                            g.interior(f_sx, i, j, kk) += add * -0.3;
+                        }
+                    }
+        }
+    }
+    simulation sim(std::move(t), star_options());
+    const auto before = sim.diagnostics();
+    for (int s = 0; s < 3; ++s) sim.advance();
+    const auto after = sim.diagnostics();
+
+    const double pscale = before.hydro.mass * 0.3;
+    EXPECT_LT(norm(after.hydro.momentum - before.hydro.momentum) / pscale, 1e-10);
+    const double lscale =
+        std::max(norm(before.hydro.angular_momentum), before.hydro.mass * 0.1);
+    EXPECT_LT(norm(after.hydro.angular_momentum - before.hydro.angular_momentum) /
+                  lscale,
+              1e-9);
+    EXPECT_NEAR(after.hydro.mass, before.hydro.mass, before.hydro.mass * 1e-10);
+}
+
+TEST(Conservation, EnergyBudgetDriftIsSmall) {
+    // Total energy (gas + potential) is not machine-exact in this scheme
+    // (see DESIGN.md), but must drift only at truncation level.
+    auto sim = make_star({0, 0, 0});
+    sim.advance();
+    const auto e0 = sim.diagnostics();
+    for (int s = 0; s < 5; ++s) sim.advance();
+    const auto e1 = sim.diagnostics();
+    EXPECT_LT(std::abs(e1.e_total - e0.e_total) / std::abs(e0.e_total), 0.05);
+}
+
+TEST(Regrid, RefinesDenseRegionsConservatively) {
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0, 0, 0}, 1e-10);
+    sim_options o = star_options();
+    o.self_gravity = false;
+    simulation sim(std::move(t), o);
+    const auto before = sim.diagnostics();
+
+    const int refined = sim.regrid(
+        [](node_key, const subgrid& g) {
+            double rho_max = 0;
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        rho_max = std::max(rho_max, g.interior(f_rho, i, j, kk));
+                    }
+            return rho_max > 0.5;
+        },
+        3);
+    EXPECT_GT(refined, 0);
+    EXPECT_TRUE(sim.grid().is_balanced21());
+    EXPECT_GE(sim.grid().max_level(), 2);
+
+    // Conservative prolongation: mass, momentum, L identical to rounding.
+    const auto after = sim.diagnostics();
+    EXPECT_NEAR(after.hydro.mass, before.hydro.mass, before.hydro.mass * 1e-12);
+    EXPECT_LT(norm(after.hydro.angular_momentum - before.hydro.angular_momentum),
+              1e-12 + norm(before.hydro.angular_momentum) * 1e-12);
+
+    // And the refined star still evolves stably.
+    for (int s = 0; s < 2; ++s) sim.advance();
+    EXPECT_GT(sim.diagnostics().rho_max, 0.0);
+}
+
+TEST(Regrid, CoarsenIsConservativeAndBalanced) {
+    // Refine a star, then coarsen the low-density outskirts back: mass,
+    // momentum and angular momentum must be identical to rounding (the
+    // restriction carries the spin bookkeeping), and the tree stays
+    // 2:1-balanced.
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0.0, 0.07, 0.0}, 1e-10);
+    sim_options o = star_options();
+    o.self_gravity = false;
+    simulation sim(std::move(t), o);
+
+    auto rho_max_of = [](const subgrid& g) {
+        double m = 0;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    m = std::max(m, g.interior(f_rho, i, j, kk));
+                }
+        return m;
+    };
+
+    sim.regrid([&](node_key, const subgrid& g) { return rho_max_of(g) > 0.05; }, 3);
+    const std::size_t refined_size = sim.grid().size();
+    const auto before = sim.diagnostics();
+
+    // Coarsen everything the balance allows (the refined region is the
+    // dense center, so a density criterion would keep it; the point here is
+    // the conservative restriction).
+    const int coarsened =
+        sim.coarsen([&](node_key, const subgrid&) { return true; });
+    EXPECT_GT(coarsened, 0);
+    EXPECT_LT(sim.grid().size(), refined_size);
+    EXPECT_TRUE(sim.grid().is_balanced21());
+
+    const auto after = sim.diagnostics();
+    EXPECT_NEAR(after.hydro.mass, before.hydro.mass, before.hydro.mass * 1e-12);
+    EXPECT_LT(norm(after.hydro.momentum - before.hydro.momentum),
+              1e-12 * before.hydro.mass);
+    EXPECT_LT(norm(after.hydro.angular_momentum - before.hydro.angular_momentum),
+              1e-12 + norm(before.hydro.angular_momentum) * 1e-12);
+
+    // The coarsened grid still advances.
+    sim.advance();
+    EXPECT_GT(sim.diagnostics().rho_max, 0.0);
+}
+
+TEST(Regrid, CoarsenRefusesToBreakBalance) {
+    // A deeply refined center: the level-1 parents adjacent to level-2
+    // refined regions must NOT coarsen even if the criterion wants them to.
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0, 0, 0}, 1e-10);
+    sim_options o = star_options();
+    o.self_gravity = false;
+    simulation sim(std::move(t), o);
+    sim.regrid(
+        [](node_key, const subgrid& g) {
+            double m = 0;
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        m = std::max(m, g.interior(f_rho, i, j, kk));
+                    }
+            return m > 0.05;
+        },
+        3);
+    ASSERT_TRUE(sim.grid().is_balanced21());
+    // Try to coarsen EVERYTHING: balance safety must keep the invariant.
+    sim.coarsen([](node_key, const subgrid&) { return true; });
+    EXPECT_TRUE(sim.grid().is_balanced21());
+}
+
+TEST(Gpu, SystemLevelOffloadMatchesCpu) {
+    auto make = [](gpu::device* dev) {
+        auto t = scf::make_uniform_tree(4.0, 1);
+        scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0.02, 0, 0}, 1e-10);
+        sim_options o = star_options();
+        o.device = dev;
+        return simulation(std::move(t), o);
+    };
+    gpu::device dev(gpu::p100(), 2);
+    auto gpu_sim = make(&dev);
+    auto cpu_sim = make(nullptr);
+    for (int s = 0; s < 2; ++s) {
+        gpu_sim.advance();
+        cpu_sim.advance();
+    }
+    const auto a = gpu_sim.diagnostics();
+    const auto b = cpu_sim.diagnostics();
+    EXPECT_NEAR(a.rho_max, b.rho_max, b.rho_max * 1e-12);
+    EXPECT_NEAR(a.hydro.egas, b.hydro.egas, std::abs(b.hydro.egas) * 1e-12);
+    EXPECT_GT(dev.kernels_executed(), 0u);
+}
+
+TEST(Workflow, RestartFileRefinedToHigherResolution) {
+    // The paper's scaling methodology (§6.2): "A level 13 restart file ...
+    // was used as the basis for all runs. For all levels the restart file
+    // for level 13 was read and refined to higher levels of resolution
+    // through conservative interpolation of the evolved variables."
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0.02, 0, 0}, 1e-10);
+    const std::string path = "/tmp/octo_restart_workflow.bin";
+    io::write_checkpoint(t, path);
+
+    // Read the restart file and refine it one level everywhere.
+    auto restored = io::read_checkpoint(path);
+    std::remove(path.c_str());
+    sim_options o = star_options();
+    simulation sim(std::move(restored), o);
+    const auto before = sim.diagnostics();
+    const int refined =
+        sim.regrid([](node_key, const subgrid&) { return true; },
+                   sim.grid().max_level() + 1);
+    EXPECT_GT(refined, 0);
+    const auto after = sim.diagnostics();
+    // Conservative interpolation: the evolved variables' integrals survive.
+    EXPECT_NEAR(after.hydro.mass, before.hydro.mass, before.hydro.mass * 1e-12);
+    EXPECT_LT(norm(after.hydro.momentum - before.hydro.momentum),
+              1e-12 * before.hydro.mass);
+    EXPECT_LT(norm(after.hydro.angular_momentum - before.hydro.angular_momentum),
+              1e-12 + norm(before.hydro.angular_momentum) * 1e-12);
+    // The refined run advances (the paper's production start).
+    EXPECT_GT(sim.advance(), 0.0);
+}
+
+TEST(Scenario, V1309ScaledModelAssembles) {
+    v1309_config cfg;
+    cfg.domain_over_separation = 8.0;
+    cfg.base_depth = 1;
+    cfg.max_level = 3;
+    cfg.scf_iterations = 12;
+    sim_options o;
+    o.eos = phys::ideal_gas_eos(1.0 + 1.0 / 1.5);
+    auto sim = make_v1309(cfg, o);
+    const auto d = sim.diagnostics();
+    EXPECT_GT(d.hydro.mass, 0.0);
+    EXPECT_GT(d.rho_max, 0.1);
+    EXPECT_GT(sim.grid().max_level(), 1);      // AMR actually refined
+    EXPECT_GT(d.hydro.angular_momentum.z, 0.0); // rotating binary
+    // It advances.
+    const double dt = sim.advance();
+    EXPECT_GT(dt, 0.0);
+}
+
+TEST(Scenario, AnalyticDensityHasTwoPeaksAndEnvelope) {
+    const double rho1 = v1309_analytic_density({-0.09, 0, 0});
+    const double rho2 = v1309_analytic_density({0.91, 0, 0});
+    const double mid = v1309_analytic_density({0.4, 0, 0});
+    const double far = v1309_analytic_density({40.0, 0, 0});
+    EXPECT_GT(rho1, rho2);   // primary denser
+    EXPECT_GT(rho2, mid);    // stars denser than envelope
+    EXPECT_GT(mid, far);     // envelope denser than atmosphere
+    EXPECT_GT(far, 0.0);     // atmosphere fills the domain
+}
+
+TEST(Scenario, RefinementThresholdsAreMonotone) {
+    for (int finest = 10; finest <= 17; ++finest) {
+        for (int l = 1; l < finest; ++l) {
+            EXPECT_LE(v1309_refine_threshold(l, finest),
+                      v1309_refine_threshold(l + 1, finest))
+                << l << " " << finest;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+// Tests for the simulated CUDA device: stream pool semantics, the
+// kernel→future bridge, the all-streams-busy fallback condition, and FLOP
+// accounting per execution site (paper §5.1, §6.1).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "runtime/future.hpp"
+
+namespace {
+
+using namespace octo;
+
+TEST(DeviceSpec, PresetsMatchPaperHardware) {
+    const auto p = gpu::p100();
+    EXPECT_EQ(p.num_sms, 56u);        // paper §6.1.1: "contains 56 of these SMs"
+    EXPECT_EQ(p.max_streams, 128u);   // "usually 128 per GPU"
+    EXPECT_EQ(p.blocks_per_kernel, 8u); // "launching kernels with 8 blocks"
+    EXPECT_EQ(p.kernel_slots(), 7u);
+    const auto v = gpu::v100();
+    EXPECT_GT(v.peak_gflops, p.peak_gflops);
+    EXPECT_NEAR(p.per_kernel_gflops(), p.peak_gflops * 8.0 / 56.0, 1e-9);
+}
+
+TEST(Device, KernelExecutesAndFutureCompletes) {
+    gpu::device dev(gpu::p100(), 2);
+    auto lease = dev.try_acquire_stream();
+    ASSERT_TRUE(lease.has_value());
+    std::atomic<int> ran{0};
+    auto f = lease->launch([&] { ran = 1; }, 100, kernel_class::fmm_multipole);
+    f.get();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(dev.kernels_executed(), 1u);
+}
+
+TEST(Device, StreamReleasedAfterCompletion) {
+    gpu::device dev(gpu::p100(), 2);
+    {
+        auto lease = dev.try_acquire_stream();
+        ASSERT_TRUE(lease.has_value());
+        EXPECT_EQ(dev.streams_in_use(), 1u);
+        auto f = lease->launch([] {}, 1, kernel_class::other);
+        f.get();
+    }
+    // After completion the stream count must return to zero (release happens
+    // inside the kernel completion, the lease was consumed by launch()).
+    for (int spin = 0; spin < 1000 && dev.streams_in_use() != 0; ++spin) {
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(dev.streams_in_use(), 0u);
+}
+
+TEST(Device, UnusedLeaseReleasesImmediately) {
+    gpu::device dev(gpu::p100(), 1);
+    {
+        auto lease = dev.try_acquire_stream();
+        ASSERT_TRUE(lease.has_value());
+        EXPECT_EQ(dev.streams_in_use(), 1u);
+    }
+    EXPECT_EQ(dev.streams_in_use(), 0u);
+}
+
+TEST(Device, AllStreamsBusyYieldsNullopt) {
+    // The condition under which Octo-Tiger executes the kernel on the CPU
+    // instead (§5.1).
+    gpu::device_spec spec = gpu::p100();
+    spec.max_streams = 4;
+    gpu::device dev(spec, 1);
+    std::vector<gpu::stream_lease> held;
+    for (unsigned i = 0; i < 4; ++i) {
+        auto l = dev.try_acquire_stream();
+        ASSERT_TRUE(l.has_value());
+        held.push_back(std::move(*l));
+    }
+    EXPECT_FALSE(dev.try_acquire_stream().has_value());
+    held.clear(); // releases
+    EXPECT_TRUE(dev.try_acquire_stream().has_value());
+}
+
+TEST(Device, FlopAccountingPerSite) {
+    flop_reset();
+    gpu::device dev(gpu::p100(), 2);
+    std::vector<octo::rt::future<void>> fs;
+    for (int i = 0; i < 10; ++i) {
+        auto lease = dev.try_acquire_stream();
+        ASSERT_TRUE(lease.has_value());
+        fs.push_back(lease->launch([] {}, 455, kernel_class::fmm_multipole));
+    }
+    for (auto& f : fs) f.get();
+    const auto s = flop_snapshot(kernel_class::fmm_multipole);
+    EXPECT_EQ(s.gpu_flops, 4550u);
+    EXPECT_EQ(s.gpu_launches, 10u);
+    EXPECT_EQ(s.cpu_launches, 0u);
+    EXPECT_DOUBLE_EQ(s.gpu_launch_fraction(), 1.0);
+}
+
+TEST(Device, ManyConcurrentKernelsAllComplete) {
+    gpu::device dev(gpu::p100(), 4);
+    std::atomic<int> done{0};
+    std::vector<octo::rt::future<void>> fs;
+    int cpu_fallbacks = 0;
+    for (int i = 0; i < 500; ++i) {
+        if (auto lease = dev.try_acquire_stream()) {
+            fs.push_back(lease->launch([&] { done.fetch_add(1); }, 1,
+                                       kernel_class::other));
+        } else {
+            // CPU fallback path, as in the paper.
+            done.fetch_add(1);
+            ++cpu_fallbacks;
+        }
+    }
+    for (auto& f : fs) f.get();
+    EXPECT_EQ(done.load(), 500);
+    EXPECT_EQ(dev.kernels_executed() + static_cast<unsigned>(cpu_fallbacks), 500u);
+}
+
+TEST(Device, ContinuationChainsOffKernel) {
+    gpu::device dev(gpu::p100(), 2);
+    auto lease = dev.try_acquire_stream();
+    ASSERT_TRUE(lease.has_value());
+    std::atomic<int> order{0};
+    auto f = lease->launch([&] { order = 1; }, 1, kernel_class::other)
+                 .then([&](octo::rt::future<void>) { return order.load() + 10; });
+    EXPECT_EQ(f.get(), 11);
+}
+
+} // namespace

@@ -1,0 +1,626 @@
+// Tests for the hydro solver: PPM properties, KT flux consistency, the exact
+// Riemann and Sedov references, the Sod shock tube against the exact
+// solution, and the machine-precision conservation ledger (mass, momentum,
+// angular momentum) on uniform and AMR grids — the paper's §4.2 claims.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amr/halo.hpp"
+#include "amr/tree.hpp"
+#include "hydro/flux.hpp"
+#include "hydro/reconstruct.hpp"
+#include "hydro/riemann_exact.hpp"
+#include "hydro/sedov.hpp"
+#include "hydro/update.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace octo;
+using namespace octo::hydro;
+using namespace octo::amr;
+
+// ---- PPM --------------------------------------------------------------------
+
+TEST(Ppm, ReproducesLinearDataExactly) {
+    // PPM is exact for linear profiles away from limiting.
+    double q[14];
+    for (int i = 0; i < 14; ++i) q[i] = 2.0 + 0.5 * i;
+    double lo[10], hi[10];
+    ppm_reconstruct(q + 2, 10, lo, hi);
+    for (int i = 1; i < 9; ++i) {
+        EXPECT_NEAR(lo[i], q[i + 2] - 0.25, 1e-13);
+        EXPECT_NEAR(hi[i], q[i + 2] + 0.25, 1e-13);
+    }
+}
+
+TEST(Ppm, PreservesConstants) {
+    double q[14];
+    for (auto& v : q) v = 3.14;
+    double lo[10], hi[10];
+    ppm_reconstruct(q + 2, 10, lo, hi);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(lo[i], 3.14);
+        EXPECT_DOUBLE_EQ(hi[i], 3.14);
+    }
+}
+
+TEST(Ppm, MonotoneAtDiscontinuity) {
+    // Face values must stay within neighboring cell averages (no overshoot).
+    double q[14] = {1, 1, 1, 1, 1, 1, 1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+    double lo[10], hi[10];
+    ppm_reconstruct(q + 2, 10, lo, hi);
+    for (int i = 0; i < 10; ++i) {
+        const double qc = q[i + 2];
+        const double qm = q[i + 1];
+        const double qp = q[i + 3];
+        const double mn = std::min({qc, qm, qp});
+        const double mx = std::max({qc, qm, qp});
+        EXPECT_GE(lo[i], mn - 1e-12);
+        EXPECT_LE(lo[i], mx + 1e-12);
+        EXPECT_GE(hi[i], mn - 1e-12);
+        EXPECT_LE(hi[i], mx + 1e-12);
+    }
+}
+
+TEST(Ppm, FlattensLocalExtrema) {
+    double q[14] = {1, 1, 1, 1, 5, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+    double lo[10], hi[10];
+    ppm_reconstruct(q + 2, 10, lo, hi);
+    // Cell index 2 (q[4]) is an extremum: reconstruction must be flat there.
+    EXPECT_DOUBLE_EQ(lo[2], 5.0);
+    EXPECT_DOUBLE_EQ(hi[2], 5.0);
+}
+
+// ---- KT flux ----------------------------------------------------------------
+
+state make_state(double rho, dvec3 v, double p, const phys::ideal_gas_eos& eos) {
+    state u{};
+    u[f_rho] = rho;
+    u[f_sx] = rho * v.x;
+    u[f_sy] = rho * v.y;
+    u[f_sz] = rho * v.z;
+    const double internal = p / (eos.gamma() - 1.0);
+    u[f_egas] = internal + 0.5 * rho * norm2(v);
+    u[f_tau] = eos.tau_from_internal(internal);
+    return u;
+}
+
+TEST(KtFlux, ConsistencyWithPhysicalFlux) {
+    phys::ideal_gas_eos eos(1.4);
+    const state u = make_state(1.2, {0.3, -0.1, 0.2}, 0.8, eos);
+    for (int a = 0; a < 3; ++a) {
+        const state f = kt_flux(u, u, a, eos);
+        const primitives pr = to_primitives(u, eos);
+        const state fp = physical_flux(u, pr, a);
+        for (int q = 0; q < n_fields; ++q) {
+            EXPECT_NEAR(f[q], fp[q], 1e-13 + std::abs(fp[q]) * 1e-13) << a << " " << q;
+        }
+    }
+}
+
+TEST(KtFlux, UpwindsSupersonicFlow) {
+    phys::ideal_gas_eos eos(1.4);
+    // Supersonic rightward flow: flux must be the left state's flux.
+    const state uL = make_state(1.0, {5.0, 0, 0}, 0.1, eos);
+    const state uR = make_state(0.5, {5.0, 0, 0}, 0.05, eos);
+    const state f = kt_flux(uL, uR, 0, eos);
+    const primitives pL = to_primitives(uL, eos);
+    const state fL = physical_flux(uL, pL, 0);
+    for (int q = 0; q < n_fields; ++q) EXPECT_NEAR(f[q], fL[q], 1e-12);
+}
+
+TEST(KtFlux, ReportsSignalSpeed) {
+    phys::ideal_gas_eos eos(1.4);
+    const state uL = make_state(1.0, {2.0, 0, 0}, 1.0, eos);
+    const state uR = make_state(1.0, {-2.0, 0, 0}, 1.0, eos);
+    double speed = 0;
+    kt_flux(uL, uR, 0, eos, &speed);
+    const double c = std::sqrt(1.4);
+    EXPECT_NEAR(speed, 2.0 + c, 1e-12);
+}
+
+// ---- analytic references ------------------------------------------------------
+
+TEST(RiemannExact, SodStarRegionMatchesToro) {
+    // Toro, table 4.2: p* = 0.30313, u* = 0.92745 for the Sod problem.
+    const auto s = riemann_exact(sod_left(), sod_right(), 0.5, 1.4);
+    EXPECT_NEAR(s.p, 0.30313, 2e-4);
+    EXPECT_NEAR(s.u, 0.92745, 2e-4);
+}
+
+TEST(RiemannExact, FarFieldReturnsInitialStates) {
+    const auto l = riemann_exact(sod_left(), sod_right(), -10.0, 1.4);
+    EXPECT_DOUBLE_EQ(l.rho, 1.0);
+    const auto r = riemann_exact(sod_left(), sod_right(), 10.0, 1.4);
+    EXPECT_DOUBLE_EQ(r.rho, 0.125);
+}
+
+TEST(RiemannExact, ShockSpeedBracketsPostShockState) {
+    // Density right behind the Sod shock: ~0.26557.
+    const auto s = riemann_exact(sod_left(), sod_right(), 1.6, 1.4);
+    EXPECT_NEAR(s.rho, 0.26557, 2e-3);
+}
+
+TEST(Sedov, AlphaMatchesTabulatedValues) {
+    // Standard values: alpha(1.4) ~ 0.851, alpha(5/3) ~ 0.49.
+    EXPECT_NEAR(sedov_solve(1.4).alpha, 0.851, 0.02);
+    EXPECT_NEAR(sedov_solve(5.0 / 3.0).alpha, 0.49, 0.02);
+}
+
+TEST(Sedov, ShockRadiusScalesAsT25) {
+    const auto s = sedov_solve(1.4);
+    const double r1 = s.shock_radius(1.0, 1.0, 1.0);
+    const double r2 = s.shock_radius(1.0, 1.0, 32.0);
+    EXPECT_NEAR(r2 / r1, std::pow(32.0, 0.4), 1e-12);
+    EXPECT_NEAR(s.density_jump(), 6.0, 1e-12);
+}
+
+// ---- full solver ---------------------------------------------------------------
+
+box_geometry unit_root() {
+    box_geometry g;
+    g.origin = {0, 0, 0};
+    g.dx = 1.0 / INX;
+    return g;
+}
+
+/// Uniformly refine a tree `levels` times.
+void refine_uniform(tree& t, int levels) {
+    for (int l = 0; l < levels; ++l) {
+        for (const auto k : t.leaves_sfc()) t.refine(k);
+    }
+}
+
+void init_state(tree& t, const std::function<state(const dvec3&)>& ic) {
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const state u = ic(g.geom.cell_center(i, j, kk));
+                    for (int q = 0; q < n_fields; ++q) {
+                        g.interior(q, i, j, kk) = u[static_cast<std::size_t>(q)];
+                    }
+                }
+    }
+}
+
+TEST(Step, UniformStateIsSteady) {
+    tree t(unit_root());
+    refine_uniform(t, 1);
+    phys::ideal_gas_eos eos(1.4);
+    init_state(t, [&](const dvec3&) { return make_state(1.0, {0.3, 0.2, -0.1}, 0.7, eos); });
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    const double dt = step(t, opt);
+    EXPECT_GT(dt, 0.0);
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    EXPECT_NEAR(g.interior(f_rho, i, j, kk), 1.0, 1e-13);
+                    EXPECT_NEAR(g.interior(f_sx, i, j, kk), 0.3, 1e-13);
+                }
+    }
+}
+
+TEST(Step, CflScalesWithResolution) {
+    tree t1(unit_root());
+    phys::ideal_gas_eos eos(1.4);
+    step_options opt;
+    opt.eos = eos;
+    init_state(t1, [&](const dvec3&) { return make_state(1.0, {0, 0, 0}, 1.0, eos); });
+    const double dt1 = cfl_timestep(t1, opt);
+
+    tree t2(unit_root());
+    refine_uniform(t2, 1);
+    init_state(t2, [&](const dvec3&) { return make_state(1.0, {0, 0, 0}, 1.0, eos); });
+    const double dt2 = cfl_timestep(t2, opt);
+    EXPECT_NEAR(dt1 / dt2, 2.0, 1e-10);
+}
+
+TEST(Step, SodShockTubeMatchesExactSolution) {
+    // 32^3 effective cells; tube along x, uniform in y/z.
+    tree t(unit_root());
+    refine_uniform(t, 2);
+    phys::ideal_gas_eos eos(1.4);
+    init_state(t, [&](const dvec3& r) {
+        return r.x < 0.5 ? make_state(1.0, {0, 0, 0}, 1.0, eos)
+                         : make_state(0.125, {0, 0, 0}, 0.1, eos);
+    });
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::outflow;
+
+    double time = 0.0;
+    while (time < 0.2) {
+        time += step(t, opt);
+    }
+
+    // Gather rho(x) along the center line and compare with the exact
+    // solution in L1.
+    double l1 = 0.0;
+    int n = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const auto ex =
+                        riemann_exact(sod_left(), sod_right(), (r.x - 0.5) / time, 1.4);
+                    l1 += std::abs(g.interior(f_rho, i, j, kk) - ex.rho);
+                    ++n;
+                }
+    }
+    l1 /= n;
+    EXPECT_LT(l1, 0.02) << "Sod L1 density error too large";
+}
+
+TEST(Step, SodIsOneDimensional) {
+    // The 3-D solver must keep a 1-D problem exactly 1-D: no transverse
+    // momentum is generated.
+    tree t(unit_root());
+    refine_uniform(t, 1);
+    phys::ideal_gas_eos eos(1.4);
+    init_state(t, [&](const dvec3& r) {
+        return r.x < 0.5 ? make_state(1.0, {0, 0, 0}, 1.0, eos)
+                         : make_state(0.125, {0, 0, 0}, 0.1, eos);
+    });
+    step_options opt;
+    opt.eos = eos;
+    for (int s = 0; s < 5; ++s) step(t, opt);
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    EXPECT_EQ(g.interior(f_sy, i, j, kk), 0.0);
+                    EXPECT_EQ(g.interior(f_sz, i, j, kk), 0.0);
+                }
+    }
+}
+
+state blob_ic(const dvec3& r, const phys::ideal_gas_eos& eos) {
+    // Rotating blob with STRICTLY compact dynamics: outside the blob the gas
+    // is uniform and static, so boundary fluxes are exactly symmetric and
+    // conservation must hold to rounding over a few steps.
+    const dvec3 c{0.5, 0.5, 0.5};
+    const double d2 = norm2(r - c);
+    const bool inside = d2 < 0.04;
+    const double excess = inside ? std::exp(-d2 / 0.01) : 0.0;
+    const double rho = 1e-6 + excess;
+    const dvec3 v = inside ? 0.3 * cross(dvec3{0, 0, 1}, r - c) : dvec3{0, 0, 0};
+    state u = make_state(rho, v, 1e-10 + 0.1 * excess, eos);
+    // Nonzero passive scalars and spin (compact as well).
+    u[first_passive] = 0.5 * rho;
+    u[first_passive + 1] = 0.5 * rho;
+    u[f_lx] = 1e-3 * excess;
+    return u;
+}
+
+class ConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationTest, MassMomentumAngularMomentumToRounding) {
+    // Param 0: uniform two-level grid. Param 1: AMR grid with a refined
+    // center (exercises refluxing and the coarse-fine spin ledger).
+    tree t(unit_root());
+    t.refine(root_key);
+    if (GetParam() == 1) {
+        // Refine the 8 central children unevenly.
+        t.refine(key_child(root_key, 0));
+        t.refine(key_child(root_key, 7));
+        t.balance21();
+    } else {
+        refine_uniform(t, 1);
+    }
+    phys::ideal_gas_eos eos(5.0 / 3.0);
+    init_state(t, [&](const dvec3& r) { return blob_ic(r, eos); });
+
+    const totals before = compute_totals(t);
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::outflow;
+    for (int s = 0; s < 3; ++s) step(t, opt);
+    const totals after = compute_totals(t);
+
+    EXPECT_NEAR(after.mass, before.mass, before.mass * 1e-12);
+    // Momentum: compare against a momentum scale (initial net momentum is ~0).
+    const double pscale = before.mass * 0.3; // mass * typical speed
+    EXPECT_LT(norm(after.momentum - before.momentum) / pscale, 1e-12);
+    // Angular momentum (orbital + spin): the paper's machine-precision claim.
+    const double lscale = std::max(norm(before.angular_momentum), 1e-20);
+    EXPECT_LT(norm(after.angular_momentum - before.angular_momentum) / lscale,
+              1e-10);
+    // Passive scalars are conserved too.
+    for (int s = 0; s < n_passive; ++s) {
+        EXPECT_NEAR(after.passive[s], before.passive[s],
+                    std::abs(before.passive[s]) * 1e-12 + 1e-18);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ConservationTest, ::testing::Values(0, 1));
+
+TEST(Step, GravitySourceAddsMomentum) {
+    tree t(unit_root());
+    phys::ideal_gas_eos eos(5.0 / 3.0);
+    init_state(t, [&](const dvec3&) { return make_state(1.0, {0, 0, 0}, 1.0, eos); });
+
+    // Uniform downward gravity via the lookup interface.
+    std::vector<double> gz(INX3, -1.5);
+    std::vector<double> zero(INX3, 0.0);
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    opt.gravity = [&](node_key) -> std::optional<gravity_field> {
+        return gravity_field{zero.data(), zero.data(), gz.data(),
+                             zero.data(), zero.data(), zero.data()};
+    };
+    opt.fixed_dt = 1e-3;
+    step(t, opt);
+    const totals after = compute_totals(t);
+    EXPECT_NEAR(after.momentum.z, -1.5 * after.mass * 1e-3,
+                std::abs(after.momentum.z) * 1e-10);
+    EXPECT_NEAR(after.momentum.x, 0.0, 1e-15);
+}
+
+TEST(Step, SpinTorqueDepositFeedsSpinField) {
+    tree t(unit_root());
+    phys::ideal_gas_eos eos(5.0 / 3.0);
+    init_state(t, [&](const dvec3&) { return make_state(1.0, {0, 0, 0}, 1.0, eos); });
+    std::vector<double> zero(INX3, 0.0);
+    std::vector<double> tqz(INX3, 2.0); // total torque per cell per time
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    opt.gravity = [&](node_key) -> std::optional<gravity_field> {
+        return gravity_field{zero.data(), zero.data(), zero.data(),
+                             zero.data(), zero.data(), tqz.data()};
+    };
+    opt.fixed_dt = 1e-3;
+    step(t, opt);
+    const totals after = compute_totals(t);
+    // 512 cells x torque 2.0 x dt = total Lz gain of 1.024e-3... in total
+    // units: deposits are per-cell totals, so sum = 512 * 2.0 * dt.
+    EXPECT_NEAR(after.angular_momentum.z, 512 * 2.0 * 1e-3, 1e-9);
+}
+
+TEST(Step, RotatingFrameCoriolisDeflects) {
+    // Center the domain on the rotation axis so the centrifugal force has no
+    // net component and the Coriolis deflection is visible.
+    box_geometry centered;
+    centered.origin = {-0.5, -0.5, -0.5};
+    centered.dx = 1.0 / INX;
+    tree t(centered);
+    phys::ideal_gas_eos eos(5.0 / 3.0);
+    init_state(t, [&](const dvec3&) { return make_state(1.0, {0.1, 0, 0}, 1.0, eos); });
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    opt.omega = {0, 0, 1.0};
+    opt.fixed_dt = 1e-3;
+    step(t, opt);
+    const totals after = compute_totals(t);
+    // Coriolis: a = -2 Omega x v = -2 (0,0,1) x (0.1,0,0) = (0, -0.2, 0);
+    // centrifugal adds net force ~ 0 only if the domain is symmetric about
+    // the axis — it is not (axis at origin), so just check the sign of the
+    // Coriolis deflection dominates in y.
+    EXPECT_LT(after.momentum.y, 0.0);
+}
+
+TEST(Step, DualEnergyKeepsPressurePositiveInHighMach) {
+    // Cold supersonic stream: internal energy must stay positive via tau.
+    tree t(unit_root());
+    phys::ideal_gas_eos eos(5.0 / 3.0);
+    init_state(t, [&](const dvec3&) {
+        state u = make_state(1.0, {100.0, 0, 0}, 1e-6, eos);
+        return u;
+    });
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    for (int s = 0; s < 3; ++s) step(t, opt);
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    state u;
+                    for (int q = 0; q < n_fields; ++q) {
+                        u[static_cast<std::size_t>(q)] = g.interior(q, i, j, kk);
+                    }
+                    const primitives pr = to_primitives(u, eos);
+                    EXPECT_GT(pr.p, 0.0);
+                    EXPECT_LT(pr.internal, 1e-3); // no spurious heating
+                }
+    }
+}
+
+TEST(Step, AdvectionMovesBlobDownstream) {
+    tree t(unit_root());
+    refine_uniform(t, 1);
+    phys::ideal_gas_eos eos(1.4);
+    init_state(t, [&](const dvec3& r) {
+        const double rho = 1.0 + std::exp(-norm2(r - dvec3{0.3, 0.5, 0.5}) / 0.005);
+        return make_state(rho, {1.0, 0, 0}, 1.0, eos);
+    });
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::periodic;
+    double time = 0;
+    while (time < 0.1) time += step(t, opt);
+
+    // Density-weighted center along x must have moved by ~0.1.
+    double cx = 0, m = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const double ex = g.interior(f_rho, i, j, kk) - 1.0;
+                    cx += ex * g.geom.cell_center(i, j, kk).x;
+                    m += ex;
+                }
+    }
+    EXPECT_NEAR(cx / m, 0.3 + 0.1, 0.02);
+}
+
+TEST(Step, SedovBlastShockRadiusMatchesSimilaritySolution) {
+    // Verification test 2 of the paper's suite (§4.2): the Sedov-Taylor
+    // blast wave against the analytic similarity solution. Energy E = 1 is
+    // injected into a small central sphere of a cold uniform medium; the
+    // shock radius must follow R(t) = (E t^2 / (alpha rho0))^(1/5).
+    box_geometry root;
+    root.origin = {-0.5, -0.5, -0.5};
+    root.dx = 1.0 / INX;
+    tree t(root);
+    refine_uniform(t, 2); // 32^3
+    const double gamma = 1.4;
+    phys::ideal_gas_eos eos(gamma);
+    const double r0 = 0.06; // injection radius (~2 cells)
+    const double Vinj = 4.0 / 3.0 * M_PI * r0 * r0 * r0;
+    double injected = 0.0;
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const bool hot = norm(r) < r0;
+                    const double u = hot ? 1.0 / Vinj : 1e-8;
+                    g.interior(f_rho, i, j, kk) = 1.0;
+                    g.interior(f_egas, i, j, kk) = u;
+                    g.interior(f_tau, i, j, kk) = eos.tau_from_internal(u);
+                    if (hot) injected += u * g.geom.cell_volume();
+                }
+    }
+    step_options opt;
+    opt.eos = eos;
+    opt.bc = boundary_kind::outflow;
+    double time = 0;
+    while (time < 0.015) time += step(t, opt);
+
+    // Shock radius: density-weighted mean radius of strongly compressed gas.
+    double rsum = 0, w = 0, rho_peak = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const double rho = g.interior(f_rho, i, j, kk);
+                    rho_peak = std::max(rho_peak, rho);
+                    if (rho > 1.5) {
+                        const double rr = norm(g.geom.cell_center(i, j, kk));
+                        rsum += rho * rr;
+                        w += rho;
+                    }
+                }
+    }
+    ASSERT_GT(w, 0.0);
+    const double r_shock_sim = rsum / w;
+    const auto sed = sedov_solve(gamma);
+    const double r_shock_exact = sed.shock_radius(injected, 1.0, time);
+    EXPECT_NEAR(r_shock_sim, r_shock_exact, 0.25 * r_shock_exact)
+        << "sim " << r_shock_sim << " exact " << r_shock_exact;
+    // Strong-shock compression approached (jump limit is 6 for gamma=1.4;
+    // at 32^3 the peak is smeared but must clearly exceed 2).
+    EXPECT_GT(rho_peak, 2.0);
+    // The blast stays spherical: centroid of the dense shell at the origin.
+    dvec3 centroid{0, 0, 0};
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const double rho = g.interior(f_rho, i, j, kk);
+                    if (rho > 1.5) centroid += rho * g.geom.cell_center(i, j, kk);
+                }
+    }
+    EXPECT_LT(norm(centroid / w), 0.01);
+}
+
+// ---- parameterized sweeps ---------------------------------------------------
+
+// Sod tube across adiabatic index and reconstruction order: the exact
+// Riemann reference adapts to gamma; PPM must beat piecewise-constant.
+class SodSweep : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(SodSweep, DensityErrorWithinBound) {
+    const auto [gamma, use_ppm] = GetParam();
+    tree t(unit_root());
+    refine_uniform(t, 1); // 16^3: cheap but discriminating
+    phys::ideal_gas_eos eos(gamma);
+    init_state(t, [&](const dvec3& r) {
+        return r.x < 0.5 ? make_state(1.0, {0, 0, 0}, 1.0, eos)
+                         : make_state(0.125, {0, 0, 0}, 0.1, eos);
+    });
+    step_options opt;
+    opt.eos = eos;
+    opt.use_ppm = use_ppm;
+    double time = 0;
+    while (time < 0.15) time += step(t, opt);
+
+    double l1 = 0;
+    int n = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const auto ex = riemann_exact(sod_left(), sod_right(),
+                                                  (r.x - 0.5) / time, gamma);
+                    l1 += std::abs(g.interior(f_rho, i, j, kk) - ex.rho);
+                    ++n;
+                }
+    }
+    l1 /= n;
+    EXPECT_LT(l1, use_ppm ? 0.035 : 0.06) << "gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaRecon, SodSweep,
+                         ::testing::Combine(::testing::Values(1.4, 5.0 / 3.0),
+                                            ::testing::Values(true, false)),
+                         [](const auto& info) {
+                             return std::string(std::get<0>(info.param) > 1.5
+                                                    ? "g53"
+                                                    : "g14") +
+                                    (std::get<1>(info.param) ? "_ppm" : "_pcm");
+                         });
+
+// Conservation must hold for ANY gamma / reconstruction / CFL combination.
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<double, bool, double>> {};
+
+TEST_P(ConservationSweep, LedgerClosesForAllSchemes) {
+    const auto [gamma, use_ppm, cfl] = GetParam();
+    tree t(unit_root());
+    refine_uniform(t, 1);
+    phys::ideal_gas_eos eos(gamma);
+    init_state(t, [&](const dvec3& r) { return blob_ic(r, eos); });
+    const totals before = compute_totals(t);
+    step_options opt;
+    opt.eos = eos;
+    opt.use_ppm = use_ppm;
+    opt.cfl = cfl;
+    for (int s = 0; s < 2; ++s) step(t, opt);
+    const totals after = compute_totals(t);
+    EXPECT_NEAR(after.mass, before.mass, before.mass * 1e-12);
+    const double lscale = std::max(norm(before.angular_momentum), 1e-20);
+    EXPECT_LT(norm(after.angular_momentum - before.angular_momentum) / lscale,
+              1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ConservationSweep,
+    ::testing::Combine(::testing::Values(1.4, 5.0 / 3.0),
+                       ::testing::Values(true, false),
+                       ::testing::Values(0.2, 0.4)));
+
+} // namespace

@@ -1,0 +1,175 @@
+// Tests for the I/O layer: CSV writers, nearest-cell sampling and the
+// checkpoint/restart round trip (the paper's level-13-restart workflow).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "amr/tree.hpp"
+#include "io/checkpoint.hpp"
+#include "io/writers.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace octo;
+using namespace octo::amr;
+
+box_geometry unit_root() {
+    box_geometry g;
+    g.origin = {0, 0, 0};
+    g.dx = 1.0 / INX;
+    return g;
+}
+
+tree make_test_tree() {
+    tree t(unit_root());
+    t.refine(root_key);
+    t.refine(key_child(root_key, 3));
+    t.balance21();
+    xoshiro256 rng(99);
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        g.interior(f, i, j, kk) = rng.uniform(0.0, 2.0);
+                    }
+    }
+    return t;
+}
+
+TEST(Sample, NearestCellLookup) {
+    tree t(unit_root());
+    auto& g = t.ensure_fields(root_key);
+    g.interior(f_rho, 0, 0, 0) = 7.0;
+    g.interior(f_rho, 7, 7, 7) = 9.0;
+    EXPECT_DOUBLE_EQ(io::sample(t, f_rho, {0.01, 0.01, 0.01}), 7.0);
+    EXPECT_DOUBLE_EQ(io::sample(t, f_rho, {0.99, 0.99, 0.99}), 9.0);
+    // Outside the domain: 0.
+    EXPECT_DOUBLE_EQ(io::sample(t, f_rho, {-1.0, 0.5, 0.5}), 0.0);
+}
+
+TEST(Sample, DescendsIntoRefinedRegions) {
+    tree t = make_test_tree();
+    // A point inside child 3's region must read the level-2 leaf value.
+    const node_key fine = key_child(key_child(root_key, 3), 0);
+    const auto& g = *t.node(fine).fields;
+    const dvec3 p = g.geom.cell_center(2, 2, 2);
+    EXPECT_DOUBLE_EQ(io::sample(t, f_rho, p), g.interior(f_rho, 2, 2, 2));
+}
+
+TEST(CsvWriters, ProduceWellFormedFiles) {
+    tree t = make_test_tree();
+    const std::string cells = "/tmp/octo_cells_test.csv";
+    io::write_cells_csv(t, cells);
+    std::ifstream in(cells);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("x,y,z,level,dx,rho"), std::string::npos);
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(in, line)) ++rows;
+    EXPECT_EQ(rows, t.leaf_count() * INX3);
+    std::remove(cells.c_str());
+
+    const std::string slice = "/tmp/octo_slice_test.csv";
+    io::write_slice_csv(t, f_rho, 0.5, 16, slice);
+    std::ifstream sin(slice);
+    ASSERT_TRUE(sin.good());
+    rows = 0;
+    while (std::getline(sin, line)) {
+        ++rows;
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 15);
+    }
+    EXPECT_EQ(rows, 16u);
+    std::remove(slice.c_str());
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+    tree t = make_test_tree();
+    const std::string path = "/tmp/octo_checkpoint_test.bin";
+    io::write_checkpoint(t, path);
+    tree r = io::read_checkpoint(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(r.size(), t.size());
+    EXPECT_EQ(r.leaf_count(), t.leaf_count());
+    EXPECT_DOUBLE_EQ(r.root_geometry().dx, t.root_geometry().dx);
+    for (const auto k : t.leaves_sfc()) {
+        ASSERT_TRUE(r.contains(k));
+        ASSERT_NE(r.node(k).fields, nullptr);
+        const auto& a = *t.node(k).fields;
+        const auto& b = *r.node(k).fields;
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        ASSERT_EQ(a.interior(f, i, j, kk), b.interior(f, i, j, kk));
+                    }
+    }
+}
+
+TEST(Checkpoint, PreservesAmrHierarchy) {
+    // A mixed-depth tree (the paper's restart files are AMR snapshots).
+    tree t = make_test_tree();
+    const auto leaves_before = t.leaves_sfc();
+    const std::string path = "/tmp/octo_checkpoint_amr.bin";
+    io::write_checkpoint(t, path);
+    tree r = io::read_checkpoint(path);
+    std::remove(path.c_str());
+    const auto leaves_after = r.leaves_sfc();
+    ASSERT_EQ(leaves_after.size(), leaves_before.size());
+    for (std::size_t i = 0; i < leaves_before.size(); ++i) {
+        EXPECT_EQ(leaves_after[i], leaves_before[i]); // same SFC order
+        EXPECT_EQ(key_level(leaves_after[i]), key_level(leaves_before[i]));
+    }
+    EXPECT_TRUE(r.is_balanced21());
+}
+
+TEST(Sample, EveryFieldAddressable) {
+    tree t(unit_root());
+    auto& g = t.ensure_fields(root_key);
+    for (int f = 0; f < n_fields; ++f) g.interior(f, 1, 2, 3) = 100.0 + f;
+    const dvec3 p = g.geom.cell_center(1, 2, 3);
+    for (int f = 0; f < n_fields; ++f) {
+        EXPECT_DOUBLE_EQ(io::sample(t, f, p), 100.0 + f) << field_name(f);
+    }
+}
+
+TEST(CsvWriters, SliceSelectsRequestedField) {
+    tree t(unit_root());
+    auto& g = t.ensure_fields(root_key);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                g.interior(f_egas, i, j, kk) = 42.0;
+                g.interior(f_rho, i, j, kk) = 1.0;
+            }
+    const std::string path = "/tmp/octo_slice_field.csv";
+    io::write_slice_csv(t, f_egas, 0.5, 4, path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find("42"), std::string::npos);
+    EXPECT_EQ(line.find("1,1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+    const std::string path = "/tmp/octo_checkpoint_bad.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a checkpoint";
+    }
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    std::remove(path.c_str());
+    EXPECT_THROW(io::read_checkpoint("/nonexistent/path.bin"), octo::error);
+}
+
+} // namespace

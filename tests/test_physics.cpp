@@ -1,0 +1,159 @@
+// Tests for the physics layer: EOS + dual-energy formalism, Lane–Emden
+// integration against known analytic values, and polytrope scalings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/eos.hpp"
+#include "physics/polytrope.hpp"
+#include "physics/units.hpp"
+
+namespace {
+
+using namespace octo::phys;
+
+TEST(Eos, PressureAndSoundSpeed) {
+    ideal_gas_eos eos(5.0 / 3.0);
+    EXPECT_DOUBLE_EQ(eos.pressure(3.0), 2.0);
+    // c_s = sqrt(gamma p / rho)
+    EXPECT_DOUBLE_EQ(eos.sound_speed(1.0, 3.0), std::sqrt(5.0 / 3.0 * 2.0));
+}
+
+TEST(Eos, TauRoundTrip) {
+    ideal_gas_eos eos(5.0 / 3.0);
+    for (double u : {1e-8, 0.37, 1.0, 42.0}) {
+        EXPECT_NEAR(eos.internal_from_tau(eos.tau_from_internal(u)), u, u * 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(eos.tau_from_internal(-1.0), 0.0); // clamped
+}
+
+TEST(Eos, DualEnergyLowMachUsesTotalEnergy) {
+    ideal_gas_eos eos(5.0 / 3.0, 1e-3);
+    // Low mach: E = 10, ke = 1 -> internal from total = 9.
+    const double tau = eos.tau_from_internal(5.0); // deliberately inconsistent
+    EXPECT_DOUBLE_EQ(eos.internal_energy(10.0, 1.0, tau), 9.0);
+    EXPECT_FALSE(eos.uses_entropy(10.0, 1.0));
+}
+
+TEST(Eos, DualEnergyHighMachUsesTau) {
+    ideal_gas_eos eos(5.0 / 3.0, 1e-3);
+    // High mach: kinetic nearly equals total; E - ke below the switch.
+    const double u_true = 1e-7;
+    const double tau = eos.tau_from_internal(u_true);
+    const double E = 1000.0;
+    const double ke = E - 1e-5; // E-ke = 1e-5 < 1e-3 * 1000
+    EXPECT_NEAR(eos.internal_energy(E, ke, tau), u_true, u_true * 1e-10);
+    EXPECT_TRUE(eos.uses_entropy(E, ke));
+}
+
+TEST(Eos, NegativeResidualFallsBackToTau) {
+    ideal_gas_eos eos;
+    const double tau = eos.tau_from_internal(0.3);
+    EXPECT_NEAR(eos.internal_energy(1.0, 1.5, tau), 0.3, 1e-12);
+}
+
+// Lane–Emden analytic checks:
+//   n = 0: theta = 1 - xi^2/6, xi1 = sqrt(6).
+//   n = 1: theta = sin(xi)/xi, xi1 = pi.
+//   n = 5: xi1 = infinity (we only go to n < 5).
+TEST(LaneEmden, PolytropeIndex0) {
+    const auto sol = solve_lane_emden(0.0, 1e-4);
+    EXPECT_NEAR(sol.xi1, std::sqrt(6.0), 1e-3);
+    EXPECT_NEAR(sol.theta_at(1.0), 1.0 - 1.0 / 6.0, 1e-4);
+}
+
+TEST(LaneEmden, PolytropeIndex1) {
+    const auto sol = solve_lane_emden(1.0, 1e-4);
+    EXPECT_NEAR(sol.xi1, M_PI, 1e-3);
+    EXPECT_NEAR(sol.theta_at(1.5), std::sin(1.5) / 1.5, 1e-4);
+    // theta'(xi1) = -1/pi * ... : for n=1, theta' = (cos xi)/xi - sin(xi)/xi^2,
+    // at xi1=pi: -1/pi.
+    EXPECT_NEAR(sol.dtheta_dxi_at_xi1, -1.0 / M_PI, 1e-3);
+}
+
+TEST(LaneEmden, KnownXi1ForN15) {
+    // Standard tabulated value for n = 1.5: xi1 ≈ 3.65375.
+    const auto sol = solve_lane_emden(1.5, 1e-4);
+    EXPECT_NEAR(sol.xi1, 3.65375, 5e-3);
+}
+
+TEST(LaneEmden, ThetaMonotoneDecreasing) {
+    const auto sol = solve_lane_emden(1.5);
+    for (std::size_t i = 1; i < sol.theta.size(); ++i) {
+        EXPECT_LE(sol.theta[i], sol.theta[i - 1] + 1e-12);
+    }
+}
+
+TEST(Polytrope, MassAndRadiusScalings) {
+    const polytrope star(1.54, 1.2, 1.5); // V1309 primary-like
+    EXPECT_DOUBLE_EQ(star.mass(), 1.54);
+    EXPECT_DOUBLE_EQ(star.radius(), 1.2);
+    EXPECT_GT(star.rho_central(), 0.0);
+    // Density vanishes at and beyond the surface, is maximal at the center.
+    EXPECT_DOUBLE_EQ(star.rho(1.2), 0.0);
+    EXPECT_DOUBLE_EQ(star.rho(2.0), 0.0);
+    EXPECT_NEAR(star.rho(0.0), star.rho_central(), star.rho_central() * 1e-6);
+    EXPECT_GT(star.rho(0.3), star.rho(0.9));
+}
+
+TEST(Polytrope, EnclosedMassIntegratesToTotal) {
+    const polytrope star(1.0, 1.0, 1.5);
+    EXPECT_NEAR(star.enclosed_mass(1.0), 1.0, 2e-3);
+    EXPECT_DOUBLE_EQ(star.enclosed_mass(5.0), 1.0);
+    EXPECT_LT(star.enclosed_mass(0.2), star.enclosed_mass(0.5));
+    EXPECT_NEAR(star.enclosed_mass(0.0), 0.0, 1e-8);
+}
+
+TEST(Polytrope, CentralDensityMatchesMeanDensityRatio) {
+    // For n = 1.5 the ratio rho_c / rho_mean ≈ 5.99.
+    const polytrope star(1.0, 1.0, 1.5);
+    const double rho_mean = 1.0 / (4.0 / 3.0 * M_PI);
+    EXPECT_NEAR(star.rho_central() / rho_mean, 5.99, 0.05);
+}
+
+TEST(Polytrope, PressureFollowsPolytropicRelation) {
+    const polytrope star(1.0, 1.0, 1.5);
+    const double r = 0.4;
+    EXPECT_NEAR(star.pressure(r), star.K() * std::pow(star.rho(r), 1.0 + 1.0 / 1.5),
+                star.pressure(r) * 1e-12);
+}
+
+// Polytrope property sweep over the index n: scalings must hold for any n.
+class PolytropeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolytropeSweep, MassRadiusAndMonotoneDensity) {
+    const double n = GetParam();
+    const polytrope star(2.0, 1.5, n);
+    EXPECT_NEAR(star.enclosed_mass(1.5), 2.0, 0.02);
+    EXPECT_DOUBLE_EQ(star.rho(2.0), 0.0);
+    // Density decreases monotonically with radius.
+    double prev = star.rho(0.0);
+    for (double r = 0.1; r < 1.5; r += 0.1) {
+        const double cur = star.rho(r);
+        EXPECT_LE(cur, prev + 1e-12) << "n=" << n << " r=" << r;
+        prev = cur;
+    }
+    // Pressure follows p = K rho^(1+1/n) everywhere inside.
+    const double r = 0.6;
+    EXPECT_NEAR(star.pressure(r), star.K() * std::pow(star.rho(r), 1.0 + 1.0 / n),
+                star.pressure(r) * 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, PolytropeSweep,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 3.0));
+
+TEST(Units, V1309ScenarioConstants) {
+    // Paper §6: 1.54 + 0.17 M_sun, separation 6.37 R_sun, domain 1.02e3 R_sun,
+    // period 1.42 days.
+    EXPECT_DOUBLE_EQ(v1309::m_primary, 1.54);
+    EXPECT_DOUBLE_EQ(v1309::m_secondary, 0.17);
+    EXPECT_DOUBLE_EQ(v1309::separation, 6.37);
+    EXPECT_DOUBLE_EQ(v1309::domain_edge, 1.02e3);
+    // Domain is ~160x the separation (paper: "about 160 times larger").
+    EXPECT_NEAR(v1309::domain_edge / v1309::separation, 160.0, 1.0);
+    // 1.42 days in code units: ~77 time units.
+    EXPECT_NEAR(days_to_code(v1309::period_days), 1.42 * 86400.0 / 1593.9, 1e-6);
+}
+
+} // namespace

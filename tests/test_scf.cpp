@@ -1,0 +1,179 @@
+// Tests for the Self-Consistent Field initial models: single-star sampling
+// against the Lane–Emden profile, and the Hachisu binary iteration —
+// convergence, Kepler-consistent orbital frequency, and the field/passive
+// scalar assembly the merger scenario relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/halo.hpp"
+#include "hydro/update.hpp"
+#include "physics/polytrope.hpp"
+#include "scf/scf.hpp"
+
+namespace {
+
+using namespace octo;
+using namespace octo::amr;
+
+TEST(UniformTree, DepthAndCoverage) {
+    auto t = scf::make_uniform_tree(2.0, 2);
+    EXPECT_EQ(t.max_level(), 2);
+    EXPECT_EQ(t.leaf_count(), 64u);
+    const auto g = t.root_geometry();
+    EXPECT_DOUBLE_EQ(g.origin.x, -1.0);
+    EXPECT_DOUBLE_EQ(g.dx * INX, 2.0);
+    for (const auto k : t.leaves_sfc()) {
+        EXPECT_NE(t.node(k).fields, nullptr);
+    }
+}
+
+TEST(SingleStar, MatchesLaneEmdenProfile) {
+    auto t = scf::make_uniform_tree(4.0, 2); // 32^3 cells over [-2,2]^3
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0, 0, 0});
+    const phys::polytrope star(1.0, 1.0, 1.5);
+
+    // Total mass within ~2% (cartesian sampling of the profile).
+    const auto totals = hydro::compute_totals(t);
+    EXPECT_NEAR(totals.mass, 1.0, 0.05);
+
+    // Density at sampled radii matches the polytrope.
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; i += 3)
+            for (int j = 0; j < INX; j += 3)
+                for (int kk = 0; kk < INX; kk += 3) {
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const double expect = std::max(star.rho(norm(r)), 1e-10);
+                    EXPECT_NEAR(g.interior(f_rho, i, j, kk), expect,
+                                1e-12 + expect * 1e-12);
+                }
+    }
+}
+
+TEST(SingleStar, UniformVelocityCarriesMomentum) {
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0.3, 0, 0});
+    const auto totals = hydro::compute_totals(t);
+    EXPECT_NEAR(totals.momentum.x, 0.3 * totals.mass, 1e-10);
+    EXPECT_NEAR(totals.momentum.y, 0.0, 1e-12);
+}
+
+TEST(SingleStar, PressureConsistentInternalEnergy) {
+    auto t = scf::make_uniform_tree(4.0, 1);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0, 0, 0});
+    const phys::polytrope star(1.0, 1.0, 1.5);
+    const double gamma = 1.0 + 1.0 / 1.5;
+    // Central cell: internal energy = p/(gamma-1).
+    double best = 1e30;
+    double internal_at_center = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = *t.node(k).fields;
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    const double d = norm(g.geom.cell_center(i, j, kk));
+                    if (d < best) {
+                        best = d;
+                        internal_at_center = g.interior(f_egas, i, j, kk);
+                    }
+                }
+    }
+    const double p_center = star.pressure(best);
+    EXPECT_NEAR(internal_at_center, p_center / (gamma - 1.0),
+                0.2 * internal_at_center);
+}
+
+class BinaryScf : public ::testing::Test {
+  protected:
+    static const scf::binary_model& model() {
+        static auto t = scf::make_uniform_tree(1.0, 2);
+        static scf::binary_params params = [] {
+            scf::binary_params p; // defaults are tuned for a depth-2 grid
+            p.max_iterations = 30;
+            return p;
+        }();
+        static scf::binary_model m = scf::solve_binary(t, params);
+        tree_ = &t;
+        return m;
+    }
+    static amr::tree* tree_;
+};
+amr::tree* BinaryScf::tree_ = nullptr;
+
+TEST_F(BinaryScf, ProducesTwoBoundStars) {
+    const auto& m = model();
+    EXPECT_GT(m.mass1, 0.0);
+    EXPECT_GT(m.mass2, 0.0);
+    EXPECT_GT(m.mass1, m.mass2); // primary heavier
+    EXPECT_GT(m.omega, 0.0);
+    EXPECT_GT(m.iterations, 3);
+}
+
+TEST_F(BinaryScf, OmegaIsRoughlyKeplerian) {
+    const auto& m = model();
+    const double a = norm(m.com2 - m.com1);
+    ASSERT_GT(a, 0.0);
+    const double kepler = std::sqrt((m.mass1 + m.mass2) / (a * a * a));
+    // The SCF frequency of an extended contact system deviates from the
+    // point-mass value, but must be the same order and within ~40%.
+    EXPECT_NEAR(m.omega / kepler, 1.0, 0.4);
+}
+
+TEST_F(BinaryScf, PassiveScalarsPartitionTheDensity) {
+    model();
+    for (const auto k : tree_->leaves_sfc()) {
+        const auto& g = *tree_->node(k).fields;
+        for (int i = 0; i < INX; i += 2)
+            for (int j = 0; j < INX; j += 2)
+                for (int kk = 0; kk < INX; kk += 2) {
+                    double sum = 0;
+                    for (int s = 0; s < n_passive; ++s) {
+                        const double f = g.interior(first_passive + s, i, j, kk);
+                        EXPECT_GE(f, 0.0);
+                        sum += f;
+                    }
+                    EXPECT_NEAR(sum, g.interior(f_rho, i, j, kk),
+                                g.interior(f_rho, i, j, kk) * 1e-10);
+                }
+    }
+}
+
+TEST_F(BinaryScf, SynchronousRotationVelocityField) {
+    const auto& m = model();
+    // v = omega x r: check a dense cell of the primary.
+    for (const auto k : tree_->leaves_sfc()) {
+        const auto& g = *tree_->node(k).fields;
+        for (int i = 0; i < INX; i += 2)
+            for (int j = 0; j < INX; j += 2)
+                for (int kk = 0; kk < INX; kk += 2) {
+                    const double rho = g.interior(f_rho, i, j, kk);
+                    if (rho < 0.1) continue;
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const dvec3 v_expect = m.omega * cross(dvec3{0, 0, 1}, r);
+                    EXPECT_NEAR(g.interior(f_sx, i, j, kk), rho * v_expect.x,
+                                std::abs(rho * v_expect.x) * 1e-10 + 1e-14);
+                    EXPECT_NEAR(g.interior(f_sy, i, j, kk), rho * v_expect.y,
+                                std::abs(rho * v_expect.y) * 1e-10 + 1e-14);
+                }
+    }
+}
+
+TEST_F(BinaryScf, DarwinLikeSpinOrbitBudget) {
+    // Paper §3: V1309 is set up so spin angular momentum is near one third
+    // of the orbital angular momentum (Darwin instability threshold). Our
+    // scaled model is not tuned to that exact ratio, but spin (about each
+    // star's center) must be a minor fraction of the orbital budget.
+    const auto& m = model();
+    // Orbital L of the two-point-mass analogue about the COM.
+    const dvec3 com = (m.mass1 * m.com1 + m.mass2 * m.com2) / (m.mass1 + m.mass2);
+    const double a1 = norm(m.com1 - com), a2 = norm(m.com2 - com);
+    const double Lorb = m.omega * (m.mass1 * a1 * a1 + m.mass2 * a2 * a2);
+    EXPECT_GT(Lorb, 0.0);
+    // Total L of the model from the fields.
+    const auto totals = hydro::compute_totals(*tree_);
+    EXPECT_GT(totals.angular_momentum.z, Lorb * 0.5);
+}
+
+} // namespace

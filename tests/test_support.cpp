@@ -1,0 +1,231 @@
+// Unit tests for the support layer: vec3, Morton keys, FLOP counters, RNG,
+// aligned storage, and the SIMD pack abstraction.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "simd/pack.hpp"
+#include "support/aligned.hpp"
+#include "support/flops.hpp"
+#include "support/morton.hpp"
+#include "support/rng.hpp"
+#include "support/vec3.hpp"
+
+namespace {
+
+using octo::dvec3;
+using octo::ivec3;
+
+TEST(Vec3, Arithmetic) {
+    dvec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (dvec3{5, 7, 9}));
+    EXPECT_EQ(b - a, (dvec3{3, 3, 3}));
+    EXPECT_EQ(a * 2.0, (dvec3{2, 4, 6}));
+    EXPECT_EQ(2.0 * a, (dvec3{2, 4, 6}));
+    EXPECT_EQ(a / 2.0, (dvec3{0.5, 1, 1.5}));
+    EXPECT_EQ(-a, (dvec3{-1, -2, -3}));
+}
+
+TEST(Vec3, DotCrossNorm) {
+    dvec3 a{1, 0, 0}, b{0, 1, 0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+    EXPECT_EQ(cross(a, b), (dvec3{0, 0, 1}));
+    EXPECT_DOUBLE_EQ(norm(dvec3{3, 4, 0}), 5.0);
+    EXPECT_DOUBLE_EQ(norm2(dvec3{3, 4, 0}), 25.0);
+}
+
+TEST(Vec3, CrossAntisymmetry) {
+    octo::xoshiro256 rng(7);
+    for (int i = 0; i < 100; ++i) {
+        dvec3 a{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        dvec3 b{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        EXPECT_EQ(cross(a, b), -cross(b, a));
+        EXPECT_NEAR(dot(cross(a, b), a), 0.0, 1e-15);
+    }
+}
+
+TEST(Vec3, Indexing) {
+    dvec3 v{7, 8, 9};
+    EXPECT_DOUBLE_EQ(v[0], 7);
+    EXPECT_DOUBLE_EQ(v[1], 8);
+    EXPECT_DOUBLE_EQ(v[2], 9);
+    v[1] = 42;
+    EXPECT_DOUBLE_EQ(v.y, 42);
+}
+
+TEST(Morton, RoundTripExhaustiveSmall) {
+    for (std::uint32_t x = 0; x < 16; ++x)
+        for (std::uint32_t y = 0; y < 16; ++y)
+            for (std::uint32_t z = 0; z < 16; ++z) {
+                const auto key = octo::morton_encode(x, y, z);
+                const auto d = octo::morton_decode(key);
+                EXPECT_EQ(d.x, x);
+                EXPECT_EQ(d.y, y);
+                EXPECT_EQ(d.z, z);
+            }
+}
+
+TEST(Morton, RoundTripLargeCoordinates) {
+    octo::xoshiro256 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = static_cast<std::uint32_t>(rng.below(1u << 21));
+        const auto y = static_cast<std::uint32_t>(rng.below(1u << 21));
+        const auto z = static_cast<std::uint32_t>(rng.below(1u << 21));
+        const auto d = octo::morton_decode(octo::morton_encode(x, y, z));
+        EXPECT_EQ(d, (octo::vec3<std::uint32_t>{x, y, z}));
+    }
+}
+
+TEST(Morton, IsInjectiveOnGrid) {
+    std::set<std::uint64_t> keys;
+    for (std::uint32_t x = 0; x < 8; ++x)
+        for (std::uint32_t y = 0; y < 8; ++y)
+            for (std::uint32_t z = 0; z < 8; ++z) keys.insert(octo::morton_encode(x, y, z));
+    EXPECT_EQ(keys.size(), 512u);
+    // Keys of an 8^3 grid fill exactly [0, 512).
+    EXPECT_EQ(*keys.rbegin(), 511u);
+}
+
+TEST(Morton, PreservesOctantNesting) {
+    // The top 3 bits of a depth-d Morton key identify the child octant —
+    // the property the SFC partitioner relies on.
+    const auto parent = octo::morton_encode(2, 3, 1);
+    for (std::uint32_t cx = 0; cx < 2; ++cx)
+        for (std::uint32_t cy = 0; cy < 2; ++cy)
+            for (std::uint32_t cz = 0; cz < 2; ++cz) {
+                const auto child = octo::morton_encode(4 + cx, 6 + cy, 2 + cz);
+                EXPECT_EQ(child >> 3, parent);
+            }
+}
+
+TEST(Flops, CountsPerSite) {
+    octo::flop_reset();
+    octo::count_flops(octo::kernel_class::fmm_multipole, octo::exec_site::cpu, 455);
+    octo::count_flops(octo::kernel_class::fmm_multipole, octo::exec_site::gpu, 910);
+    octo::count_launch(octo::kernel_class::fmm_multipole, octo::exec_site::cpu);
+    octo::count_launch(octo::kernel_class::fmm_multipole, octo::exec_site::gpu);
+    octo::count_launch(octo::kernel_class::fmm_multipole, octo::exec_site::gpu);
+    const auto s = octo::flop_snapshot(octo::kernel_class::fmm_multipole);
+    EXPECT_EQ(s.cpu_flops, 455u);
+    EXPECT_EQ(s.gpu_flops, 910u);
+    EXPECT_EQ(s.flops(), 1365u);
+    EXPECT_EQ(s.cpu_launches, 1u);
+    EXPECT_EQ(s.gpu_launches, 2u);
+    EXPECT_NEAR(s.gpu_launch_fraction(), 2.0 / 3.0, 1e-15);
+}
+
+TEST(Flops, AggregatesAcrossThreads) {
+    octo::flop_reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 1000; ++i) {
+                octo::count_flops(octo::kernel_class::fmm_monopole, octo::exec_site::cpu, 12);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(octo::flop_snapshot(octo::kernel_class::fmm_monopole).cpu_flops, 48000u);
+    octo::flop_reset();
+    EXPECT_EQ(octo::flop_snapshot(octo::kernel_class::fmm_monopole).cpu_flops, 0u);
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+    octo::xoshiro256 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+    octo::xoshiro256 r(1);
+    double mean = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        mean += u;
+    }
+    EXPECT_NEAR(mean / n, 0.5, 0.01);
+}
+
+TEST(Aligned, VectorIsAligned) {
+    octo::aligned_vector<double> v(100, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % octo::simd_alignment, 0u);
+    EXPECT_DOUBLE_EQ(v[99], 1.0);
+}
+
+// ---- SIMD pack -------------------------------------------------------------
+
+using octo::simd::dpack;
+
+TEST(Simd, BroadcastAndLanes) {
+    dpack p(3.5);
+    for (std::size_t i = 0; i < dpack::size(); ++i) EXPECT_DOUBLE_EQ(p[i], 3.5);
+}
+
+TEST(Simd, LoadStoreRoundTrip) {
+    alignas(64) double in[dpack::size()];
+    alignas(64) double out[dpack::size()];
+    for (std::size_t i = 0; i < dpack::size(); ++i) in[i] = static_cast<double>(i) + 0.25;
+    dpack::load(in).store(out);
+    for (std::size_t i = 0; i < dpack::size(); ++i) EXPECT_DOUBLE_EQ(out[i], in[i]);
+}
+
+TEST(Simd, Arithmetic) {
+    dpack a(2.0), b(0.5);
+    EXPECT_DOUBLE_EQ((a + b)[0], 2.5);
+    EXPECT_DOUBLE_EQ((a - b)[1], 1.5);
+    EXPECT_DOUBLE_EQ((a * b)[2], 1.0);
+    EXPECT_DOUBLE_EQ((a / b)[3], 4.0);
+    EXPECT_DOUBLE_EQ((-a)[0], -2.0);
+}
+
+TEST(Simd, HorizontalSum) {
+    alignas(64) double in[dpack::size()];
+    double expect = 0;
+    for (std::size_t i = 0; i < dpack::size(); ++i) {
+        in[i] = static_cast<double>(i + 1);
+        expect += in[i];
+    }
+    EXPECT_DOUBLE_EQ(dpack::load(in).hsum(), expect);
+    EXPECT_DOUBLE_EQ(octo::simd::hsum(dpack::load(in)), expect);
+}
+
+TEST(Simd, RsqrtMatchesScalar) {
+    alignas(64) double in[dpack::size()];
+    octo::xoshiro256 rng(9);
+    for (std::size_t i = 0; i < dpack::size(); ++i) in[i] = rng.uniform(0.1, 100.0);
+    const auto r = octo::simd::rsqrt(dpack::load(in));
+    for (std::size_t i = 0; i < dpack::size(); ++i) {
+        EXPECT_DOUBLE_EQ(r[i], octo::simd::rsqrt(in[i]));
+    }
+}
+
+TEST(Simd, MinMax) {
+    dpack a(1.0), b(2.0);
+    EXPECT_DOUBLE_EQ(octo::simd::max(a, b)[0], 2.0);
+    EXPECT_DOUBLE_EQ(octo::simd::min(a, b)[0], 1.0);
+}
+
+TEST(Simd, SqrtLaneWise) {
+    dpack a(16.0);
+    const auto r = octo::simd::sqrt(a);
+    for (std::size_t i = 0; i < dpack::size(); ++i) EXPECT_DOUBLE_EQ(r[i], 4.0);
+}
+
+// The kernel-template trick from paper §5.1: the same function template must
+// work for scalar and pack types.
+template <class T>
+T inv_distance(T dx, T dy, T dz) {
+    return octo::simd::rsqrt(dx * dx + dy * dy + dz * dz);
+}
+
+TEST(Simd, SameTemplateScalarAndVector) {
+    const double s = inv_distance(3.0, 4.0, 0.0);
+    EXPECT_DOUBLE_EQ(s, 0.2);
+    const auto v = inv_distance(dpack(3.0), dpack(4.0), dpack(0.0));
+    for (std::size_t i = 0; i < dpack::size(); ++i) EXPECT_DOUBLE_EQ(v[i], 0.2);
+}
+
+} // namespace
