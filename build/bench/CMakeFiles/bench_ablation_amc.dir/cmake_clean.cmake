@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amc.dir/bench_ablation_amc.cpp.o"
+  "CMakeFiles/bench_ablation_amc.dir/bench_ablation_amc.cpp.o.d"
+  "bench_ablation_amc"
+  "bench_ablation_amc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

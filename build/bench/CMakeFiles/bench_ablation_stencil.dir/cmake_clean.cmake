@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stencil.dir/bench_ablation_stencil.cpp.o"
+  "CMakeFiles/bench_ablation_stencil.dir/bench_ablation_stencil.cpp.o.d"
+  "bench_ablation_stencil"
+  "bench_ablation_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_streams.dir/bench_gpu_streams.cpp.o"
+  "CMakeFiles/bench_gpu_streams.dir/bench_gpu_streams.cpp.o.d"
+  "bench_gpu_streams"
+  "bench_gpu_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parcelports.dir/bench_parcelports.cpp.o"
+  "CMakeFiles/bench_parcelports.dir/bench_parcelports.cpp.o.d"
+  "bench_parcelports"
+  "bench_parcelports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parcelports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

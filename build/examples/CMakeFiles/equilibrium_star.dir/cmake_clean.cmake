@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibrium_star.dir/equilibrium_star.cpp.o"
+  "CMakeFiles/equilibrium_star.dir/equilibrium_star.cpp.o.d"
+  "equilibrium_star"
+  "equilibrium_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibrium_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

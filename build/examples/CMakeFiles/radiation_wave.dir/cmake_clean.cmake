@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiation_wave.dir/radiation_wave.cpp.o"
+  "CMakeFiles/radiation_wave.dir/radiation_wave.cpp.o.d"
+  "radiation_wave"
+  "radiation_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiation_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v1309_merger.dir/v1309_merger.cpp.o"
+  "CMakeFiles/v1309_merger.dir/v1309_merger.cpp.o.d"
+  "v1309_merger"
+  "v1309_merger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v1309_merger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

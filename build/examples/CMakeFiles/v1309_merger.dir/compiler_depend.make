@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for v1309_merger.
+# This may be replaced when dependencies are built.

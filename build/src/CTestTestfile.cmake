@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("simd")
+subdirs("runtime")
+subdirs("gpu")
+subdirs("physics")
+subdirs("amr")
+subdirs("fmm")
+subdirs("hydro")
+subdirs("rad")
+subdirs("scf")
+subdirs("io")
+subdirs("core")
+subdirs("dist")
+subdirs("net")
+subdirs("cluster")

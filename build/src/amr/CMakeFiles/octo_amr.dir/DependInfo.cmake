@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/halo.cpp" "src/amr/CMakeFiles/octo_amr.dir/halo.cpp.o" "gcc" "src/amr/CMakeFiles/octo_amr.dir/halo.cpp.o.d"
+  "/root/repo/src/amr/partition.cpp" "src/amr/CMakeFiles/octo_amr.dir/partition.cpp.o" "gcc" "src/amr/CMakeFiles/octo_amr.dir/partition.cpp.o.d"
+  "/root/repo/src/amr/prolong.cpp" "src/amr/CMakeFiles/octo_amr.dir/prolong.cpp.o" "gcc" "src/amr/CMakeFiles/octo_amr.dir/prolong.cpp.o.d"
+  "/root/repo/src/amr/subgrid.cpp" "src/amr/CMakeFiles/octo_amr.dir/subgrid.cpp.o" "gcc" "src/amr/CMakeFiles/octo_amr.dir/subgrid.cpp.o.d"
+  "/root/repo/src/amr/tree.cpp" "src/amr/CMakeFiles/octo_amr.dir/tree.cpp.o" "gcc" "src/amr/CMakeFiles/octo_amr.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_amr.dir/halo.cpp.o"
+  "CMakeFiles/octo_amr.dir/halo.cpp.o.d"
+  "CMakeFiles/octo_amr.dir/partition.cpp.o"
+  "CMakeFiles/octo_amr.dir/partition.cpp.o.d"
+  "CMakeFiles/octo_amr.dir/prolong.cpp.o"
+  "CMakeFiles/octo_amr.dir/prolong.cpp.o.d"
+  "CMakeFiles/octo_amr.dir/subgrid.cpp.o"
+  "CMakeFiles/octo_amr.dir/subgrid.cpp.o.d"
+  "CMakeFiles/octo_amr.dir/tree.cpp.o"
+  "CMakeFiles/octo_amr.dir/tree.cpp.o.d"
+  "libocto_amr.a"
+  "libocto_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_cluster.dir/event_sim.cpp.o"
+  "CMakeFiles/octo_cluster.dir/event_sim.cpp.o.d"
+  "CMakeFiles/octo_cluster.dir/machine_model.cpp.o"
+  "CMakeFiles/octo_cluster.dir/machine_model.cpp.o.d"
+  "CMakeFiles/octo_cluster.dir/scenario_tree.cpp.o"
+  "CMakeFiles/octo_cluster.dir/scenario_tree.cpp.o.d"
+  "libocto_cluster.a"
+  "libocto_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_dist.dir/locality.cpp.o"
+  "CMakeFiles/octo_dist.dir/locality.cpp.o.d"
+  "libocto_dist.a"
+  "libocto_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmm/direct.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/direct.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/direct.cpp.o.d"
+  "/root/repo/src/fmm/kernels.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/kernels.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/kernels.cpp.o.d"
+  "/root/repo/src/fmm/legacy_ilist.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/legacy_ilist.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/legacy_ilist.cpp.o.d"
+  "/root/repo/src/fmm/solver.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/solver.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/solver.cpp.o.d"
+  "/root/repo/src/fmm/stencil.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/stencil.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/stencil.cpp.o.d"
+  "/root/repo/src/fmm/taylor.cpp" "src/fmm/CMakeFiles/octo_fmm.dir/taylor.cpp.o" "gcc" "src/fmm/CMakeFiles/octo_fmm.dir/taylor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/octo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/octo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_fmm.dir/direct.cpp.o"
+  "CMakeFiles/octo_fmm.dir/direct.cpp.o.d"
+  "CMakeFiles/octo_fmm.dir/kernels.cpp.o"
+  "CMakeFiles/octo_fmm.dir/kernels.cpp.o.d"
+  "CMakeFiles/octo_fmm.dir/legacy_ilist.cpp.o"
+  "CMakeFiles/octo_fmm.dir/legacy_ilist.cpp.o.d"
+  "CMakeFiles/octo_fmm.dir/solver.cpp.o"
+  "CMakeFiles/octo_fmm.dir/solver.cpp.o.d"
+  "CMakeFiles/octo_fmm.dir/stencil.cpp.o"
+  "CMakeFiles/octo_fmm.dir/stencil.cpp.o.d"
+  "CMakeFiles/octo_fmm.dir/taylor.cpp.o"
+  "CMakeFiles/octo_fmm.dir/taylor.cpp.o.d"
+  "libocto_fmm.a"
+  "libocto_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_gpu.dir/device.cpp.o"
+  "CMakeFiles/octo_gpu.dir/device.cpp.o.d"
+  "libocto_gpu.a"
+  "libocto_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

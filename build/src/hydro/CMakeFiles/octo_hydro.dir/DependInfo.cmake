@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hydro/flux.cpp" "src/hydro/CMakeFiles/octo_hydro.dir/flux.cpp.o" "gcc" "src/hydro/CMakeFiles/octo_hydro.dir/flux.cpp.o.d"
+  "/root/repo/src/hydro/reconstruct.cpp" "src/hydro/CMakeFiles/octo_hydro.dir/reconstruct.cpp.o" "gcc" "src/hydro/CMakeFiles/octo_hydro.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/hydro/riemann_exact.cpp" "src/hydro/CMakeFiles/octo_hydro.dir/riemann_exact.cpp.o" "gcc" "src/hydro/CMakeFiles/octo_hydro.dir/riemann_exact.cpp.o.d"
+  "/root/repo/src/hydro/sedov.cpp" "src/hydro/CMakeFiles/octo_hydro.dir/sedov.cpp.o" "gcc" "src/hydro/CMakeFiles/octo_hydro.dir/sedov.cpp.o.d"
+  "/root/repo/src/hydro/update.cpp" "src/hydro/CMakeFiles/octo_hydro.dir/update.cpp.o" "gcc" "src/hydro/CMakeFiles/octo_hydro.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/octo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/octo_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_hydro.dir/flux.cpp.o"
+  "CMakeFiles/octo_hydro.dir/flux.cpp.o.d"
+  "CMakeFiles/octo_hydro.dir/reconstruct.cpp.o"
+  "CMakeFiles/octo_hydro.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/octo_hydro.dir/riemann_exact.cpp.o"
+  "CMakeFiles/octo_hydro.dir/riemann_exact.cpp.o.d"
+  "CMakeFiles/octo_hydro.dir/sedov.cpp.o"
+  "CMakeFiles/octo_hydro.dir/sedov.cpp.o.d"
+  "CMakeFiles/octo_hydro.dir/update.cpp.o"
+  "CMakeFiles/octo_hydro.dir/update.cpp.o.d"
+  "libocto_hydro.a"
+  "libocto_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/octo_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/octo_io.dir/writers.cpp.o"
+  "CMakeFiles/octo_io.dir/writers.cpp.o.d"
+  "libocto_io.a"
+  "libocto_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

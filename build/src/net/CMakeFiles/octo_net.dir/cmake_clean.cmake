@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_net.dir/fabric.cpp.o"
+  "CMakeFiles/octo_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/octo_net.dir/parcelport.cpp.o"
+  "CMakeFiles/octo_net.dir/parcelport.cpp.o.d"
+  "libocto_net.a"
+  "libocto_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_physics.dir/polytrope.cpp.o"
+  "CMakeFiles/octo_physics.dir/polytrope.cpp.o.d"
+  "libocto_physics.a"
+  "libocto_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

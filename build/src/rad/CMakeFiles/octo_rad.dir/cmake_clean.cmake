@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_rad.dir/rad.cpp.o"
+  "CMakeFiles/octo_rad.dir/rad.cpp.o.d"
+  "libocto_rad.a"
+  "libocto_rad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_rad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

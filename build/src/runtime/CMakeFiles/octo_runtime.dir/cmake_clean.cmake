@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_runtime.dir/apex.cpp.o"
+  "CMakeFiles/octo_runtime.dir/apex.cpp.o.d"
+  "CMakeFiles/octo_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/octo_runtime.dir/thread_pool.cpp.o.d"
+  "libocto_runtime.a"
+  "libocto_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

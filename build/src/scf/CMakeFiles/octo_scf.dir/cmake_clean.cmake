@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_scf.dir/scf.cpp.o"
+  "CMakeFiles/octo_scf.dir/scf.cpp.o.d"
+  "libocto_scf.a"
+  "libocto_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_support.dir/flops.cpp.o"
+  "CMakeFiles/octo_support.dir/flops.cpp.o.d"
+  "libocto_support.a"
+  "libocto_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

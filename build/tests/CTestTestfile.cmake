@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gpu "/root/repo/build/tests/test_gpu")
+set_tests_properties(test_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_physics "/root/repo/build/tests/test_physics")
+set_tests_properties(test_physics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_amr "/root/repo/build/tests/test_amr")
+set_tests_properties(test_amr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fmm "/root/repo/build/tests/test_fmm")
+set_tests_properties(test_fmm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;23;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hydro "/root/repo/build/tests/test_hydro")
+set_tests_properties(test_hydro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scf "/root/repo/build/tests/test_scf")
+set_tests_properties(test_scf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;29;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;32;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;35;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dist "/root/repo/build/tests/test_dist")
+set_tests_properties(test_dist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;38;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cluster "/root/repo/build/tests/test_cluster")
+set_tests_properties(test_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;41;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rad "/root/repo/build/tests/test_rad")
+set_tests_properties(test_rad PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;44;octo_add_test;/root/repo/tests/CMakeLists.txt;0;")
