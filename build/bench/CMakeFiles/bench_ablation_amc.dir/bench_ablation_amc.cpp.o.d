@@ -233,11 +233,12 @@ bench/CMakeFiles/bench_ablation_amc.dir/bench_ablation_amc.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/amr/subgrid.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /root/repo/src/fmm/direct.hpp \
- /root/repo/src/fmm/node_data.hpp /root/repo/src/fmm/stencil.hpp \
- /root/repo/src/fmm/taylor.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /root/repo/src/fmm/direct.hpp /root/repo/src/fmm/node_data.hpp \
+ /root/repo/src/fmm/stencil.hpp /root/repo/src/fmm/taylor.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \

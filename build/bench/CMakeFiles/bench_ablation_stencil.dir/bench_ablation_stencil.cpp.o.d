@@ -238,4 +238,5 @@ bench/CMakeFiles/bench_ablation_stencil.dir/bench_ablation_stencil.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/support/buffer_recycler.hpp \
  /root/repo/src/fmm/legacy_ilist.hpp /root/repo/src/support/rng.hpp

@@ -238,6 +238,7 @@ bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/hydro/flux.hpp /root/repo/src/hydro/state.hpp \
- /root/repo/src/physics/eos.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/hydro/reconstruct.hpp /root/repo/src/support/rng.hpp
+ /root/repo/src/support/buffer_recycler.hpp /root/repo/src/hydro/flux.hpp \
+ /root/repo/src/hydro/state.hpp /root/repo/src/physics/eos.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/hydro/reconstruct.hpp \
+ /root/repo/src/support/rng.hpp

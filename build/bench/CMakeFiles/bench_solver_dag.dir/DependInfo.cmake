@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_solver_dag.cpp" "bench/CMakeFiles/bench_solver_dag.dir/bench_solver_dag.cpp.o" "gcc" "bench/CMakeFiles/bench_solver_dag.dir/bench_solver_dag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmm/CMakeFiles/octo_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/octo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/octo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

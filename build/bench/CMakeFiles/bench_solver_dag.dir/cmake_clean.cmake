@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_dag.dir/bench_solver_dag.cpp.o"
+  "CMakeFiles/bench_solver_dag.dir/bench_solver_dag.cpp.o.d"
+  "bench_solver_dag"
+  "bench_solver_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

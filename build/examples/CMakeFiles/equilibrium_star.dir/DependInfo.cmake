@@ -19,9 +19,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/fmm/CMakeFiles/octo_fmm.dir/DependInfo.cmake"
   "/root/repo/build/src/physics/CMakeFiles/octo_physics.dir/DependInfo.cmake"
   "/root/repo/build/src/gpu/CMakeFiles/octo_gpu.dir/DependInfo.cmake"
-  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/octo_io.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/CMakeFiles/octo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
   )
 

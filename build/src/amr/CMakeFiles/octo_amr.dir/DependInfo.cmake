@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/octo_runtime.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -209,9 +209,11 @@ src/amr/CMakeFiles/octo_amr.dir/halo.cpp.o: /root/repo/src/amr/halo.cpp \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/amr/subgrid.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -236,4 +238,13 @@ src/amr/CMakeFiles/octo_amr.dir/halo.cpp.o: /root/repo/src/amr/halo.cpp \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/amr/prolong.hpp
+ /root/repo/src/amr/prolong.hpp /root/repo/src/runtime/apex.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

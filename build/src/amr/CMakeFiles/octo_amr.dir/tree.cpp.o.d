@@ -209,9 +209,11 @@ src/amr/CMakeFiles/octo_amr.dir/tree.cpp.o: /root/repo/src/amr/tree.cpp \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/amr/subgrid.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -235,6 +237,7 @@ src/amr/CMakeFiles/octo_amr.dir/tree.cpp.o: /root/repo/src/amr/tree.cpp \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/support/morton.hpp

@@ -233,4 +233,5 @@ src/fmm/CMakeFiles/octo_fmm.dir/kernels.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/support/buffer_recycler.hpp \
  /root/repo/src/support/assert.hpp

@@ -232,4 +232,5 @@ src/fmm/CMakeFiles/octo_fmm.dir/legacy_ilist.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/support/buffer_recycler.hpp

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/buffer_recycler.cpp" "src/support/CMakeFiles/octo_support.dir/buffer_recycler.cpp.o" "gcc" "src/support/CMakeFiles/octo_support.dir/buffer_recycler.cpp.o.d"
   "/root/repo/src/support/flops.cpp" "src/support/CMakeFiles/octo_support.dir/flops.cpp.o" "gcc" "src/support/CMakeFiles/octo_support.dir/flops.cpp.o.d"
   )
 

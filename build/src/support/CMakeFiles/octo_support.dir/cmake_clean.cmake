@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/octo_support.dir/buffer_recycler.cpp.o"
+  "CMakeFiles/octo_support.dir/buffer_recycler.cpp.o.d"
   "CMakeFiles/octo_support.dir/flops.cpp.o"
   "CMakeFiles/octo_support.dir/flops.cpp.o.d"
   "libocto_support.a"

@@ -297,9 +297,11 @@ tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o: \
  /root/repo/src/cluster/machine_model.hpp \
  /root/repo/src/amr/partition.hpp /root/repo/src/amr/tree.hpp \
  /root/repo/src/amr/subgrid.hpp /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

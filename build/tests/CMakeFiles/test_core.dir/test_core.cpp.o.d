@@ -318,11 +318,13 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/repo/src/core/scenario.hpp /root/repo/src/core/simulation.hpp \
  /root/repo/src/amr/halo.hpp /root/repo/src/amr/tree.hpp \
  /root/repo/src/amr/subgrid.hpp /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /root/repo/src/fmm/solver.hpp \
- /root/repo/src/fmm/kernels.hpp /root/repo/src/fmm/node_data.hpp \
- /root/repo/src/fmm/stencil.hpp /root/repo/src/fmm/taylor.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /root/repo/src/fmm/solver.hpp /root/repo/src/fmm/kernels.hpp \
+ /root/repo/src/fmm/node_data.hpp /root/repo/src/fmm/stencil.hpp \
+ /root/repo/src/fmm/taylor.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simd/pack.hpp /root/repo/src/gpu/device.hpp \

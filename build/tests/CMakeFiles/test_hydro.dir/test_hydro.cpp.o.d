@@ -317,6 +317,7 @@ tests/CMakeFiles/test_hydro.dir/test_hydro.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/amr/halo.hpp \
  /root/repo/src/amr/tree.hpp /root/repo/src/amr/subgrid.hpp \
  /root/repo/src/amr/config.hpp /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
  /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
  /root/repo/src/hydro/flux.hpp /root/repo/src/hydro/state.hpp \
  /root/repo/src/physics/eos.hpp /root/repo/src/hydro/reconstruct.hpp \

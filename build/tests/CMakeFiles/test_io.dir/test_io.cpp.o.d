@@ -298,9 +298,11 @@ tests/CMakeFiles/test_io.dir/test_io.cpp.o: /root/repo/tests/test_io.cpp \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/amr/tree.hpp \
  /root/repo/src/amr/subgrid.hpp /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -316,10 +316,12 @@ tests/CMakeFiles/test_rad.dir/test_rad.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/amr/tree.hpp \
  /root/repo/src/amr/subgrid.hpp /root/repo/src/amr/config.hpp \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/assert.hpp \
- /root/repo/src/support/vec3.hpp /root/repo/src/hydro/update.hpp \
- /root/repo/src/amr/halo.hpp /root/repo/src/hydro/state.hpp \
- /root/repo/src/physics/eos.hpp /root/repo/src/runtime/thread_pool.hpp \
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/support/vec3.hpp \
+ /root/repo/src/hydro/update.hpp /root/repo/src/amr/halo.hpp \
+ /root/repo/src/hydro/state.hpp /root/repo/src/physics/eos.hpp \
+ /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

@@ -294,19 +294,19 @@ tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/runtime/apex.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/timer.hpp \
- /usr/include/c++/12/chrono /root/repo/src/runtime/channel.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/runtime/future.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/runtime/thread_pool.hpp /usr/include/c++/12/thread \
- /root/repo/src/support/assert.hpp /root/repo/src/runtime/latch.hpp
+ /root/repo/src/runtime/apex.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/runtime/channel.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/runtime/future.hpp \
+ /usr/include/c++/12/condition_variable \
+ /root/repo/src/runtime/thread_pool.hpp /root/repo/src/support/assert.hpp \
+ /root/repo/src/runtime/latch.hpp

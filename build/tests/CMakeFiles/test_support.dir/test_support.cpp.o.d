@@ -323,6 +323,7 @@ tests/CMakeFiles/test_support.dir/test_support.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/support/aligned.hpp /root/repo/src/support/flops.hpp \
- /root/repo/src/support/morton.hpp /root/repo/src/support/vec3.hpp \
- /root/repo/src/support/rng.hpp
+ /root/repo/src/support/aligned.hpp \
+ /root/repo/src/support/buffer_recycler.hpp \
+ /root/repo/src/support/flops.hpp /root/repo/src/support/morton.hpp \
+ /root/repo/src/support/vec3.hpp /root/repo/src/support/rng.hpp

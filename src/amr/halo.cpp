@@ -1,8 +1,11 @@
 #include "amr/halo.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "amr/prolong.hpp"
+#include "runtime/apex.hpp"
 #include "support/assert.hpp"
 
 namespace octo::amr {
@@ -16,6 +19,195 @@ int floor_div(int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); }
 int mod_pos(int a, int b) {
     const int m = a % b;
     return m < 0 ? m + b : m;
+}
+
+/// Where one ghost cell's data comes from: the source sub-grid and flat cell
+/// index, which momentum components a reflecting boundary flips, and the
+/// spin correction offset when the source is one level coarser.
+struct ghost_source {
+    const subgrid* sg = nullptr;
+    std::int32_t src = 0;   ///< flat index within one field plane of *sg
+    std::uint8_t flip = 0;  ///< bit a set: negate momentum component a
+    bool coarse = false;    ///< source is coarser: spin correction applies
+    dvec3 dr{0, 0, 0};      ///< fine ghost center minus coarse source center
+};
+
+/// Resolve ghost cell (i, j, kk) of node `k`: apply the physical boundary
+/// remap, locate the covering sub-grid (walking up one level when the
+/// same-level neighbor does not exist), and precompute the coarse-source
+/// spin-correction offset. Pure address computation — no field data is read.
+ghost_source resolve_ghost(const tree& t, node_key k, int i, int j, int kk,
+                           boundary_kind bc) {
+    const int level = key_level(k);
+    const int extent_subgrids = 1 << level;         // sub-grids per dimension
+    const int extent_cells = extent_subgrids * INX; // cells per dimension
+    const ivec3 base = key_coords(k);
+
+    // Global cell coordinates of this ghost cell at this level.
+    int gc[3] = {base.x * INX + (i - H_BW), base.y * INX + (j - H_BW),
+                 base.z * INX + (kk - H_BW)};
+
+    // Physical boundary handling first.
+    ghost_source out;
+    for (int a = 0; a < 3; ++a) {
+        if (gc[a] >= 0 && gc[a] < extent_cells) continue;
+        switch (bc) {
+            case boundary_kind::outflow:
+                gc[a] = clamp_idx(gc[a], extent_cells);
+                break;
+            case boundary_kind::periodic:
+                gc[a] = mod_pos(gc[a], extent_cells);
+                break;
+            case boundary_kind::reflecting:
+                // Mirror across the wall; flip normal momentum.
+                gc[a] = gc[a] < 0 ? -1 - gc[a] : 2 * extent_cells - 1 - gc[a];
+                out.flip |= static_cast<std::uint8_t>(1u << a);
+                break;
+        }
+    }
+
+    // Locate the sub-grid containing the (possibly remapped) cell.
+    const ivec3 src_sub{floor_div(gc[0], INX), floor_div(gc[1], INX),
+                        floor_div(gc[2], INX)};
+    node_key src = key_from_coords(level, src_sub);
+    int src_level = level;
+    int cell[3] = {mod_pos(gc[0], INX), mod_pos(gc[1], INX), mod_pos(gc[2], INX)};
+
+    // Walk up until a node with data exists (2:1 balance makes this at most
+    // one step for valid trees, but the loop is general). Cell coordinates
+    // coarsen by halving global coords.
+    int ggc[3] = {gc[0], gc[1], gc[2]};
+    while (!t.contains(src)) {
+        OCTO_ASSERT_MSG(src_level > 0, "no covering node found");
+        --src_level;
+        for (int a = 0; a < 3; ++a) ggc[a] = floor_div(ggc[a], 2);
+        const ivec3 csub{floor_div(ggc[0], INX), floor_div(ggc[1], INX),
+                         floor_div(ggc[2], INX)};
+        src = key_from_coords(src_level, csub);
+        for (int a = 0; a < 3; ++a) cell[a] = mod_pos(ggc[a], INX);
+    }
+
+    const auto& src_node = t.node(src);
+    OCTO_ASSERT_MSG(src_node.fields != nullptr,
+                    "fill_ghosts: source node without data (run "
+                    "restrict_tree first)");
+    out.sg = src_node.fields.get();
+    out.src = subgrid::interior_index(cell[0], cell[1], cell[2]);
+
+    // When the source is coarser, momentum sampled piecewise-constantly
+    // carries an orbital angular momentum offset about the coarse cell
+    // center; shift it into the spin field so the ghost data is consistent
+    // with the prolongation operator.
+    if (src_level != level) {
+        out.coarse = true;
+        const box_geometry src_geom = t.geometry(src);
+        const dvec3 R = src_geom.cell_center(cell[0], cell[1], cell[2]);
+        const box_geometry my_geom = t.geometry(k);
+        const dvec3 r = my_geom.cell_center(i - H_BW, j - H_BW, kk - H_BW);
+        out.dr = r - R;
+    }
+    return out;
+}
+
+/// Copy one ghost cell from its resolved source into `g` at flat index
+/// `dst`, applying the reflecting momentum flips and the coarse-source spin
+/// correction. (Negation is exactly multiplication by -1.0, so this matches
+/// the historical momentum_sign path bit for bit.)
+void apply_ghost(subgrid& g, std::int32_t dst, const subgrid& sg,
+                 std::int32_t src, std::uint8_t flip) {
+    for (int f = 0; f < n_fields; ++f) {
+        double v = sg.field_data(f)[src];
+        if ((f == f_sx && (flip & 1u) != 0) || (f == f_sy && (flip & 2u) != 0) ||
+            (f == f_sz && (flip & 4u) != 0)) {
+            v = -v;
+        }
+        g.field_data(f)[dst] = v;
+    }
+}
+
+void apply_spin_correction(subgrid& g, std::int32_t dst, const dvec3& dr) {
+    const dvec3 s{g.field_data(f_sx)[dst], g.field_data(f_sy)[dst],
+                  g.field_data(f_sz)[dst]};
+    const dvec3 corr = cross(dr, s);
+    g.field_data(f_lx)[dst] -= corr.x;
+    g.field_data(f_ly)[dst] -= corr.y;
+    g.field_data(f_lz)[dst] -= corr.z;
+}
+
+// ---- ghost-fill plan cache -------------------------------------------------
+//
+// Resolving a ghost cell is pure address computation on the tree structure:
+// for an unchanged tree it yields the same (source sub-grid, cell, flip,
+// correction) tuple every time. fill_all_ghosts runs several times per
+// timestep (every RK stage, plus regrid sweeps), so the resolved addresses
+// are cached as a flat plan and replayed; the (tree id, revision, boundary)
+// triple — with tree::revision() bumped on any refine/derefine/field
+// allocation — tells us exactly when the plan must be rebuilt. Plan storage
+// lives in recycled aligned_vectors, so rebuilds after a regrid reuse the
+// previous plan's memory.
+
+struct plan_entry {
+    std::int32_t dst;  ///< flat index in the destination field plane
+    std::int32_t src;  ///< flat index in the source field plane
+    const subgrid* sg; ///< source sub-grid
+    std::uint8_t flip; ///< reflecting-boundary momentum flips
+};
+
+struct plan_correction {
+    std::int32_t dst;
+    dvec3 dr;
+};
+
+struct node_plan {
+    subgrid* g = nullptr;
+    aligned_vector<plan_entry> entries;
+    aligned_vector<plan_correction> corrections;
+};
+
+struct halo_plan {
+    std::uint64_t tree_id = 0;
+    std::uint64_t revision = 0;
+    boundary_kind bc = boundary_kind::outflow;
+    bool valid = false;
+    std::vector<node_plan> nodes;
+};
+
+/// Single cached plan. fill_all_ghosts mutates sub-grids and was never
+/// callable concurrently; the cache inherits that contract.
+halo_plan& cached_plan() {
+    static halo_plan plan;
+    return plan;
+}
+
+void rebuild_plan(halo_plan& plan, tree& t, boundary_kind bc) {
+    constexpr int ghost_cells = NX3 - INX3;
+    plan.nodes.clear();
+    plan.nodes.reserve(t.size());
+    for (int level = 0; level <= t.max_level(); ++level) {
+        for (const node_key k : t.levels()[level]) {
+            auto& n = t.node(k);
+            if (n.fields == nullptr) continue;
+            node_plan np;
+            np.g = n.fields.get();
+            np.entries.reserve(ghost_cells);
+            for (int i = 0; i < NX; ++i)
+                for (int j = 0; j < NX; ++j)
+                    for (int kk = 0; kk < NX; ++kk) {
+                        if (subgrid::is_interior(i, j, kk)) continue;
+                        const ghost_source s = resolve_ghost(t, k, i, j, kk, bc);
+                        const auto dst =
+                            static_cast<std::int32_t>(subgrid::index(i, j, kk));
+                        np.entries.push_back({dst, s.src, s.sg, s.flip});
+                        if (s.coarse) np.corrections.push_back({dst, s.dr});
+                    }
+            plan.nodes.push_back(std::move(np));
+        }
+    }
+    plan.tree_id = t.id();
+    plan.revision = t.revision();
+    plan.bc = bc;
+    plan.valid = true;
+    rt::apex_count("amr.halo_plan_rebuilds");
 }
 
 } // namespace
@@ -43,107 +235,40 @@ void fill_ghosts(tree& t, node_key k, boundary_kind bc) {
     OCTO_ASSERT_MSG(n.fields != nullptr, "fill_ghosts: node without field data");
     subgrid& g = *n.fields;
 
-    const int level = key_level(k);
-    const int extent_subgrids = 1 << level;       // sub-grids per dimension
-    const int extent_cells = extent_subgrids * INX; // cells per dimension
-    const ivec3 base = key_coords(k);             // sub-grid coords at this level
-
     for (int i = 0; i < NX; ++i) {
         for (int j = 0; j < NX; ++j) {
             for (int kk = 0; kk < NX; ++kk) {
                 if (subgrid::is_interior(i, j, kk)) continue;
-
-                // Global cell coordinates of this ghost cell at this level.
-                int gc[3] = {base.x * INX + (i - H_BW), base.y * INX + (j - H_BW),
-                             base.z * INX + (kk - H_BW)};
-
-                // Physical boundary handling first.
-                bool outside = false;
-                double momentum_sign[3] = {1.0, 1.0, 1.0};
-                for (int a = 0; a < 3; ++a) {
-                    if (gc[a] >= 0 && gc[a] < extent_cells) continue;
-                    outside = true;
-                    switch (bc) {
-                        case boundary_kind::outflow:
-                            gc[a] = clamp_idx(gc[a], extent_cells);
-                            break;
-                        case boundary_kind::periodic:
-                            gc[a] = mod_pos(gc[a], extent_cells);
-                            break;
-                        case boundary_kind::reflecting:
-                            // Mirror across the wall; flip normal momentum.
-                            gc[a] = gc[a] < 0 ? -1 - gc[a]
-                                              : 2 * extent_cells - 1 - gc[a];
-                            momentum_sign[a] = -1.0;
-                            break;
-                    }
-                }
-                (void)outside;
-
-                // Locate the sub-grid containing the (possibly remapped) cell.
-                const ivec3 src_sub{floor_div(gc[0], INX), floor_div(gc[1], INX),
-                                    floor_div(gc[2], INX)};
-                node_key src = key_from_coords(level, src_sub);
-                int src_level = level;
-                int cell[3] = {mod_pos(gc[0], INX), mod_pos(gc[1], INX),
-                               mod_pos(gc[2], INX)};
-
-                // Walk up until a node with data exists (2:1 balance makes
-                // this at most one step for valid trees, but the loop is
-                // general). Cell coordinates coarsen by halving global coords.
-                int ggc[3] = {gc[0], gc[1], gc[2]};
-                while (!t.contains(src)) {
-                    OCTO_ASSERT_MSG(src_level > 0, "no covering node found");
-                    --src_level;
-                    for (int a = 0; a < 3; ++a) ggc[a] = floor_div(ggc[a], 2);
-                    const ivec3 csub{floor_div(ggc[0], INX), floor_div(ggc[1], INX),
-                                     floor_div(ggc[2], INX)};
-                    src = key_from_coords(src_level, csub);
-                    for (int a = 0; a < 3; ++a) cell[a] = mod_pos(ggc[a], INX);
-                }
-
-                const auto& src_node = t.node(src);
-                OCTO_ASSERT_MSG(src_node.fields != nullptr,
-                                "fill_ghosts: source node without data (run "
-                                "restrict_tree first)");
-                const subgrid& sg = *src_node.fields;
-
-                for (int f = 0; f < n_fields; ++f) {
-                    double v = sg.interior(f, cell[0], cell[1], cell[2]);
-                    if (f == f_sx) v *= momentum_sign[0];
-                    if (f == f_sy) v *= momentum_sign[1];
-                    if (f == f_sz) v *= momentum_sign[2];
-                    g.at(f, i, j, kk) = v;
-                }
-
-                // When the source is coarser, momentum sampled piecewise-
-                // constantly carries an orbital angular momentum offset about
-                // the coarse cell center; shift it into the spin field so the
-                // ghost data is consistent with the prolongation operator.
-                if (src_level != level) {
-                    const box_geometry src_geom = t.geometry(src);
-                    const dvec3 R =
-                        src_geom.cell_center(cell[0], cell[1], cell[2]);
-                    const box_geometry my_geom = t.geometry(k);
-                    const dvec3 r = my_geom.cell_center(i - H_BW, j - H_BW,
-                                                        kk - H_BW);
-                    const dvec3 s{g.at(f_sx, i, j, kk), g.at(f_sy, i, j, kk),
-                                  g.at(f_sz, i, j, kk)};
-                    const dvec3 corr = cross(r - R, s);
-                    g.at(f_lx, i, j, kk) -= corr.x;
-                    g.at(f_ly, i, j, kk) -= corr.y;
-                    g.at(f_lz, i, j, kk) -= corr.z;
-                }
+                const ghost_source s = resolve_ghost(t, k, i, j, kk, bc);
+                const auto dst =
+                    static_cast<std::int32_t>(subgrid::index(i, j, kk));
+                apply_ghost(g, dst, *s.sg, s.src, s.flip);
+                if (s.coarse) apply_spin_correction(g, dst, s.dr);
             }
         }
     }
 }
 
 void fill_all_ghosts(tree& t, boundary_kind bc) {
+    // restrict_tree may allocate parent field storage (bumping the tree
+    // revision), so it runs before the plan check.
     restrict_tree(t);
-    for (int level = 0; level <= t.max_level(); ++level) {
-        for (const node_key k : t.levels()[level]) {
-            if (t.node(k).fields != nullptr) fill_ghosts(t, k, bc);
+
+    halo_plan& plan = cached_plan();
+    if (!plan.valid || plan.tree_id != t.id() || plan.revision != t.revision() ||
+        plan.bc != bc) {
+        rebuild_plan(plan, t, bc);
+    } else {
+        rt::apex_count("amr.halo_plan_hits");
+    }
+
+    for (auto& np : plan.nodes) {
+        subgrid& g = *np.g;
+        for (const auto& e : np.entries) {
+            apply_ghost(g, e.dst, *e.sg, e.src, e.flip);
+        }
+        for (const auto& c : np.corrections) {
+            apply_spin_correction(g, c.dst, c.dr);
         }
     }
 }

@@ -24,7 +24,12 @@ void restrict_tree(tree& t);
 /// Fill the ghost shell of node `k` (which must have field storage).
 void fill_ghosts(tree& t, node_key k, boundary_kind bc);
 
-/// restrict_tree + fill_ghosts on every node with field data.
+/// restrict_tree + fill_ghosts on every node with field data. The resolved
+/// ghost-cell addresses are cached as a flat copy plan keyed on
+/// (tree id, tree revision, bc) and replayed until the tree structure
+/// changes — fill_all_ghosts runs once per RK stage, so in steady state the
+/// per-cell neighbor resolution is skipped entirely. Not thread-safe (it
+/// mutates sub-grid ghost shells, as ever).
 void fill_all_ghosts(tree& t, boundary_kind bc);
 
 } // namespace octo::amr

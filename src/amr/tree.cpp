@@ -1,6 +1,7 @@
 #include "amr/tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <deque>
 
@@ -48,7 +49,16 @@ std::uint64_t key_sfc_order(node_key k, int max_level) {
     return k << (3 * (max_level - level));
 }
 
-tree::tree(box_geometry root_geom) : root_geom_(root_geom) { insert(root_key); }
+namespace {
+std::uint64_t next_tree_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+} // namespace
+
+tree::tree(box_geometry root_geom) : root_geom_(root_geom), id_(next_tree_id()) {
+    insert(root_key);
+}
 
 void tree::insert(node_key k) {
     const int level = key_level(k);
@@ -75,6 +85,7 @@ void tree::refine(node_key k) {
     auto& n = node(k);
     OCTO_ASSERT_MSG(!n.refined, "refining an already refined node");
     n.refined = true;
+    ++revision_;
     for (int c = 0; c < 8; ++c) insert(key_child(k, c));
 }
 
@@ -96,6 +107,7 @@ void tree::derefine(node_key k) {
         lvl.pop_back();
     }
     n.refined = false;
+    ++revision_;
     // Trim empty finest levels so max_level() stays meaningful.
     while (!levels_.empty() && levels_.back().empty()) levels_.pop_back();
 }
@@ -137,6 +149,7 @@ subgrid& tree::ensure_fields(node_key k) {
     if (!n.fields) {
         n.fields = std::make_unique<subgrid>();
         n.fields->geom = geometry(k);
+        ++revision_;
     }
     return *n.fields;
 }

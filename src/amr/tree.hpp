@@ -58,6 +58,18 @@ class tree {
 
     const box_geometry& root_geometry() const { return root_geom_; }
 
+    /// Process-unique identity of this tree instance. Together with
+    /// revision() it keys caches of per-tree derived data (FMM workspaces,
+    /// ghost-fill plans): the id guards against address reuse across tree
+    /// instances, the revision against structural change within one.
+    std::uint64_t id() const { return id_; }
+
+    /// Structure revision: bumped by refine(), derefine() and by
+    /// ensure_fields() when it allocates storage. Unchanged revision (for an
+    /// unchanged id) guarantees the node set, field-storage set and all
+    /// sub-grid addresses are identical to the previous observation.
+    std::uint64_t revision() const { return revision_; }
+
     bool contains(node_key k) const { return nodes_.count(k) != 0; }
     bool is_leaf(node_key k) const;
 
@@ -105,6 +117,8 @@ class tree {
     void insert(node_key k);
 
     box_geometry root_geom_;
+    std::uint64_t id_ = 0;
+    std::uint64_t revision_ = 0;
     std::unordered_map<node_key, tree_node> nodes_;
     std::vector<std::vector<node_key>> levels_;
 };

@@ -77,8 +77,13 @@ int simulation::regrid(
         while (rebalanced) {
             rebalanced = false;
             for (int level = tree_.max_level(); level >= 1; --level) {
-                const std::vector<node_key> at_level = tree_.levels()[level];
-                for (const node_key k : at_level) {
+                // refine_with_fields() appends to this level's list while we
+                // scan it: iterate by index, re-fetching the vector each
+                // step, instead of copying the whole list every sweep.
+                // Appended nodes are simply visited later in the same pass.
+                for (std::size_t idx = 0; idx < tree_.levels()[level].size();
+                     ++idx) {
+                    const node_key k = tree_.levels()[level][idx];
                     if (!tree_.node(k).refined) continue;
                     for (int dx = -1; dx <= 1; ++dx)
                         for (int dy = -1; dy <= 1; ++dy)
@@ -112,10 +117,12 @@ int simulation::coarsen(
     const std::function<bool(node_key, const subgrid&)>& criterion) {
     int coarsened = 0;
     // Iterate coarsest-refined first so cascading coarsening in one call is
-    // possible; copy the level lists since derefine mutates them.
+    // possible. derefine(k) mutates only the CHILDREN's level list (and may
+    // trim empty trailing levels), never the non-empty list being scanned —
+    // so this level's list can be iterated in place, no copy needed.
     for (int level = tree_.max_level() - 1; level >= 0; --level) {
         if (level >= static_cast<int>(tree_.levels().size())) continue;
-        const std::vector<node_key> at_level = tree_.levels()[level];
+        const std::vector<node_key>& at_level = tree_.levels()[level];
         for (const node_key k : at_level) {
             if (!tree_.contains(k) || !tree_.node(k).refined) continue;
             bool all_leaf_children = true;

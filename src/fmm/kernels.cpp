@@ -51,6 +51,79 @@ void store_add(double* p, const T& v) {
     }
 }
 
+template <class T>
+bool any_lane_nonzero(const T& f) {
+    if constexpr (lane_count<T>::value == 1) {
+        return f != 0.0;
+    } else {
+        for (std::size_t l = 0; l < T::size(); ++l) {
+            if (f[l] != 0.0) return true;
+        }
+        return false;
+    }
+}
+
+/// Stencil elements preprocessed per receiver-parity class.
+///
+/// The kernels' inner loop historically paid, per (cell block, element):
+/// building the parity factor lane by lane, the padded-index arithmetic, and
+/// a full interaction even when the factor was zero in every lane. All three
+/// only depend on the element and the receiver parity (i&1, j&1, k0&1) — so
+/// they are hoisted here into per-parity lists of {flat offset, factor
+/// vector}, and elements whose factor is zero in every lane are dropped from
+/// the class entirely. Dropping them is bit-identical: a zero factor zeroes
+/// the partner's m and q, making every accumulated term exactly +-0.0.
+///
+/// Two prepasses run first and are also exact: the inner-mask filter, and
+/// the mass-bounds filter (elements whose shifted window [d, d+INX-1] misses
+/// the buffer's nonzero-mass bounding box contribute +0.0 for every cell —
+/// all terms scale with the partner's m and q, and r2 > 0 by construction).
+///
+/// Thread-local scratch: no allocation in steady state.
+template <class T>
+struct parity_lists {
+    struct item {
+        std::int32_t offset; ///< flat partner-buffer offset of the element
+        T factor;            ///< per-lane parity inclusion factor
+    };
+    std::vector<item> lists[8]; ///< indexed by (i&1) | ((j&1)<<1) | ((k0&1)<<2)
+};
+
+template <class T>
+const parity_lists<T>& active_parity_lists(const std::vector<stencil_element>& st,
+                                           const partner_buffer& partners,
+                                           bool use_inner_mask) {
+    constexpr int W = lane_count<T>::value;
+    constexpr int P = partner_buffer::P;
+    thread_local parity_lists<T> pl;
+    for (auto& l : pl.lists) l.clear();
+    // Cell blocks start at k0 = 0, W, 2W, ...: with W even only k0&1 == 0
+    // occurs; the scalar kernel visits both k parities.
+    const int npk = (W % 2 == 0) ? 1 : 2;
+    for (const auto& e : st) {
+        if (use_inner_mask && e.inner) continue;
+        const int d[3] = {e.dx, e.dy, e.dz};
+        bool overlaps = true;
+        for (int a = 0; a < 3; ++a) {
+            if (d[a] + INX - 1 < partners.mlo[a] || d[a] > partners.mhi[a]) {
+                overlaps = false;
+                break;
+            }
+        }
+        if (!overlaps) continue;
+        const auto offset =
+            static_cast<std::int32_t>((e.dx * P + e.dy) * P + e.dz);
+        for (int pk = 0; pk < npk; ++pk)
+            for (int pj = 0; pj < 2; ++pj)
+                for (int pi = 0; pi < 2; ++pi) {
+                    const T f = parity_factor<T>(e.parity_mask, pi, pj, pk);
+                    if (!any_lane_nonzero(f)) continue;
+                    pl.lists[pi | (pj << 1) | (pk << 2)].push_back({offset, f});
+                }
+    }
+    return pl;
+}
+
 } // namespace
 
 std::uint64_t interactions_per_launch(bool inner_masked) {
@@ -72,12 +145,17 @@ void monopole_kernel(const node_moments& self, const partner_buffer& partners,
                      const kernel_options& opt, node_gravity& out) {
     constexpr int W = lane_count<T>::value;
     static_assert(INX % W == 0 || W == 1);
-    const auto& st = opt.stencil != nullptr ? *opt.stencil : interaction_stencil();
+    const auto& pl = active_parity_lists<T>(
+        opt.stencil != nullptr ? *opt.stencil : interaction_stencil(), partners,
+        false);
 
     for (int i = 0; i < INX; ++i) {
         for (int j = 0; j < INX; ++j) {
             for (int k0 = 0; k0 < INX; k0 += W) {
                 const int c = cell_index(i, j, k0);
+                const int base = partner_buffer::index(i, j, k0);
+                const auto& st =
+                    pl.lists[(i & 1) | ((j & 1) << 1) | ((k0 & 1) << 2)];
                 const T ax = load_v<T>(&self.com[0][c]);
                 const T ay = load_v<T>(&self.com[1][c]);
                 const T az = load_v<T>(&self.com[2][c]);
@@ -85,9 +163,8 @@ void monopole_kernel(const node_moments& self, const partner_buffer& partners,
                 T phi(0.0), l1x(0.0), l1y(0.0), l1z(0.0);
 
                 for (const auto& e : st) {
-                    const int p = partner_buffer::index(i + e.dx, j + e.dy, k0 + e.dz);
-                    const T mB = load_v<T>(&partners.m[p]) *
-                                 parity_factor<T>(e.parity_mask, i, j, k0);
+                    const int p = base + e.offset;
+                    const T mB = load_v<T>(&partners.m[p]) * e.factor;
                     const T dx = ax - load_v<T>(&partners.x[p]);
                     const T dy = ay - load_v<T>(&partners.y[p]);
                     const T dz = az - load_v<T>(&partners.z[p]);
@@ -116,12 +193,17 @@ void multipole_kernel(const node_moments& self, const aligned_vector<double>& se
                       node_gravity& out) {
     constexpr int W = lane_count<T>::value;
     static_assert(INX % W == 0 || W == 1);
-    const auto& st = opt.stencil != nullptr ? *opt.stencil : interaction_stencil();
+    const auto& pl = active_parity_lists<T>(
+        opt.stencil != nullptr ? *opt.stencil : interaction_stencil(), partners,
+        opt.use_inner_mask);
 
     for (int i = 0; i < INX; ++i) {
         for (int j = 0; j < INX; ++j) {
             for (int k0 = 0; k0 < INX; k0 += W) {
                 const int c = cell_index(i, j, k0);
+                const int base = partner_buffer::index(i, j, k0);
+                const auto& st =
+                    pl.lists[(i & 1) | ((j & 1) << 1) | ((k0 & 1) << 2)];
                 const T ax = load_v<T>(&self.com[0][c]);
                 const T ay = load_v<T>(&self.com[1][c]);
                 const T az = load_v<T>(&self.com[2][c]);
@@ -135,9 +217,8 @@ void multipole_kernel(const node_moments& self, const aligned_vector<double>& se
                 T tq_acc[3] = {T(0.0), T(0.0), T(0.0)};
 
                 for (const auto& e : st) {
-                    if (opt.use_inner_mask && e.inner) continue;
-                    const int p = partner_buffer::index(i + e.dx, j + e.dy, k0 + e.dz);
-                    const T f = parity_factor<T>(e.parity_mask, i, j, k0);
+                    const int p = base + e.offset;
+                    const T& f = e.factor;
                     const T mB = load_v<T>(&partners.m[p]) * f;
                     T qb[6];
                     for (int t = 0; t < 6; ++t) qb[t] = load_v<T>(&partners.q[t][p]) * f;

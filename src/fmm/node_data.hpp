@@ -70,6 +70,32 @@ struct partner_buffer {
     aligned_vector<double> q[6];
     bool any = false; ///< whether any partner cell has nonzero mass
 
+    // Inclusive bounding box (in padded coordinates) of the cells holding
+    // nonzero mass. Defaults to the full padded region, so buffers filled
+    // directly (tests, benchmarks) behave exactly as before; the solver
+    // resets it to empty and lets its fill path narrow it, which allows the
+    // kernels to skip stencil elements whose partner window is entirely
+    // massless — their contribution is exactly +0.0 (every term scales with
+    // m and q of the partner cell), so the skip is bit-identical.
+    int mlo[3] = {-reach, -reach, -reach};
+    int mhi[3] = {INX + reach - 1, INX + reach - 1, INX + reach - 1};
+
+    /// Shrink the mass bounds to empty, before filling via include_mass_cell.
+    void reset_mass_bounds() {
+        for (int a = 0; a < 3; ++a) {
+            mlo[a] = INX + reach;
+            mhi[a] = -reach - 1;
+        }
+    }
+    /// Grow the mass bounds to cover padded cell (i, j, k).
+    void include_mass_cell(int i, int j, int k) {
+        const int c[3] = {i, j, k};
+        for (int a = 0; a < 3; ++a) {
+            if (c[a] < mlo[a]) mlo[a] = c[a];
+            if (c[a] > mhi[a]) mhi[a] = c[a];
+        }
+    }
+
     partner_buffer() {
         m.assign(P3, 0.0);
         x.assign(P3, 0.0);

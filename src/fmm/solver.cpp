@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
 #include "support/assert.hpp"
+#include "support/buffer_recycler.hpp"
 
 namespace octo::fmm {
 
@@ -137,6 +139,7 @@ void solver::fill_buffer_region(tree& t, node_key nb, const ivec3& off,
                 buf.z[dst] = mom.com[2][src];
                 for (int s = 0; s < 6; ++s) buf.q[s][dst] = mom.q[s][src];
                 buf.any = true;
+                buf.include_mass_cell(i, j, k);
             }
 }
 
@@ -170,6 +173,15 @@ std::uint64_t stencil_interactions(const std::vector<stencil_element>& st,
 } // namespace
 
 void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pending) {
+    // First writer of the node's output each solve: clear the recycled
+    // accumulators (phi/g are overwritten by evaluate_node, so only L and tq
+    // need zeroing). In the futurized DAG the parent's L2L depends on all
+    // children's same-level tasks, so nothing has accumulated into this node
+    // yet when its same-level task starts.
+    auto& out = gravity_.at(k);
+    for (auto& l : out.L) std::fill(l.begin(), l.end(), 0.0);
+    for (auto& q : out.tq) std::fill(q.begin(), q.end(), 0.0);
+
     const bool self_refined = t.node(k).refined;
     const bool is_root = (k == amr::root_key);
     const auto* stencil = is_root ? &root_stencil() : &interaction_stencil();
@@ -182,6 +194,8 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
     const box_geometry geom = t.geometry(k);
     init_buffer_geometry(geom, *mono);
     init_buffer_geometry(geom, *multi);
+    mono->reset_mass_bounds();
+    multi->reset_mass_bounds();
 
     for (int dx = -1; dx <= 1; ++dx)
         for (int dy = -1; dy <= 1; ++dy)
@@ -196,7 +210,6 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
                                    nb_refined ? *multi : *mono);
             }
 
-    auto& out = gravity_.at(k);
     const auto& self_mom = moments_.at(k);
     const auto& self_invm = invm_.at(k);
 
@@ -247,21 +260,35 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
         launches.push_back(std::move(s));
     }
 
-    for (auto& s : launches) {
-        auto run_scalar = [&self_mom, &self_invm, &out, s]() {
-            if (s.monopole_math) {
-                monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
-            } else {
-                multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt, out);
-            }
-        };
-        if (opt_.device != nullptr) {
-            if (auto lease = opt_.device->try_acquire_stream()) {
-                pending.push_back(lease->launch(run_scalar, s.flops, s.kc));
-                continue;
-            }
+    // Both partner classes accumulate into the same output arrays, so when
+    // offloading, the node's launches go onto a single stream as one
+    // in-order kernel: the accumulation order matches the CPU path exactly
+    // and two streams never race on out.L.
+    if (opt_.device != nullptr && !launches.empty()) {
+        if (auto lease = opt_.device->try_acquire_stream()) {
+            std::uint64_t flops = 0;
+            for (const auto& s : launches) flops += s.flops;
+            const kernel_class kc = launches.front().kc;
+            auto batch =
+                std::make_shared<std::vector<launch_spec>>(std::move(launches));
+            pending.push_back(lease->launch(
+                [&self_mom, &self_invm, &out, batch] {
+                    for (const auto& s : *batch) {
+                        if (s.monopole_math) {
+                            monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
+                        } else {
+                            multipole_kernel<double>(self_mom, self_invm, *s.buf,
+                                                     s.opt, out);
+                        }
+                    }
+                },
+                flops, kc));
+            return;
         }
-        // CPU path (vectorized).
+    }
+
+    // CPU path (vectorized).
+    for (auto& s : launches) {
         count_launch(s.kc, exec_site::cpu);
         if (opt_.vectorized) {
             if (s.monopole_math) {
@@ -271,7 +298,11 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
                                               out);
             }
         } else {
-            run_scalar();
+            if (s.monopole_math) {
+                monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
+            } else {
+                multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt, out);
+            }
         }
         count_flops(s.kc, exec_site::cpu, s.flops);
     }
@@ -496,13 +527,19 @@ void solver::evaluate_node(node_key k) {
     }
 }
 
-void solver::solve(tree& t) {
+void solver::prepare_workspace(tree& t) {
+    if (workspace_valid_ && workspace_tree_id_ == t.id() &&
+        workspace_revision_ == t.revision()) {
+        return; // same tree, same structure: reuse every buffer as-is
+    }
     moments_.clear();
     gravity_.clear();
     invm_.clear();
 
     // Pre-create all entries single-threaded so parallel phases never mutate
-    // the maps.
+    // the maps. The aligned_vector payloads come from the buffer_recycler,
+    // so after a regrid the previous workspace's storage is reused rather
+    // than reallocated.
     for (const auto& level : t.levels()) {
         for (const node_key k : level) {
             moments_.emplace(k, node_moments{});
@@ -510,9 +547,31 @@ void solver::solve(tree& t) {
             invm_.emplace(k, aligned_vector<double>(INX3, 0.0));
         }
     }
+    workspace_tree_id_ = t.id();
+    workspace_revision_ = t.revision();
+    workspace_valid_ = true;
+}
 
-    rt::apex_timer total_timer("fmm::solve");
+void solver::solve(tree& t) {
+    const auto rec_before = buffer_recycler::instance().stats();
+    prepare_workspace(t);
+    {
+        rt::apex_timer total_timer("fmm::solve");
+        if (opt_.futurized) {
+            solve_futurized(t);
+        } else {
+            solve_barriered(t);
+        }
+    }
+    const auto rec_after = buffer_recycler::instance().stats();
+    rt::apex_count("fmm.recycler_hits", rec_after.hits - rec_before.hits);
+    rt::apex_count("fmm.recycler_misses", rec_after.misses - rec_before.misses);
+}
 
+// The original five-phase solve, with a global barrier between phases. Kept
+// as the reference path: the futurized DAG below is bit-identical to it (the
+// tests assert this), and the bench compares the two.
+void solver::solve_barriered(tree& t) {
     // Phase 1a: leaf moments, in parallel.
     {
         rt::apex_timer timer("fmm::moments");
@@ -593,6 +652,176 @@ void solver::solve(tree& t) {
         }
         for (auto& f : fs) f.get();
     }
+}
+
+// The futurized solve (paper §4.1): one dependency graph over the whole
+// tree instead of five barriered phases. Each node's tasks wait only on the
+// data they actually read:
+//
+//   moments(leaf)            : nothing (chunked with its level siblings)
+//   m2m(node)                : moments of its 8 children
+//   same_level(node)         : moments of the node and its <=26 neighbors
+//   l2l(node)                : l2l of the parent + same_level of children
+//   evaluate(node)           : folded into the parent's l2l task
+//                              (root: folded into its same_level completion)
+//
+// so the L2L sweep of one subtree overlaps same-level kernels of another.
+// Every kernel and every accumulation runs in the same order as in
+// solve_barriered, which makes the two paths bit-identical.
+void solver::solve_futurized(tree& t) {
+    rt::thread_pool& pool = *pool_;
+    std::uint64_t tasks = 0;
+
+    // Completion future of each node's moment data (leaf moments or M2M)
+    // and of each node's same-level accumulation.
+    std::unordered_map<node_key, rt::future<void>> moment_done;
+    std::unordered_map<node_key, rt::future<void>> same_done;
+    // Completion of the L2L contribution *into* a node (the parent's L2L
+    // task; the root has no parent, so its own same-level completion).
+    std::unordered_map<node_key, rt::future<void>> down_ready;
+    std::vector<rt::future<void>> l2l_tasks;
+    moment_done.reserve(t.size());
+    same_done.reserve(t.size());
+    down_ready.reserve(t.size());
+
+    // Futures are one-shot, but any number of continuations may key off one
+    // state: alias() mints a dependency handle onto the same shared state.
+    const auto alias = [](const rt::future<void>& f) {
+        return rt::future<void>(f.state());
+    };
+
+    // ---- Stage 1: moments, bottom-up. Leaf tasks are chunked (a single
+    // leaf's moment pass is far smaller than a kernel launch, so per-leaf
+    // tasks would be mostly scheduling overhead); each leaf still fulfills
+    // its own promise so consumers wake as soon as *their* inputs exist.
+    constexpr std::size_t leaf_chunk = 16;
+    using leaf_promises = std::vector<std::pair<node_key, rt::promise<void>>>;
+    for (int level = t.max_level(); level >= 0; --level) {
+        std::vector<node_key> leaves;
+        for (const node_key k : t.levels()[level]) {
+            if (!t.node(k).refined) leaves.push_back(k);
+        }
+        for (std::size_t base = 0; base < leaves.size(); base += leaf_chunk) {
+            const std::size_t n = std::min(leaf_chunk, leaves.size() - base);
+            auto chunk = std::make_shared<leaf_promises>();
+            chunk->reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                chunk->emplace_back(leaves[base + i], rt::promise<void>{});
+                moment_done.emplace(leaves[base + i],
+                                    chunk->back().second.get_future());
+            }
+            pool.post([this, &t, chunk] {
+                for (auto& [k, p] : *chunk) {
+                    try {
+                        compute_leaf_moments(t, k);
+                        p.set_value();
+                    } catch (...) {
+                        p.set_exception(std::current_exception());
+                    }
+                }
+            });
+            ++tasks;
+        }
+        // Refined nodes at this level: children (level+1) already have
+        // moment futures from the previous iteration.
+        for (const node_key k : t.levels()[level]) {
+            if (!t.node(k).refined) continue;
+            std::vector<rt::future<void>> deps;
+            deps.reserve(8);
+            for (int c = 0; c < 8; ++c) {
+                deps.push_back(alias(moment_done.at(key_child(k, c))));
+            }
+            auto f = rt::when_all(std::move(deps))
+                         .then(pool, [this, &t, k](auto) { m2m(t, k); });
+            ++tasks;
+            moment_done.emplace(k, std::move(f));
+        }
+    }
+
+    // ---- Stage 2: same-level interactions, gated on exactly the moment
+    // sets the node's partner buffers read. Device launches chain onto the
+    // completion promise instead of being joined globally.
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            std::vector<rt::future<void>> deps;
+            deps.reserve(27);
+            deps.push_back(alias(moment_done.at(k)));
+            for (int dx = -1; dx <= 1; ++dx)
+                for (int dy = -1; dy <= 1; ++dy)
+                    for (int dz = -1; dz <= 1; ++dz) {
+                        if (dx == 0 && dy == 0 && dz == 0) continue;
+                        const node_key nb = key_neighbor(k, {dx, dy, dz});
+                        if (nb == amr::invalid_key || !t.contains(nb)) continue;
+                        deps.push_back(alias(moment_done.at(nb)));
+                    }
+            auto done = std::make_shared<rt::promise<void>>();
+            same_done.emplace(k, done->get_future());
+            rt::when_all(std::move(deps)).then(pool, [this, &t, k, done](auto) {
+                try {
+                    std::vector<rt::future<void>> pending;
+                    same_level(t, k, pending);
+                    if (pending.empty()) {
+                        // The root's expansion has no parent contribution:
+                        // it is final right here.
+                        if (k == amr::root_key) evaluate_node(k);
+                        done->set_value();
+                        return;
+                    }
+                    rt::when_all(std::move(pending))
+                        .then(*pool_, [this, k, done](auto fs) {
+                            try {
+                                for (auto& f : fs.get()) f.get();
+                                if (k == amr::root_key) evaluate_node(k);
+                                done->set_value();
+                            } catch (...) {
+                                done->set_exception(std::current_exception());
+                            }
+                        });
+                } catch (...) {
+                    done->set_exception(std::current_exception());
+                }
+            });
+            ++tasks;
+        }
+    }
+
+    // ---- Stage 3: L2L top-down + per-node evaluation. A node's L2L may
+    // only run once (a) its own expansion is final (parent's L2L done — which
+    // itself waited for this node's same-level) and (b) the children it
+    // accumulates into have finished their own same-level accumulation.
+    down_ready.emplace(amr::root_key, alias(same_done.at(amr::root_key)));
+    for (int level = 0; level < t.max_level(); ++level) {
+        for (const node_key k : t.levels()[level]) {
+            if (!t.node(k).refined) continue;
+            std::vector<rt::future<void>> deps;
+            deps.reserve(9);
+            deps.push_back(alias(down_ready.at(k)));
+            for (int c = 0; c < 8; ++c) {
+                deps.push_back(alias(same_done.at(key_child(k, c))));
+            }
+            auto f = rt::when_all(std::move(deps)).then(pool, [this, &t, k](auto) {
+                l2l(t, k);
+                // The children's expansions are final now (their own L2L
+                // writes only grandchildren): evaluate them inline instead
+                // of spawning eight micro-tasks.
+                for (int c = 0; c < 8; ++c) evaluate_node(key_child(k, c));
+            });
+            ++tasks;
+            for (int c = 0; c < 8; ++c) {
+                down_ready.emplace(key_child(k, c), alias(f));
+            }
+            l2l_tasks.push_back(std::move(f));
+        }
+    }
+
+    // ---- Join: wait for every task; rethrows the first stored exception.
+    // (down_ready holds aliases of futures joined here, so it is not drained
+    // itself.)
+    for (auto& kv : moment_done) kv.second.get();
+    for (auto& kv : same_done) kv.second.get();
+    for (auto& f : l2l_tasks) f.get();
+
+    rt::apex_count("fmm.dag_tasks", tasks);
 }
 
 dvec3 solver::total_force(const tree& t) const {

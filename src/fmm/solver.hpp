@@ -28,6 +28,12 @@ namespace octo::fmm {
 struct solver_options {
     am_mode conserve = am_mode::spin_deposit;
     bool vectorized = true;           ///< SIMD-pack kernels on the CPU path
+    /// Run the solve as a per-node future DAG (paper §4.1 "futurization"):
+    /// M2M waits only on its children, same-level on the 27 moment sets it
+    /// reads, L2L on the parent's L2L plus the children's same-level. When
+    /// false, the original five globally-barriered phases run instead (kept
+    /// for A/B measurement; both paths are bit-identical).
+    bool futurized = true;
     gpu::device* device = nullptr;    ///< offload same-level kernels when set
     rt::thread_pool* pool = nullptr;  ///< defaults to the global pool
 };
@@ -76,11 +82,21 @@ class solver {
     void fill_buffer_region(amr::tree& t, amr::node_key nb, const ivec3& off,
                             partner_buffer& buf) const;
 
+    /// (Re)create the per-node workspace maps only when the tree structure
+    /// changed since the previous solve (identified by tree id + revision);
+    /// otherwise the existing buffers are reused as-is — zero allocations.
+    void prepare_workspace(amr::tree& t);
+    void solve_futurized(amr::tree& t);
+    void solve_barriered(amr::tree& t);
+
     options opt_;
     rt::thread_pool* pool_;
     std::unordered_map<amr::node_key, node_moments> moments_;
     std::unordered_map<amr::node_key, node_gravity> gravity_;
     std::unordered_map<amr::node_key, aligned_vector<double>> invm_;
+    std::uint64_t workspace_tree_id_ = 0;
+    std::uint64_t workspace_revision_ = 0;
+    bool workspace_valid_ = false;
 };
 
 

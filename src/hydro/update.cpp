@@ -10,6 +10,7 @@
 #include "hydro/reconstruct.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
+#include "support/aligned.hpp"
 #include "support/assert.hpp"
 
 namespace octo::hydro {
@@ -23,7 +24,9 @@ namespace {
 struct leaf_fluxes {
     // [axis][(p * INX + b) * INX + c] with (b, c) the transverse coordinates
     // in axis order ((y,z) for x, (x,z) for y, (x,y) for z).
-    std::vector<state> f[3];
+    // Recycled storage: a stage allocates one of these per leaf per RK
+    // stage, so the arrays come back out of the buffer_recycler pool.
+    aligned_vector<state> f[3];
     leaf_fluxes() {
         for (auto& a : f) a.assign((INX + 1) * INX * INX, state{});
     }
@@ -42,7 +45,7 @@ void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
 /// Gather the pencil of conserved states along `axis` through transverse
 /// position (b, c), from cell index -H_BW to INX-1+H_BW (ghosts included).
 void gather_pencil(const subgrid& g, int axis, int b, int c,
-                   std::vector<state>& pencil) {
+                   aligned_vector<state>& pencil) {
     pencil.resize(INX + 2 * H_BW);
     for (int p = -H_BW; p < INX + H_BW; ++p) {
         int i, j, k;
@@ -59,11 +62,20 @@ void gather_pencil(const subgrid& g, int axis, int b, int c,
 /// states one cell beyond the interior to form the boundary fluxes).
 struct face_states {
     // Index 0 corresponds to cell -1; size INX + 2.
-    std::vector<state> lo, hi;
+    aligned_vector<state> lo, hi;
 };
 
-void reconstruct_pencil(const std::vector<state>& pencil, bool use_ppm,
-                        const phys::ideal_gas_eos& eos, face_states& out) {
+/// Per-pencil reconstruction scratch, allocated once per leaf (every array
+/// below is fully overwritten each pencil, so plain resize is enough).
+struct pencil_scratch {
+    aligned_vector<state> pencil;
+    aligned_vector<double> q, flo, fhi;
+    face_states fs;
+};
+
+void reconstruct_pencil(const aligned_vector<state>& pencil, bool use_ppm,
+                        const phys::ideal_gas_eos& eos, pencil_scratch& sc,
+                        face_states& out) {
     const int n = INX + 2; // cells -1 .. INX
     out.lo.assign(n, state{});
     out.hi.assign(n, state{});
@@ -73,7 +85,8 @@ void reconstruct_pencil(const std::vector<state>& pencil, bool use_ppm,
     // assembled from the face primitives.
     constexpr int nv = 6 + 1 + n_passive + 3; // rho,v3,p + tau_f + pass_f + l_f
     static_assert(nv <= 16);
-    std::vector<double> q(static_cast<std::size_t>(nv) * (INX + 2 * H_BW));
+    aligned_vector<double>& q = sc.q;
+    q.resize(static_cast<std::size_t>(nv) * (INX + 2 * H_BW));
     const int stride = INX + 2 * H_BW;
     for (int p = 0; p < stride; ++p) {
         const auto& u = pencil[static_cast<std::size_t>(p)];
@@ -95,8 +108,10 @@ void reconstruct_pencil(const std::vector<state>& pencil, bool use_ppm,
 
     // Reconstruct each variable over cells [-1, INX] (n cells), which needs
     // ghosts at -3..-2 and INX+1..INX+2: available with H_BW = 3.
-    std::vector<double> flo(static_cast<std::size_t>(nv) * n);
-    std::vector<double> fhi(static_cast<std::size_t>(nv) * n);
+    aligned_vector<double>& flo = sc.flo;
+    aligned_vector<double>& fhi = sc.fhi;
+    flo.resize(static_cast<std::size_t>(nv) * n);
+    fhi.resize(static_cast<std::size_t>(nv) * n);
     for (int v = 0; v < nv; ++v) {
         const double* base = q.data() + v * stride + (H_BW - 1); // cell -1
         if (use_ppm) {
@@ -136,13 +151,13 @@ void reconstruct_pencil(const std::vector<state>& pencil, bool use_ppm,
 double compute_leaf_fluxes(const subgrid& g, const step_options& opt,
                            leaf_fluxes& out) {
     double max_speed = 0.0;
-    std::vector<state> pencil;
-    face_states fs;
+    pencil_scratch sc;
+    face_states& fs = sc.fs;
     for (int axis = 0; axis < 3; ++axis) {
         for (int b = 0; b < INX; ++b) {
             for (int c = 0; c < INX; ++c) {
-                gather_pencil(g, axis, b, c, pencil);
-                reconstruct_pencil(pencil, opt.use_ppm, opt.eos, fs);
+                gather_pencil(g, axis, b, c, sc.pencil);
+                reconstruct_pencil(sc.pencil, opt.use_ppm, opt.eos, sc, fs);
                 // Face p (between cells p-1 and p) for p in [0, INX]:
                 // left state = hi of cell p-1, right state = lo of cell p.
                 for (int p = 0; p <= INX; ++p) {
@@ -270,7 +285,7 @@ namespace {
 /// filled. If `blend_with` is non-null (second RK stage), the result is
 /// 0.5 * (*blend_with) + 0.5 * (U + dt L(U)).
 void stage(tree& t, double dt, const step_options& opt,
-           const std::unordered_map<node_key, std::vector<double>>* blend_with,
+           const std::unordered_map<node_key, aligned_vector<double>>* blend_with,
            rt::thread_pool& pool) {
     // Pass 1: fluxes for every leaf, in parallel.
     std::unordered_map<node_key, leaf_fluxes> fluxes;
@@ -326,8 +341,8 @@ void stage(tree& t, double dt, const step_options& opt,
                 const double lambda = dt / dx;
 
                 // Pre-update density/momentum for the source terms.
-                std::vector<double> old_rho(INX3);
-                std::vector<dvec3> old_s(INX3);
+                aligned_vector<double> old_rho(INX3);
+                aligned_vector<dvec3> old_s(INX3);
                 for (int i = 0; i < INX; ++i)
                     for (int j = 0; j < INX; ++j)
                         for (int kk = 0; kk < INX; ++kk) {
@@ -503,7 +518,7 @@ double step(tree& t, const step_options& opt) {
     const double dt = opt.fixed_dt > 0.0 ? opt.fixed_dt : cfl_timestep(t, opt);
 
     // Save U^n for the RK2 blend.
-    std::unordered_map<node_key, std::vector<double>> u0;
+    std::unordered_map<node_key, aligned_vector<double>> u0;
     for (const node_key k : t.leaves_sfc()) {
         const auto& g = *t.node(k).fields;
         auto& v = u0[k];

@@ -8,10 +8,16 @@
 #include <new>
 #include <vector>
 
+#include "support/buffer_recycler.hpp"
+
 namespace octo {
 
 inline constexpr std::size_t simd_alignment = 64; // AVX-512 / cache line
 
+/// Allocates through the buffer_recycler: freed blocks are parked in
+/// size-keyed free lists instead of returned to the system, so steady-state
+/// solver iterations perform zero allocations (the recycled-buffer scheme of
+/// the 2022 work-aggregation follow-on paper).
 template <class T, std::size_t Align = simd_alignment>
 struct aligned_allocator {
     using value_type = T;
@@ -29,11 +35,11 @@ struct aligned_allocator {
 
     T* allocate(std::size_t n) {
         if (n == 0) return nullptr;
-        void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+        void* p = buffer_recycler::instance().allocate(n * sizeof(T), Align);
         return static_cast<T*>(p);
     }
-    void deallocate(T* p, std::size_t) noexcept {
-        ::operator delete(p, std::align_val_t{Align});
+    void deallocate(T* p, std::size_t n) noexcept {
+        buffer_recycler::instance().deallocate(p, n * sizeof(T), Align);
     }
 
     template <class U>

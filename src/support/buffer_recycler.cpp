@@ -1,0 +1,100 @@
+#include "support/buffer_recycler.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace octo {
+
+namespace {
+
+/// Bucket key: buffers are only interchangeable when both size and alignment
+/// match exactly. Alignment is a power of two <= 2^16 in practice, so fold it
+/// into the top bits of the size.
+constexpr std::uint64_t bucket_key(std::size_t bytes, std::size_t align) {
+    return static_cast<std::uint64_t>(bytes) ^
+           (static_cast<std::uint64_t>(align) << 48);
+}
+
+} // namespace
+
+struct buffer_recycler::impl {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<void*>> buckets;
+    std::uint64_t pooled_bytes = 0;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> returns{0};
+    std::atomic<bool> enabled{true};
+};
+
+buffer_recycler::buffer_recycler() : impl_(new impl) {}
+
+buffer_recycler& buffer_recycler::instance() {
+    static buffer_recycler* const r = new buffer_recycler; // leaked on purpose
+    return *r;
+}
+
+void* buffer_recycler::allocate(std::size_t bytes, std::size_t align) {
+    if (impl_->enabled.load(std::memory_order_relaxed)) {
+        std::lock_guard lock(impl_->mutex);
+        auto it = impl_->buckets.find(bucket_key(bytes, align));
+        if (it != impl_->buckets.end() && !it->second.empty()) {
+            void* p = it->second.back();
+            it->second.pop_back();
+            impl_->pooled_bytes -= bytes;
+            impl_->hits.fetch_add(1, std::memory_order_relaxed);
+            return p;
+        }
+    }
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(bytes, std::align_val_t{align});
+}
+
+void buffer_recycler::deallocate(void* p, std::size_t bytes,
+                                 std::size_t align) noexcept {
+    if (p == nullptr) return;
+    if (impl_->enabled.load(std::memory_order_relaxed)) {
+        impl_->returns.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(impl_->mutex);
+        impl_->buckets[bucket_key(bytes, align)].push_back(p);
+        impl_->pooled_bytes += bytes;
+        return;
+    }
+    ::operator delete(p, std::align_val_t{align});
+}
+
+buffer_recycler::stats_t buffer_recycler::stats() const {
+    stats_t s;
+    s.hits = impl_->hits.load(std::memory_order_relaxed);
+    s.misses = impl_->misses.load(std::memory_order_relaxed);
+    s.returns = impl_->returns.load(std::memory_order_relaxed);
+    std::lock_guard lock(impl_->mutex);
+    s.pooled_bytes = impl_->pooled_bytes;
+    return s;
+}
+
+void buffer_recycler::clear() {
+    std::unordered_map<std::uint64_t, std::vector<void*>> buckets;
+    {
+        std::lock_guard lock(impl_->mutex);
+        buckets.swap(impl_->buckets);
+        impl_->pooled_bytes = 0;
+    }
+    for (auto& [key, list] : buckets) {
+        const auto align = static_cast<std::size_t>(key >> 48);
+        for (void* p : list) ::operator delete(p, std::align_val_t{align});
+    }
+}
+
+void buffer_recycler::set_enabled(bool enabled) {
+    impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool buffer_recycler::enabled() const {
+    return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+} // namespace octo

@@ -137,6 +137,36 @@ TEST(Tree, LeavesSfcCoversDomainOnce) {
     }
 }
 
+TEST(Tree, IdsAreUniquePerTree) {
+    tree a(unit_root());
+    tree b(unit_root());
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Tree, RevisionBumpsOnEveryStructureChange) {
+    // Caches (solver workspaces, halo plans) key on (id, revision): the
+    // revision must change on refine, derefine, and field allocation — and
+    // must NOT change on reads or repeated ensure_fields.
+    tree t(unit_root());
+    const auto r0 = t.revision();
+    t.refine(root_key);
+    const auto r1 = t.revision();
+    EXPECT_GT(r1, r0);
+
+    t.ensure_fields(key_child(root_key, 0)); // allocates: bumps
+    const auto r2 = t.revision();
+    EXPECT_GT(r2, r1);
+    t.ensure_fields(key_child(root_key, 0)); // already allocated: no bump
+    EXPECT_EQ(t.revision(), r2);
+
+    (void)t.leaves_sfc(); // reads never bump
+    (void)t.geometry(root_key);
+    EXPECT_EQ(t.revision(), r2);
+
+    t.derefine(root_key);
+    EXPECT_GT(t.revision(), r2);
+}
+
 TEST(Tree, Balance21RepairsDeepImbalance) {
     tree t(unit_root());
     // Refine toward the domain center: the level-2 node at (1,1,1) becomes
@@ -376,6 +406,50 @@ TEST(Halo, RestrictTreeFillsInteriorNodes) {
     restrict_tree(t);
     const auto& root = *t.node(root_key).fields;
     EXPECT_DOUBLE_EQ(root.interior(f_rho, 2, 5, 7), 4.0);
+}
+
+TEST(Halo, PlanCacheSurvivesRefinement) {
+    // fill_all_ghosts caches its resolved copy plan keyed on the tree
+    // revision. After refining (which bumps the revision) the replayed plan
+    // must match a from-scratch per-node fill_ghosts pass exactly.
+    tree t(unit_root());
+    t.refine(root_key);
+    for (int c = 0; c < 8; ++c) {
+        auto& g = t.ensure_fields(key_child(root_key, c));
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int k = 0; k < INX; ++k) g.interior(f_rho, i, j, k) = 1.0 + c;
+    }
+    fill_all_ghosts(t, boundary_kind::outflow); // builds the plan
+
+    t.refine(key_child(root_key, 5));
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    g.interior(f_rho, i, j, kk) =
+                        0.5 * key_level(k) + 0.25 * ((i + j + kk) % 3);
+                }
+    }
+    fill_all_ghosts(t, boundary_kind::outflow); // must rebuild, not replay
+
+    // Compare against the uncached per-node path: snapshot the plan-filled
+    // node, refill its ghosts from scratch, and demand equality. (fill_ghosts
+    // reads only neighbor interiors, so refilling node by node is safe.)
+    for (const auto k : t.leaves_sfc()) {
+        auto& live = *t.node(k).fields;
+        const subgrid from_plan = live;
+        fill_ghosts(t, k, boundary_kind::outflow);
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < NX; ++i)
+                for (int j = 0; j < NX; ++j)
+                    for (int kk = 0; kk < NX; ++kk) {
+                        EXPECT_EQ(live.at(f, i, j, kk),
+                                  from_plan.at(f, i, j, kk))
+                            << "field " << f;
+                    }
+    }
 }
 
 // ---- partitioner -----------------------------------------------------------

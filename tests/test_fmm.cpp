@@ -15,6 +15,8 @@
 #include "fmm/solver.hpp"
 #include "fmm/stencil.hpp"
 #include "fmm/taylor.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/buffer_recycler.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -656,6 +658,107 @@ TEST(LegacyIlist, MatchesStencilKernel) {
         EXPECT_NEAR(receivers[static_cast<std::size_t>(c)].phi, out.L[0][c],
                     std::abs(out.L[0][c]) * 1e-12 + 1e-15);
     }
+}
+
+// ---- futurized DAG and workspace recycling ----------------------------------
+
+/// Four-level tree (levels 0..3) with blob density, the shape used to compare
+/// the futurized and barriered schedules.
+tree four_level_tree() {
+    tree t(unit_root());
+    t.refine(root_key);
+    t.refine(amr::key_child(root_key, 0));
+    t.refine(amr::key_child(amr::key_child(root_key, 0), 7));
+    t.refine(amr::key_child(root_key, 6));
+    t.balance21();
+    fill_blobs(t);
+    return t;
+}
+
+void expect_identical_gravity(const tree& t, const solver& a, const solver& b) {
+    for (const auto k : t.leaves_sfc()) {
+        const auto& ga = a.gravity(k);
+        const auto& gb = b.gravity(k);
+        for (int c = 0; c < amr::INX3; ++c) {
+            EXPECT_EQ(ga.phi[c], gb.phi[c]);
+            EXPECT_EQ(ga.gx[c], gb.gx[c]);
+            EXPECT_EQ(ga.gy[c], gb.gy[c]);
+            EXPECT_EQ(ga.gz[c], gb.gz[c]);
+            for (int ax = 0; ax < 3; ++ax) {
+                EXPECT_EQ(ga.tq[ax][c], gb.tq[ax][c]);
+            }
+        }
+    }
+}
+
+TEST(SolverDag, FuturizedMatchesBarrieredBitIdentical) {
+    // The per-node dependency DAG runs exactly the kernels of the barriered
+    // schedule with the same per-node accumulation order, so the two paths
+    // must agree to the last bit — not just to a tolerance.
+    tree t = four_level_tree();
+    solver fut({.conserve = am_mode::spin_deposit, .futurized = true});
+    fut.solve(t);
+    solver bar({.conserve = am_mode::spin_deposit, .futurized = false});
+    bar.solve(t);
+    expect_identical_gravity(t, fut, bar);
+}
+
+TEST(SolverDag, FuturizedKeepsConservationInvariants) {
+    tree t = four_level_tree();
+    solver s({.conserve = am_mode::spin_deposit, .futurized = true});
+    s.solve(t);
+
+    double fscale = 0;
+    for (const auto k : t.leaves_sfc()) {
+        const auto& g = s.gravity(k);
+        const auto& m = s.moments(k);
+        for (int c = 0; c < amr::INX3; ++c) {
+            fscale += std::abs(m.m[c] * g.gx[c]) + std::abs(m.m[c] * g.gy[c]) +
+                      std::abs(m.m[c] * g.gz[c]);
+        }
+    }
+    EXPECT_LT(norm(s.total_force(t)) / fscale, 1e-12);
+    const double scale = torque_scale(t, s);
+    EXPECT_LT(norm(s.total_torque(t) + s.total_spin_torque(t)) / scale, 1e-13);
+}
+
+TEST(SolverDag, SteadyStateSolvePerformsZeroAllocations) {
+    // After the first solve has populated the workspace and the recycler
+    // pool, consecutive solves on an unchanged tree must allocate nothing
+    // new: every aligned buffer (partner buffers included) is served from
+    // the pool. A single-worker pool makes the peak number of live buffers
+    // deterministic.
+    tree t = four_level_tree();
+    rt::thread_pool pool(1);
+    solver s({.conserve = am_mode::spin_deposit, .pool = &pool});
+    s.solve(t);
+
+    const auto before = buffer_recycler::instance().stats();
+    s.solve(t);
+    s.solve(t);
+    const auto after = buffer_recycler::instance().stats();
+    EXPECT_EQ(after.misses, before.misses) << "steady-state solve allocated";
+    EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(SolverDag, WorkspaceInvalidatedByTreeMutation) {
+    // The persisted workspace is keyed on (tree id, revision); refining the
+    // tree must rebuild it, and the recomputed field must match a fresh
+    // solver exactly.
+    tree t(unit_root());
+    t.refine(root_key);
+    fill_blobs(t);
+    solver s({.conserve = am_mode::spin_deposit});
+    s.solve(t);
+
+    t.refine(amr::key_child(root_key, 3));
+    t.balance21();
+    fill_blobs(t);
+    s.solve(t); // must notice the revision bump, not reuse stale arrays
+
+    solver fresh({.conserve = am_mode::spin_deposit});
+    fresh.solve(t);
+    expect_identical_gravity(t, s, fresh);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "simd/pack.hpp"
 #include "support/aligned.hpp"
+#include "support/buffer_recycler.hpp"
 #include "support/flops.hpp"
 #include "support/morton.hpp"
 #include "support/rng.hpp"
@@ -153,6 +154,95 @@ TEST(Aligned, VectorIsAligned) {
     octo::aligned_vector<double> v(100, 1.0);
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % octo::simd_alignment, 0u);
     EXPECT_DOUBLE_EQ(v[99], 1.0);
+}
+
+// ---- buffer recycler ---------------------------------------------------------
+//
+// The recycler is a process-wide singleton shared with every aligned_vector,
+// so the tests work on stat deltas and use distinctive request sizes that no
+// other allocation in this binary produces.
+
+TEST(BufferRecycler, SecondAllocationOfSameSizeIsAHit) {
+    auto& r = octo::buffer_recycler::instance();
+    constexpr std::size_t bytes = 12'347; // odd size: private bucket
+    const auto s0 = r.stats();
+
+    void* p = r.allocate(bytes, 64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    r.deallocate(p, bytes, 64);
+
+    void* q = r.allocate(bytes, 64);
+    EXPECT_EQ(q, p); // the parked buffer comes back
+    r.deallocate(q, bytes, 64);
+
+    const auto s1 = r.stats();
+    EXPECT_EQ(s1.misses - s0.misses, 1u);
+    EXPECT_EQ(s1.hits - s0.hits, 1u);
+    EXPECT_EQ(s1.returns - s0.returns, 2u);
+}
+
+TEST(BufferRecycler, BucketsAreKeyedOnSizeAndAlignment) {
+    auto& r = octo::buffer_recycler::instance();
+    constexpr std::size_t bytes = 23'459;
+    const auto s0 = r.stats();
+
+    void* a = r.allocate(bytes, 64);
+    r.deallocate(a, bytes, 64);
+    // Different size and different alignment both miss the parked buffer.
+    void* b = r.allocate(bytes + 8, 64);
+    void* c = r.allocate(bytes, 32);
+    r.deallocate(b, bytes + 8, 64);
+    r.deallocate(c, bytes, 32);
+
+    const auto s1 = r.stats();
+    EXPECT_EQ(s1.hits - s0.hits, 0u);
+    EXPECT_EQ(s1.misses - s0.misses, 3u);
+}
+
+TEST(BufferRecycler, ClearDropsParkedBuffers) {
+    auto& r = octo::buffer_recycler::instance();
+    constexpr std::size_t bytes = 34'567;
+    void* p = r.allocate(bytes, 64);
+    r.deallocate(p, bytes, 64);
+    EXPECT_GT(r.stats().pooled_bytes, 0u);
+
+    r.clear();
+    EXPECT_EQ(r.stats().pooled_bytes, 0u);
+
+    const auto s0 = r.stats();
+    void* q = r.allocate(bytes, 64);
+    r.deallocate(q, bytes, 64);
+    EXPECT_EQ(r.stats().misses - s0.misses, 1u); // pool really was emptied
+    r.clear();
+}
+
+TEST(BufferRecycler, DisabledMeansPassThrough) {
+    auto& r = octo::buffer_recycler::instance();
+    constexpr std::size_t bytes = 45'679;
+    r.clear();
+    r.set_enabled(false);
+    const auto s0 = r.stats();
+    void* p = r.allocate(bytes, 64);
+    r.deallocate(p, bytes, 64); // freed, not parked
+    void* q = r.allocate(bytes, 64);
+    r.deallocate(q, bytes, 64);
+    const auto s1 = r.stats();
+    EXPECT_EQ(s1.hits - s0.hits, 0u);
+    EXPECT_EQ(s1.misses - s0.misses, 2u);
+    EXPECT_EQ(s1.returns - s0.returns, 0u);
+    r.set_enabled(true);
+}
+
+TEST(BufferRecycler, AlignedVectorRoundTripsThroughPool) {
+    auto& r = octo::buffer_recycler::instance();
+    constexpr std::size_t n = 7'001; // distinctive element count
+    { octo::aligned_vector<double> v(n, 1.0); }
+    const auto s0 = r.stats();
+    { octo::aligned_vector<double> v(n, 2.0); }
+    const auto s1 = r.stats();
+    EXPECT_EQ(s1.hits - s0.hits, 1u);
+    EXPECT_EQ(s1.misses - s0.misses, 0u);
 }
 
 // ---- SIMD pack -------------------------------------------------------------
