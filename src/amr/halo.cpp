@@ -21,11 +21,12 @@ int mod_pos(int a, int b) {
     return m < 0 ? m + b : m;
 }
 
-/// Where one ghost cell's data comes from: the source sub-grid and flat cell
+/// Where one ghost cell's data comes from: the source node and flat cell
 /// index, which momentum components a reflecting boundary flips, and the
 /// spin correction offset when the source is one level coarser.
 struct ghost_source {
     const subgrid* sg = nullptr;
+    node_key src_key = invalid_key;
     std::int32_t src = 0;   ///< flat index within one field plane of *sg
     std::uint8_t flip = 0;  ///< bit a set: negate momentum component a
     bool coarse = false;    ///< source is coarser: spin correction applies
@@ -92,6 +93,7 @@ ghost_source resolve_ghost(const tree& t, node_key k, int i, int j, int kk,
                     "fill_ghosts: source node without data (run "
                     "restrict_tree first)");
     out.sg = src_node.fields.get();
+    out.src_key = src;
     out.src = subgrid::interior_index(cell[0], cell[1], cell[2]);
 
     // When the source is coarser, momentum sampled piecewise-constantly
@@ -134,62 +136,44 @@ void apply_spin_correction(subgrid& g, std::int32_t dst, const dvec3& dr) {
     g.field_data(f_lz)[dst] -= corr.z;
 }
 
-// ---- ghost-fill plan cache -------------------------------------------------
-//
-// Resolving a ghost cell is pure address computation on the tree structure:
-// for an unchanged tree it yields the same (source sub-grid, cell, flip,
-// correction) tuple every time. fill_all_ghosts runs several times per
-// timestep (every RK stage, plus regrid sweeps), so the resolved addresses
-// are cached as a flat plan and replayed; the (tree id, revision, boundary)
-// triple — with tree::revision() bumped on any refine/derefine/field
-// allocation — tells us exactly when the plan must be rebuilt. Plan storage
-// lives in recycled aligned_vectors, so rebuilds after a regrid reuse the
-// previous plan's memory.
-
-struct plan_entry {
-    std::int32_t dst;  ///< flat index in the destination field plane
-    std::int32_t src;  ///< flat index in the source field plane
-    const subgrid* sg; ///< source sub-grid
-    std::uint8_t flip; ///< reflecting-boundary momentum flips
-};
-
-struct plan_correction {
-    std::int32_t dst;
-    dvec3 dr;
-};
-
-struct node_plan {
-    subgrid* g = nullptr;
-    aligned_vector<plan_entry> entries;
-    aligned_vector<plan_correction> corrections;
-};
-
-struct halo_plan {
-    std::uint64_t tree_id = 0;
-    std::uint64_t revision = 0;
-    boundary_kind bc = boundary_kind::outflow;
-    bool valid = false;
-    std::vector<node_plan> nodes;
-};
+/// Ghost-shell region of cell (i, j, kk) in full (ghost-inclusive) coords:
+/// one of the six faces when exactly one coordinate is outside the interior
+/// slab, the edges+corners bucket otherwise.
+int ghost_region_of(int i, int j, int kk) {
+    const int c[3] = {i, j, kk};
+    int region = -1;
+    int outside = 0;
+    for (int a = 0; a < 3; ++a) {
+        if (c[a] < H_BW) {
+            ++outside;
+            region = ghost_face_region(a, -1);
+        } else if (c[a] >= H_BW + INX) {
+            ++outside;
+            region = ghost_face_region(a, +1);
+        }
+    }
+    OCTO_ASSERT(outside > 0);
+    return outside == 1 ? region : n_ghost_regions - 1;
+}
 
 /// Single cached plan. fill_all_ghosts mutates sub-grids and was never
 /// callable concurrently; the cache inherits that contract.
-halo_plan& cached_plan() {
-    static halo_plan plan;
+ghost_plan& cached_plan() {
+    static ghost_plan plan;
     return plan;
 }
 
-void rebuild_plan(halo_plan& plan, tree& t, boundary_kind bc) {
-    constexpr int ghost_cells = NX3 - INX3;
+void rebuild_plan(ghost_plan& plan, tree& t, boundary_kind bc) {
     plan.nodes.clear();
     plan.nodes.reserve(t.size());
     for (int level = 0; level <= t.max_level(); ++level) {
         for (const node_key k : t.levels()[level]) {
             auto& n = t.node(k);
             if (n.fields == nullptr) continue;
-            node_plan np;
+            node_ghost_plan np;
+            np.key = k;
             np.g = n.fields.get();
-            np.entries.reserve(ghost_cells);
+            np.leaf = !n.refined;
             for (int i = 0; i < NX; ++i)
                 for (int j = 0; j < NX; ++j)
                     for (int kk = 0; kk < NX; ++kk) {
@@ -197,8 +181,13 @@ void rebuild_plan(halo_plan& plan, tree& t, boundary_kind bc) {
                         const ghost_source s = resolve_ghost(t, k, i, j, kk, bc);
                         const auto dst =
                             static_cast<std::int32_t>(subgrid::index(i, j, kk));
-                        np.entries.push_back({dst, s.src, s.sg, s.flip});
-                        if (s.coarse) np.corrections.push_back({dst, s.dr});
+                        auto& r = np.regions[ghost_region_of(i, j, kk)];
+                        r.entries.push_back({dst, s.src, s.sg, s.flip});
+                        if (s.coarse) r.corrections.push_back({dst, s.dr});
+                        if (std::find(r.donors.begin(), r.donors.end(),
+                                      s.src_key) == r.donors.end()) {
+                            r.donors.push_back(s.src_key);
+                        }
                     }
             plan.nodes.push_back(std::move(np));
         }
@@ -212,20 +201,57 @@ void rebuild_plan(halo_plan& plan, tree& t, boundary_kind bc) {
 
 } // namespace
 
+const ghost_plan& acquire_ghost_plan(tree& t, boundary_kind bc) {
+    // Refined-node storage is allocated up front (it would bump the tree
+    // revision and invalidate the plan mid-flight otherwise), matching what
+    // restrict_tree does lazily.
+    for (int level = t.max_level() - 1; level >= 0; --level) {
+        for (const node_key k : t.levels()[level]) {
+            if (t.node(k).refined) t.ensure_fields(k);
+        }
+    }
+    ghost_plan& plan = cached_plan();
+    if (!plan.valid || plan.tree_id != t.id() || plan.revision != t.revision() ||
+        plan.bc != bc) {
+        rebuild_plan(plan, t, bc);
+    } else {
+        rt::apex_count("amr.halo_plan_hits");
+    }
+    return plan;
+}
+
+void apply_ghost_region(subgrid& g, const ghost_region_plan& r) {
+    for (const auto& e : r.entries) {
+        apply_ghost(g, e.dst, *e.sg, e.src, e.flip);
+    }
+    for (const auto& c : r.corrections) {
+        apply_spin_correction(g, c.dst, c.dr);
+    }
+}
+
+void restrict_node(tree& t, node_key k) {
+    auto& n = t.node(k);
+    OCTO_ASSERT(n.refined);
+    OCTO_ASSERT_MSG(n.fields != nullptr,
+                    "restrict_node: parent storage not allocated");
+    subgrid& parent = *n.fields;
+    for (int c = 0; c < 8; ++c) {
+        const node_key ck = key_child(k, c);
+        const auto& child = t.node(ck);
+        OCTO_ASSERT_MSG(child.fields != nullptr,
+                        "restrict_node: child without field data");
+        restrict_into_parent(*child.fields, c, parent);
+    }
+}
+
 void restrict_tree(tree& t) {
     // Finest to coarsest so parents always see up-to-date children.
     for (int level = t.max_level() - 1; level >= 0; --level) {
         for (const node_key k : t.levels()[level]) {
             auto& n = t.node(k);
             if (!n.refined) continue;
-            subgrid& parent = t.ensure_fields(k);
-            for (int c = 0; c < 8; ++c) {
-                const node_key ck = key_child(k, c);
-                const auto& child = t.node(ck);
-                OCTO_ASSERT_MSG(child.fields != nullptr,
-                                "restrict_tree: child without field data");
-                restrict_into_parent(*child.fields, c, parent);
-            }
+            t.ensure_fields(k);
+            restrict_node(t, k);
         }
     }
 }
@@ -254,21 +280,10 @@ void fill_all_ghosts(tree& t, boundary_kind bc) {
     // revision), so it runs before the plan check.
     restrict_tree(t);
 
-    halo_plan& plan = cached_plan();
-    if (!plan.valid || plan.tree_id != t.id() || plan.revision != t.revision() ||
-        plan.bc != bc) {
-        rebuild_plan(plan, t, bc);
-    } else {
-        rt::apex_count("amr.halo_plan_hits");
-    }
-
-    for (auto& np : plan.nodes) {
-        subgrid& g = *np.g;
-        for (const auto& e : np.entries) {
-            apply_ghost(g, e.dst, *e.sg, e.src, e.flip);
-        }
-        for (const auto& c : np.corrections) {
-            apply_spin_correction(g, c.dst, c.dr);
+    const ghost_plan& plan = acquire_ghost_plan(t, bc);
+    for (const auto& np : plan.nodes) {
+        for (const auto& r : np.regions) {
+            apply_ghost_region(*np.g, r);
         }
     }
 }

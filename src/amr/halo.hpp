@@ -7,7 +7,11 @@
 // coarser leaf otherwise (the 2:1 balance guarantees one level at most), or
 // from the physical boundary condition outside the domain.
 
+#include <cstdint>
+#include <vector>
+
 #include "amr/tree.hpp"
+#include "support/aligned.hpp"
 
 namespace octo::amr {
 
@@ -17,6 +21,79 @@ enum class boundary_kind {
     periodic    ///< wrap around the domain
 };
 
+// ---- ghost-fill plan -------------------------------------------------------
+//
+// Resolving a ghost cell is pure address computation on the tree structure:
+// for an unchanged tree it yields the same (source sub-grid, cell, flip,
+// correction) tuple every time, so the resolved addresses are cached as a
+// flat plan keyed on (tree id, revision, boundary kind) and replayed.
+//
+// The plan is split per *region* of the ghost shell — the six faces plus one
+// bucket for all edges and corners — and each region records the set of
+// donor nodes it reads. That is exactly the granularity the futurized hydro
+// stage needs: a flux sweep along axis `a` only consumes the two face
+// regions 2a and 2a+1, so a face-fill task can fire as soon as its (few)
+// donors are ready instead of waiting on a whole-tree barrier.
+
+/// One ghost-cell copy: destination/source flat indices within a field
+/// plane, the source sub-grid, and the reflecting-boundary momentum flips.
+struct ghost_copy {
+    std::int32_t dst;
+    std::int32_t src;
+    const subgrid* sg;
+    std::uint8_t flip;
+};
+
+/// Coarse-donor spin correction: the ghost's momentum, sampled about the
+/// coarse cell center, carries an orbital-L offset folded into spin.
+struct ghost_correction {
+    std::int32_t dst;
+    dvec3 dr;
+};
+
+/// Ghost-shell regions: 0..5 = faces (-x,+x,-y,+y,-z,+z), 6 = edges+corners.
+inline constexpr int n_ghost_regions = 7;
+
+/// Face region index for axis a and direction dir (-1/+1).
+inline constexpr int ghost_face_region(int a, int dir) {
+    return 2 * a + (dir > 0 ? 1 : 0);
+}
+
+struct ghost_region_plan {
+    aligned_vector<ghost_copy> entries;
+    aligned_vector<ghost_correction> corrections;
+    std::vector<node_key> donors; ///< unique nodes whose data the copies read
+};
+
+struct node_ghost_plan {
+    node_key key = invalid_key;
+    subgrid* g = nullptr;
+    bool leaf = false;
+    ghost_region_plan regions[n_ghost_regions];
+};
+
+struct ghost_plan {
+    std::uint64_t tree_id = 0;
+    std::uint64_t revision = 0;
+    boundary_kind bc = boundary_kind::outflow;
+    bool valid = false;
+    std::vector<node_ghost_plan> nodes;
+};
+
+/// The cached plan for (t, bc), rebuilt when the tree structure changed.
+/// The returned reference stays valid until the next rebuild. Like
+/// fill_all_ghosts, not callable concurrently with tree mutation.
+const ghost_plan& acquire_ghost_plan(tree& t, boundary_kind bc);
+
+/// Replay one region of one node's plan (thread-safe per destination node as
+/// long as no task writes the donors' interiors concurrently).
+void apply_ghost_region(subgrid& g, const ghost_region_plan& r);
+
+/// Restrict the eight children of refined node `k` into its own field data.
+/// The parent storage must already exist (see acquire_ghost_plan, which
+/// allocates refined-node storage up front so this never mutates the tree).
+void restrict_node(tree& t, node_key k);
+
 /// Bottom-up pass: restrict every refined node's children into it, so all
 /// interior nodes hold valid (conservatively averaged) field data.
 void restrict_tree(tree& t);
@@ -24,12 +101,10 @@ void restrict_tree(tree& t);
 /// Fill the ghost shell of node `k` (which must have field storage).
 void fill_ghosts(tree& t, node_key k, boundary_kind bc);
 
-/// restrict_tree + fill_ghosts on every node with field data. The resolved
-/// ghost-cell addresses are cached as a flat copy plan keyed on
-/// (tree id, tree revision, bc) and replayed until the tree structure
-/// changes — fill_all_ghosts runs once per RK stage, so in steady state the
-/// per-cell neighbor resolution is skipped entirely. Not thread-safe (it
-/// mutates sub-grid ghost shells, as ever).
+/// restrict_tree + fill_ghosts on every node with field data, replayed from
+/// the cached plan — fill_all_ghosts runs once per RK stage, so in steady
+/// state the per-cell neighbor resolution is skipped entirely. Not
+/// thread-safe (it mutates sub-grid ghost shells, as ever).
 void fill_all_ghosts(tree& t, boundary_kind bc);
 
 } // namespace octo::amr

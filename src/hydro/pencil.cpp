@@ -1,0 +1,345 @@
+#include "hydro/pencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace octo::hydro {
+
+using namespace octo::amr;
+using simd::dpack;
+using dmask = simd::mask<double, simd::default_width>;
+
+namespace {
+
+constexpr int W = static_cast<int>(simd::default_width);
+constexpr int P = pencil_len;    // 14 cells along the sweep axis
+constexpr int T = pencil_lanes;  // 64 transverse pencils = SIMD lanes
+constexpr int C = recon_cells;   // cells -1..INX carry face states
+constexpr int NV = n_recon_vars; // 14 reconstructed variables
+static_assert(T % W == 0, "lane count must be a multiple of the pack width");
+
+// Reconstructed-variable layout (matches the scalar reconstruct_pencil):
+// 0 rho, 1..3 v, 4 p, 5 tau/rho, 6..10 passives/rho, 11..13 l/rho.
+constexpr int rv_rho = 0, rv_vx = 1, rv_p = 4, rv_tau = 5, rv_pass = 6;
+constexpr int rv_l = 6 + n_passive;
+
+/// Transpose the sub-grid into the axis-ordered pencil bundle:
+/// u[(q*P + p)*T + (b*INX + c)] with p the (ghost-inclusive) cell index
+/// along `axis` and (b, c) the transverse interior cell in axis order.
+void gather_axis(const subgrid& g, int axis, double* u) {
+    for (int q = 0; q < n_hydro_fields; ++q) {
+        const double* src = g.field_data(q);
+        double* dst = u + static_cast<std::size_t>(q) * P * T;
+        if (axis == 0) {
+            for (int p = 0; p < P; ++p)
+                for (int b = 0; b < INX; ++b) {
+                    const double* row = src + (p * NX + (b + H_BW)) * NX + H_BW;
+                    std::memcpy(dst + p * T + b * INX, row,
+                                sizeof(double) * INX);
+                }
+        } else if (axis == 1) {
+            for (int p = 0; p < P; ++p)
+                for (int b = 0; b < INX; ++b) {
+                    const double* row =
+                        src + ((b + H_BW) * NX + p) * NX + H_BW;
+                    std::memcpy(dst + p * T + b * INX, row,
+                                sizeof(double) * INX);
+                }
+        } else {
+            for (int b = 0; b < INX; ++b)
+                for (int c = 0; c < INX; ++c) {
+                    const double* col =
+                        src + ((b + H_BW) * NX + (c + H_BW)) * NX;
+                    const int t = b * INX + c;
+                    for (int p = 0; p < P; ++p) dst[p * T + t] = col[p];
+                }
+        }
+    }
+}
+
+/// Cell primitives for reconstruction, lane-parallel mirror of
+/// to_primitives + the q/rho fractions. The dual-energy switch is a masked
+/// select; the tau^gamma fallback (a lane-wise pow) only runs when some lane
+/// is in the high-Mach regime.
+void primitives_pass(const double* u, const phys::ideal_gas_eos& eos,
+                     double* qv) {
+    const double gamma = eos.gamma();
+    const dpack floor_p(rho_floor), zero(0.0), half(0.5);
+    const dpack desw(eos.de_switch()), gm1(gamma - 1.0);
+    for (int p = 0; p < P; ++p) {
+        const std::size_t cell = static_cast<std::size_t>(p) * T;
+        for (int t = 0; t < T; t += W) {
+            const auto ld = [&](int q) {
+                return dpack::load(u + static_cast<std::size_t>(q) * P * T +
+                                   cell + t);
+            };
+            const auto st = [&](int v, const dpack& x) {
+                x.store(qv + static_cast<std::size_t>(v) * P * T + cell + t);
+            };
+            const dpack rho = simd::max(ld(f_rho), floor_p);
+            const dpack vx = ld(f_sx) / rho;
+            const dpack vy = ld(f_sy) / rho;
+            const dpack vz = ld(f_sz) / rho;
+            const dpack E = ld(f_egas);
+            const dpack tau = ld(f_tau);
+            const dpack ke = half * rho * (vx * vx + vy * vy + vz * vz);
+            const dpack from_total = E - ke;
+            const dmask use_total =
+                (from_total > desw * E) && (from_total > zero);
+            dpack ent = zero;
+            if (!simd::all(use_total)) {
+                ent = simd::pow(simd::max(tau, zero), gamma);
+            }
+            const dpack internal =
+                simd::max(simd::select(use_total, from_total, ent), zero);
+            st(rv_rho, rho);
+            st(rv_vx + 0, vx);
+            st(rv_vx + 1, vy);
+            st(rv_vx + 2, vz);
+            st(rv_p, gm1 * internal);
+            st(rv_tau, tau / rho);
+            for (int s = 0; s < n_passive; ++s) {
+                st(rv_pass + s, ld(first_passive + s) / rho);
+            }
+            st(rv_l + 0, ld(f_lx) / rho);
+            st(rv_l + 1, ld(f_ly) / rho);
+            st(rv_l + 2, ld(f_lz) / rho);
+        }
+    }
+}
+
+/// minmod with the branches as masked selects.
+dpack mm(const dpack& a, const dpack& b) {
+    const dpack zero(0.0);
+    return simd::select(a * b <= zero, zero,
+                        simd::select(simd::abs(a) < simd::abs(b), a, b));
+}
+
+/// PPM (CW84) over one variable of the bundle: limited-slope interface
+/// values, then the monotonicity limiter, everything lane-parallel. `q` is
+/// the [P][T] plane of the variable; face states are written for the C
+/// cells -1..INX (cell cidx lives at pencil position cidx + H_BW - 1).
+void reconstruct_var(const double* q, bool use_ppm, double* iface, double* flo,
+                     double* fhi) {
+    if (!use_ppm) {
+        for (int cidx = 0; cidx < C; ++cidx) {
+            std::memcpy(flo + cidx * T, q + (cidx + 2) * T, sizeof(double) * T);
+            std::memcpy(fhi + cidx * T, q + (cidx + 2) * T, sizeof(double) * T);
+        }
+        return;
+    }
+    const dpack zero(0.0), half(0.5), two(2.0), three(3.0), six(6.0);
+    // Interface i (lower face of cell cidx = i) from cells i-2..i+1 relative
+    // to cell -1, i.e. pencil positions i..i+3.
+    for (int i = 0; i <= C; ++i) {
+        for (int t = 0; t < T; t += W) {
+            const dpack q_m2 = dpack::load(q + (i + 0) * T + t);
+            const dpack q_m1 = dpack::load(q + (i + 1) * T + t);
+            const dpack q_0 = dpack::load(q + (i + 2) * T + t);
+            const dpack q_p1 = dpack::load(q + (i + 3) * T + t);
+            const dpack dc_l = half * (q_0 - q_m2);
+            const dpack dl_l = two * (q_m1 - q_m2);
+            const dpack dr_l = two * (q_0 - q_m1);
+            const dpack dql =
+                simd::select(dl_l * dr_l <= zero, zero, mm(dc_l, mm(dl_l, dr_l)));
+            const dpack dc_r = half * (q_p1 - q_m1);
+            const dpack dl_r = two * (q_0 - q_m1);
+            const dpack dr_r = two * (q_p1 - q_0);
+            const dpack dqr =
+                simd::select(dl_r * dr_r <= zero, zero, mm(dc_r, mm(dl_r, dr_r)));
+            const dpack f = q_m1 + half * (q_0 - q_m1) - (dqr - dql) / six;
+            f.store(iface + i * T + t);
+        }
+    }
+    // Monotonicity limiting (CW84 eq. 1.10). The extremum flatten and the
+    // two overshoot corrections are mutually exclusive, so the branch
+    // cascade maps onto nested selects exactly.
+    for (int cidx = 0; cidx < C; ++cidx) {
+        for (int t = 0; t < T; t += W) {
+            const dpack lo0 = dpack::load(iface + cidx * T + t);
+            const dpack hi0 = dpack::load(iface + (cidx + 1) * T + t);
+            const dpack qc = dpack::load(q + (cidx + 2) * T + t);
+            const dmask ext = (hi0 - qc) * (qc - lo0) <= zero;
+            const dpack d = hi0 - lo0;
+            const dpack sx = six * (qc - half * (lo0 + hi0));
+            const dmask c_lo = d * sx > d * d;
+            const dmask c_hi = (zero - d * d) > d * sx;
+            const dpack lo1 = simd::select(c_lo, three * qc - two * hi0, lo0);
+            const dpack hi1 = simd::select(c_hi, three * qc - two * lo0, hi0);
+            simd::select(ext, qc, lo1).store(flo + cidx * T + t);
+            simd::select(ext, qc, hi1).store(fhi + cidx * T + t);
+        }
+    }
+}
+
+struct face_prim {
+    dpack va; ///< velocity component along the sweep axis
+    dpack c;  ///< sound speed
+    dpack p;  ///< pressure
+};
+
+/// Assemble the conserved face state of one side from the reconstructed
+/// variables (mirror of the scalar face assembly) and derive its primitives
+/// exactly as to_primitives does, so the two paths agree to rounding.
+face_prim assemble_face(const double* rec, std::size_t off, int axis,
+                        const phys::ideal_gas_eos& eos, dpack* u) {
+    const double gamma = eos.gamma();
+    const dpack floor_p(rho_floor), zero(0.0), half(0.5);
+    const auto ld = [&](int v) {
+        return dpack::load(rec + static_cast<std::size_t>(v) * C * T + off);
+    };
+    const dpack rho = simd::max(ld(rv_rho), floor_p);
+    const dpack wx = ld(rv_vx + 0), wy = ld(rv_vx + 1), wz = ld(rv_vx + 2);
+    const dpack pr = simd::max(ld(rv_p), zero);
+    const dpack internal0 = pr / dpack(gamma - 1.0);
+    u[f_rho] = rho;
+    u[f_sx] = rho * wx;
+    u[f_sy] = rho * wy;
+    u[f_sz] = rho * wz;
+    u[f_egas] = internal0 + half * rho * (wx * wx + wy * wy + wz * wz);
+    u[f_tau] = simd::max(ld(rv_tau), zero) * rho;
+    for (int s = 0; s < n_passive; ++s) {
+        u[first_passive + s] = ld(rv_pass + s) * rho;
+    }
+    u[f_lx] = ld(rv_l + 0) * rho;
+    u[f_ly] = ld(rv_l + 1) * rho;
+    u[f_lz] = ld(rv_l + 2) * rho;
+
+    // Primitives of the assembled state (dual-energy switch as a select).
+    const dpack vx = u[f_sx] / rho, vy = u[f_sy] / rho, vz = u[f_sz] / rho;
+    const dpack ke = half * rho * (vx * vx + vy * vy + vz * vz);
+    const dpack from_total = u[f_egas] - ke;
+    const dmask use_total =
+        (from_total > dpack(eos.de_switch()) * u[f_egas]) && (from_total > zero);
+    dpack ent = zero;
+    if (!simd::all(use_total)) {
+        ent = simd::pow(simd::max(u[f_tau], zero), gamma);
+    }
+    const dpack internal =
+        simd::max(simd::select(use_total, from_total, ent), zero);
+    face_prim out;
+    out.p = dpack(gamma - 1.0) * internal;
+    out.c = simd::sqrt(dpack(gamma) * out.p / rho);
+    out.va = axis == 0 ? vx : axis == 1 ? vy : vz;
+    return out;
+}
+
+/// Kurganov–Tadmor flux over every face plane of the sweep. Writes the
+/// n_hydro_fields planes of `out` (radiation planes stay zero, as in the
+/// scalar path where the face states carry zero radiation moments).
+void flux_pass(const double* flo, const double* fhi, int axis,
+               const phys::ideal_gas_eos& eos, leaf_flux_soa& out,
+               double* max_speed) {
+    const dpack zero(0.0), one(1.0);
+    dpack msp(0.0);
+    dpack uL[n_hydro_fields], uR[n_hydro_fields];
+    for (int p = 0; p < n_faces; ++p) {
+        for (int t = 0; t < T; t += W) {
+            // Left state: hi face of cell p-1 (cidx p); right: lo of cell p.
+            const face_prim pL =
+                assemble_face(fhi, static_cast<std::size_t>(p) * T + t, axis,
+                              eos, uL);
+            const face_prim pR =
+                assemble_face(flo, static_cast<std::size_t>(p + 1) * T + t,
+                              axis, eos, uR);
+            const dpack ap =
+                simd::max(simd::max(pL.va + pL.c, pR.va + pR.c), zero);
+            const dpack am =
+                simd::min(simd::min(pL.va - pL.c, pR.va - pR.c), zero);
+            msp = simd::max(msp, simd::max(ap, zero - am));
+            const dpack denom = ap - am;
+            const dmask safe = denom > zero;
+            const dpack inv =
+                simd::select(safe, one / simd::select(safe, denom, one), zero);
+            const dpack apam = ap * am;
+            for (int q = 0; q < n_hydro_fields; ++q) {
+                dpack fL = uL[q] * pL.va;
+                dpack fR = uR[q] * pR.va;
+                if (q == f_sx + axis) {
+                    fL += pL.p;
+                    fR += pR.p;
+                } else if (q == f_egas) {
+                    fL += pL.p * pL.va;
+                    fR += pR.p * pR.va;
+                }
+                const dpack fq =
+                    (ap * fL - am * fR) * inv + apam * inv * (uR[q] - uL[q]);
+                double* plane = out.plane(axis, q);
+                if (axis == 2) {
+                    // Transverse-major plane: scatter the lanes.
+                    for (int l = 0; l < W; ++l) {
+                        plane[(t + l) * n_faces + p] = fq[l];
+                    }
+                } else {
+                    fq.store(plane + p * T + t);
+                }
+            }
+        }
+    }
+    *max_speed = std::max(*max_speed, simd::hmax(msp));
+}
+
+} // namespace
+
+void compute_leaf_fluxes_simd(const subgrid& g, int axis,
+                              const phys::ideal_gas_eos& eos, bool use_ppm,
+                              pencil_workspace& ws, leaf_flux_soa& out,
+                              double* max_speed) {
+    ws.u.resize(static_cast<std::size_t>(n_hydro_fields) * P * T);
+    ws.qv.resize(static_cast<std::size_t>(NV) * P * T);
+    ws.iface.resize(static_cast<std::size_t>(C + 1) * T);
+    ws.flo.resize(static_cast<std::size_t>(NV) * C * T);
+    ws.fhi.resize(static_cast<std::size_t>(NV) * C * T);
+
+    gather_axis(g, axis, ws.u.data());
+    primitives_pass(ws.u.data(), eos, ws.qv.data());
+    for (int v = 0; v < NV; ++v) {
+        reconstruct_var(ws.qv.data() + static_cast<std::size_t>(v) * P * T,
+                        use_ppm, ws.iface.data(),
+                        ws.flo.data() + static_cast<std::size_t>(v) * C * T,
+                        ws.fhi.data() + static_cast<std::size_t>(v) * C * T);
+    }
+    flux_pass(ws.flo.data(), ws.fhi.data(), axis, eos, out, max_speed);
+}
+
+double leaf_max_wave_speed_simd(const subgrid& g,
+                                const phys::ideal_gas_eos& eos) {
+    const double gamma = eos.gamma();
+    const dpack floor_p(rho_floor), zero(0.0), half(0.5);
+    const dpack desw(eos.de_switch()), gm1(gamma - 1.0), gam(gamma);
+    dpack ms(1e-30);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j) {
+            const int base = subgrid::interior_index(i, j, 0);
+            for (int kk = 0; kk < INX; kk += W) {
+                const auto ld = [&](int q) {
+                    return dpack::load(g.field_data(q) + base + kk);
+                };
+                const dpack rho = simd::max(ld(f_rho), floor_p);
+                const dpack vx = ld(f_sx) / rho;
+                const dpack vy = ld(f_sy) / rho;
+                const dpack vz = ld(f_sz) / rho;
+                const dpack ke = half * rho * (vx * vx + vy * vy + vz * vz);
+                const dpack E = ld(f_egas);
+                const dpack from_total = E - ke;
+                const dmask use_total =
+                    (from_total > desw * E) && (from_total > zero);
+                dpack ent = zero;
+                if (!simd::all(use_total)) {
+                    ent = simd::pow(simd::max(ld(f_tau), zero), gamma);
+                }
+                const dpack internal =
+                    simd::max(simd::select(use_total, from_total, ent), zero);
+                const dpack c = simd::sqrt(gam * (gm1 * internal) / rho);
+                ms = simd::max(ms, simd::abs(vx) + c);
+                ms = simd::max(ms, simd::abs(vy) + c);
+                ms = simd::max(ms, simd::abs(vz) + c);
+            }
+        }
+    return simd::hmax(ms);
+}
+
+} // namespace octo::hydro

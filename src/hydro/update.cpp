@@ -1,12 +1,17 @@
 #include "hydro/update.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "hydro/flux.hpp"
+#include "hydro/pencil.hpp"
 #include "hydro/reconstruct.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
@@ -16,22 +21,13 @@
 namespace octo::hydro {
 
 using namespace octo::amr;
+using simd::dpack;
+using dmask = simd::mask<double, simd::default_width>;
 
 namespace {
 
-/// Face-flux storage of one leaf: for each axis, (INX+1) x INX x INX state
-/// vectors; plane index p along the axis is the face between cells p-1 and p.
-struct leaf_fluxes {
-    // [axis][(p * INX + b) * INX + c] with (b, c) the transverse coordinates
-    // in axis order ((y,z) for x, (x,z) for y, (x,y) for z).
-    // Recycled storage: a stage allocates one of these per leaf per RK
-    // stage, so the arrays come back out of the buffer_recycler pool.
-    aligned_vector<state> f[3];
-    leaf_fluxes() {
-        for (auto& a : f) a.assign((INX + 1) * INX * INX, state{});
-    }
-    static int index(int p, int b, int c) { return (p * INX + b) * INX + c; }
-};
+constexpr int W = static_cast<int>(simd::default_width);
+constexpr int n_face_lanes = leaf_flux_soa::plane_size / n_faces; // = INX*INX
 
 /// Cell (i,j,k) from axis-ordered (p, b, c).
 void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
@@ -41,6 +37,12 @@ void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
         default: i = b; j = c; k = p; break;
     }
 }
+
+// ---- scalar (AoS) flux sweep ----------------------------------------------
+// The original per-pencil kernels, kept selectable via step_options::use_simd
+// for A/B benchmarking and as the reference of the equivalence tests. Only
+// the flux *storage* changed (struct-of-arrays planes shared with the SIMD
+// path); the arithmetic is untouched.
 
 /// Gather the pencil of conserved states along `axis` through transverse
 /// position (b, c), from cell index -H_BW to INX-1+H_BW (ghosts included).
@@ -65,8 +67,8 @@ struct face_states {
     aligned_vector<state> lo, hi;
 };
 
-/// Per-pencil reconstruction scratch, allocated once per leaf (every array
-/// below is fully overwritten each pencil, so plain resize is enough).
+/// Per-pencil reconstruction scratch, allocated once per leaf sweep (every
+/// array below is fully overwritten each pencil, so plain resize is enough).
 struct pencil_scratch {
     aligned_vector<state> pencil;
     aligned_vector<double> q, flo, fhi;
@@ -147,47 +149,95 @@ void reconstruct_pencil(const aligned_vector<state>& pencil, bool use_ppm,
     }
 }
 
-/// Compute all face fluxes of one leaf. Returns the max signal speed seen.
-double compute_leaf_fluxes(const subgrid& g, const step_options& opt,
-                           leaf_fluxes& out) {
-    double max_speed = 0.0;
-    pencil_scratch sc;
+/// Scalar flux sweep along one axis of one leaf, writing the SoA planes.
+void compute_leaf_fluxes_scalar(const subgrid& g, int axis,
+                                const step_options& opt, pencil_scratch& sc,
+                                leaf_flux_soa& out, double* max_speed) {
     face_states& fs = sc.fs;
-    for (int axis = 0; axis < 3; ++axis) {
-        for (int b = 0; b < INX; ++b) {
-            for (int c = 0; c < INX; ++c) {
-                gather_pencil(g, axis, b, c, sc.pencil);
-                reconstruct_pencil(sc.pencil, opt.use_ppm, opt.eos, sc, fs);
-                // Face p (between cells p-1 and p) for p in [0, INX]:
-                // left state = hi of cell p-1, right state = lo of cell p.
-                for (int p = 0; p <= INX; ++p) {
-                    const state& uL = fs.hi[static_cast<std::size_t>(p)];     // cell p-1
-                    const state& uR = fs.lo[static_cast<std::size_t>(p + 1)]; // cell p
-                    out.f[axis][static_cast<std::size_t>(leaf_fluxes::index(p, b, c))] =
-                        kt_flux(uL, uR, axis, opt.eos, &max_speed);
+    for (int b = 0; b < INX; ++b) {
+        for (int c = 0; c < INX; ++c) {
+            gather_pencil(g, axis, b, c, sc.pencil);
+            reconstruct_pencil(sc.pencil, opt.use_ppm, opt.eos, sc, fs);
+            // Face p (between cells p-1 and p) for p in [0, INX]:
+            // left state = hi of cell p-1, right state = lo of cell p.
+            for (int p = 0; p <= INX; ++p) {
+                const state& uL = fs.hi[static_cast<std::size_t>(p)];     // cell p-1
+                const state& uR = fs.lo[static_cast<std::size_t>(p + 1)]; // cell p
+                const state f = kt_flux(uL, uR, axis, opt.eos, max_speed);
+                const int fi = leaf_flux_soa::findex(axis, p, b, c);
+                // Radiation moments are advanced by the radiation solver,
+                // not transported here (same contract as the SIMD sweep).
+                for (int q = 0; q < n_hydro_fields; ++q) {
+                    out.plane(axis, q)[fi] = f[static_cast<std::size_t>(q)];
                 }
             }
         }
     }
-    return max_speed;
 }
+
+/// One leaf's flux sweep along `axis`, dispatched per step_options::use_simd.
+/// Returns the max signal speed seen (diagnostic; dt comes from the CFL
+/// reduction).
+double compute_axis_fluxes(const subgrid& g, int axis, const step_options& opt,
+                           leaf_flux_soa& out) {
+    double ms = 0.0;
+    if (opt.use_simd) {
+        pencil_workspace ws; // recycled
+        compute_leaf_fluxes_simd(g, axis, opt.eos, opt.use_ppm, ws, out, &ms);
+    } else {
+        pencil_scratch sc; // recycled
+        compute_leaf_fluxes_scalar(g, axis, opt, sc, out, &ms);
+    }
+    return ms;
+}
+
+// ---- reflux ----------------------------------------------------------------
 
 struct reflux_moment {
     dvec3 m{0, 0, 0};
 };
 
+/// One coarse face adjacent to a refined same-level neighbor; the moments
+/// are rewritten by reflux_face every stage.
+struct reflux_entry {
+    node_key leaf;
+    int axis;
+    int dir;
+    std::vector<reflux_moment> moments;
+};
+
+/// The four children of `nb` that touch its shared face with a coarse
+/// neighbor in direction -dir (the enumeration reflux_face walks).
+std::array<node_key, 4> face_children(node_key nb, int axis, int dir) {
+    std::array<node_key, 4> out{};
+    int n = 0;
+    for (int bb = 0; bb < 2; ++bb) {
+        for (int cc = 0; cc < 2; ++cc) {
+            int obit[3];
+            obit[axis] = dir > 0 ? 0 : 1;
+            const int ta = axis == 0 ? 1 : 0;
+            const int tb = axis == 2 ? 1 : 2;
+            obit[ta] = bb;
+            obit[tb] = cc;
+            out[static_cast<std::size_t>(n++)] =
+                key_child(nb, obit[0] | (obit[1] << 1) | (obit[2] << 2));
+        }
+    }
+    return out;
+}
+
 /// Replace the coarse side's boundary fluxes with the restriction of the
 /// fine side's, and collect the tangential moment needed by the angular
-/// momentum ledger (see step()). Returns per-face-cell moments.
+/// momentum ledger (see update_leaf). `flux_of` maps a leaf to its fluxes.
+template <class FluxOf>
 void reflux_face(tree& t, node_key coarse, int axis, int dir,
-                 std::unordered_map<node_key, leaf_fluxes>& fluxes,
+                 leaf_flux_soa& cf, const FluxOf& flux_of,
                  std::vector<reflux_moment>& moments) {
     const node_key nb = key_neighbor(coarse, {axis == 0 ? dir : 0,
                                               axis == 1 ? dir : 0,
                                               axis == 2 ? dir : 0});
     OCTO_ASSERT(nb != invalid_key && t.contains(nb) && t.node(nb).refined);
 
-    auto& cf = fluxes.at(coarse);
     const box_geometry cg = t.geometry(coarse);
     const double dxf = cg.dx / 2.0;
 
@@ -212,7 +262,7 @@ void reflux_face(tree& t, node_key coarse, int axis, int dir,
             const int oct = obit[0] | (obit[1] << 1) | (obit[2] << 2);
             const node_key child = key_child(nb, oct);
             OCTO_ASSERT(t.contains(child));
-            const auto& ff = fluxes.at(child);
+            const leaf_flux_soa& ff = flux_of(child);
 
             state sum{};
             dvec3 moment{0, 0, 0};
@@ -227,14 +277,19 @@ void reflux_face(tree& t, node_key coarse, int axis, int dir,
                 for (int dc = 0; dc < 2; ++dc) {
                     const int fb = 2 * (b % (INX / 2)) + db;
                     const int fc = 2 * (c % (INX / 2)) + dc;
-                    const state& f =
-                        ff.f[axis][static_cast<std::size_t>(
-                            leaf_fluxes::index(fplane, fb, fc))];
-                    for (int q = 0; q < n_fields; ++q) sum[q] += f[q];
+                    const int fi = leaf_flux_soa::findex(axis, fplane, fb, fc);
+                    state f;
+                    for (int q = 0; q < n_fields; ++q) {
+                        f[static_cast<std::size_t>(q)] = ff.plane(axis, q)[fi];
+                    }
+                    for (int q = 0; q < n_fields; ++q) {
+                        sum[static_cast<std::size_t>(q)] +=
+                            f[static_cast<std::size_t>(q)];
+                    }
                     // Fine face center.
-                    int fi, fj, fk;
-                    axis_cell(axis, fplane, fb, fc, fi, fj, fk);
-                    dvec3 fcc = fg.cell_center(fi, fj, fk);
+                    int fi2, fj2, fk2;
+                    axis_cell(axis, fplane, fb, fc, fi2, fj2, fk2);
+                    dvec3 fcc = fg.cell_center(fi2, fj2, fk2);
                     fcc[axis] -= 0.5 * fg.dx;
                     dvec3 tang = fcc - face_center;
                     tang[axis] = 0.0;
@@ -242,44 +297,412 @@ void reflux_face(tree& t, node_key coarse, int axis, int dir,
                     moment += cross(tang, Fs) * (dxf * dxf); // A_f * (t x F)
                 }
             }
-            state& cflux = cf.f[axis][static_cast<std::size_t>(
-                leaf_fluxes::index(cplane, b, c))];
-            for (int q = 0; q < n_fields; ++q) cflux[q] = sum[q] / 4.0;
+            const int cfi = leaf_flux_soa::findex(axis, cplane, b, c);
+            for (int q = 0; q < n_fields; ++q) {
+                cf.plane(axis, q)[cfi] = sum[static_cast<std::size_t>(q)] / 4.0;
+            }
             moments[static_cast<std::size_t>(b * INX + c)].m = moment;
         }
     }
+}
+
+// ---- conserved update (shared by the barriered and futurized schedules) ---
+
+/// Pre-update density/momentum snapshot for the source terms.
+void snapshot_sources(const subgrid& g, aligned_vector<double>& old_rho,
+                      aligned_vector<dvec3>& old_s) {
+    old_rho.resize(INX3);
+    old_s.resize(INX3);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                const auto c =
+                    static_cast<std::size_t>(((i * INX) + j) * INX + kk);
+                old_rho[c] = g.interior(f_rho, i, j, kk);
+                old_s[c] = {g.interior(f_sx, i, j, kk),
+                            g.interior(f_sy, i, j, kk),
+                            g.interior(f_sz, i, j, kk)};
+            }
+}
+
+/// Scalar flux divergence + Després–Labourasse spin absorption.
+void flux_divergence_scalar(subgrid& g, const leaf_flux_soa& lf, double dt) {
+    const double lambda = dt / g.geom.dx;
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                state du{};
+                dvec3 dl{0, 0, 0}; // spin ledger
+                for (int axis = 0; axis < 3; ++axis) {
+                    int p, b, c;
+                    switch (axis) {
+                        case 0: p = i; b = j; c = kk; break;
+                        case 1: p = j; b = i; c = kk; break;
+                        default: p = kk; b = i; c = j; break;
+                    }
+                    const int flo = leaf_flux_soa::findex(axis, p, b, c);
+                    const int fhi = leaf_flux_soa::findex(axis, p + 1, b, c);
+                    state fl, fh;
+                    for (int q = 0; q < n_fields; ++q) {
+                        fl[static_cast<std::size_t>(q)] = lf.plane(axis, q)[flo];
+                        fh[static_cast<std::size_t>(q)] = lf.plane(axis, q)[fhi];
+                    }
+                    for (int q = 0; q < n_fields; ++q) {
+                        du[static_cast<std::size_t>(q)] -=
+                            lambda * (fh[static_cast<std::size_t>(q)] -
+                                      fl[static_cast<std::size_t>(q)]);
+                    }
+                    // Angular-momentum ledger: each face's momentum
+                    // transport carries L about the face center; the
+                    // cell-centered update loses (dx e_a) x F per face pair.
+                    // Each adjacent cell absorbs -1/2 dt e_a x F into spin.
+                    dvec3 ea{0, 0, 0};
+                    ea[axis] = 1.0;
+                    const dvec3 Fl{fl[f_sx], fl[f_sy], fl[f_sz]};
+                    const dvec3 Fh{fh[f_sx], fh[f_sy], fh[f_sz]};
+                    dl -= 0.5 * dt * cross(ea, Fl);
+                    dl -= 0.5 * dt * cross(ea, Fh);
+                }
+                for (int q = 0; q < n_fields; ++q) {
+                    g.interior(q, i, j, kk) += du[static_cast<std::size_t>(q)];
+                }
+                g.interior(f_lx, i, j, kk) += dl.x;
+                g.interior(f_ly, i, j, kk) += dl.y;
+                g.interior(f_lz, i, j, kk) += dl.z;
+            }
+}
+
+/// Vectorized flux divergence + spin absorption over k-packs. The per-field
+/// subtraction order mirrors the scalar loop (axis 0, 1, 2), so results
+/// agree to rounding; the axis-2 flux plane is transverse-major, making its
+/// face loads contiguous in k as well.
+void flux_divergence_simd(subgrid& g, const leaf_flux_soa& lf, double dt) {
+    const dpack lam(dt / g.geom.dx), h(0.5 * dt), zero(0.0);
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j) {
+            const int row = subgrid::interior_index(i, j, 0);
+            const int lo0 = (i * INX + j) * INX;       // axis-0 faces at plane i
+            const int hi0 = ((i + 1) * INX + j) * INX; // plane i+1
+            const int lo1 = (j * INX + i) * INX;       // axis-1 faces at plane j
+            const int hi1 = ((j + 1) * INX + i) * INX;
+            const int t2 = (i * INX + j) * n_faces;    // axis-2 face row
+            for (int kk = 0; kk < INX; kk += W) {
+                dpack dlx = zero, dly = zero, dlz = zero;
+                for (int q = 0; q < n_hydro_fields; ++q) {
+                    const double* p0 = lf.plane(0, q);
+                    const double* p1 = lf.plane(1, q);
+                    const double* p2 = lf.plane(2, q);
+                    dpack du = zero;
+                    du -= lam * (dpack::load(p0 + hi0 + kk) -
+                                 dpack::load(p0 + lo0 + kk));
+                    du -= lam * (dpack::load(p1 + hi1 + kk) -
+                                 dpack::load(p1 + lo1 + kk));
+                    du -= lam * (dpack::load(p2 + t2 + kk + 1) -
+                                 dpack::load(p2 + t2 + kk));
+                    double* cell = g.field_data(q) + row + kk;
+                    (dpack::load(cell) + du).store(cell);
+                }
+                // Spin ledger, same per-face sequence as the scalar loop:
+                // axis 0: e_x x F = (0, -Fz, Fy); axis 1: (Fz, 0, -Fx);
+                // axis 2: (-Fy, Fx, 0); low face then high face.
+                {
+                    const double* psy = lf.plane(0, f_sy);
+                    const double* psz = lf.plane(0, f_sz);
+                    const dpack Fly = dpack::load(psy + lo0 + kk);
+                    const dpack Flz = dpack::load(psz + lo0 + kk);
+                    const dpack Fhy = dpack::load(psy + hi0 + kk);
+                    const dpack Fhz = dpack::load(psz + hi0 + kk);
+                    dly -= h * (zero - Flz);
+                    dlz -= h * Fly;
+                    dly -= h * (zero - Fhz);
+                    dlz -= h * Fhy;
+                }
+                {
+                    const double* psx = lf.plane(1, f_sx);
+                    const double* psz = lf.plane(1, f_sz);
+                    const dpack Flx = dpack::load(psx + lo1 + kk);
+                    const dpack Flz = dpack::load(psz + lo1 + kk);
+                    const dpack Fhx = dpack::load(psx + hi1 + kk);
+                    const dpack Fhz = dpack::load(psz + hi1 + kk);
+                    dlx -= h * Flz;
+                    dlz -= h * (zero - Flx);
+                    dlx -= h * Fhz;
+                    dlz -= h * (zero - Fhx);
+                }
+                {
+                    const double* psx = lf.plane(2, f_sx);
+                    const double* psy = lf.plane(2, f_sy);
+                    const dpack Flx = dpack::load(psx + t2 + kk);
+                    const dpack Fly = dpack::load(psy + t2 + kk);
+                    const dpack Fhx = dpack::load(psx + t2 + kk + 1);
+                    const dpack Fhy = dpack::load(psy + t2 + kk + 1);
+                    dlx -= h * (zero - Fly);
+                    dly -= h * Flx;
+                    dlx -= h * (zero - Fhy);
+                    dly -= h * Fhx;
+                }
+                double* lx = g.field_data(f_lx) + row + kk;
+                double* ly = g.field_data(f_ly) + row + kk;
+                double* lz = g.field_data(f_lz) + row + kk;
+                (dpack::load(lx) + dlx).store(lx);
+                (dpack::load(ly) + dly).store(ly);
+                (dpack::load(lz) + dlz).store(lz);
+            }
+        }
+}
+
+/// Coarse-fine residual moments for one refluxed face of this leaf.
+void apply_reflux_moments(subgrid& g, const reflux_entry& e, double dt) {
+    const double V = g.geom.cell_volume();
+    for (int b = 0; b < INX; ++b)
+        for (int c = 0; c < INX; ++c) {
+            const dvec3 M = e.moments[static_cast<std::size_t>(b * INX + c)].m;
+            // Residual spin: -dt * sum A_f (t x F) / V, signed by which side
+            // of the cell the face is.
+            const double sgn = e.dir > 0 ? -1.0 : 1.0;
+            int ci, cj, ck;
+            axis_cell(e.axis, e.dir > 0 ? INX - 1 : 0, b, c, ci, cj, ck);
+            const dvec3 corr = (sgn * dt / V) * M;
+            g.interior(f_lx, ci, cj, ck) += corr.x;
+            g.interior(f_ly, ci, cj, ck) += corr.y;
+            g.interior(f_lz, ci, cj, ck) += corr.z;
+        }
+}
+
+/// Gravity (+ spin-torque deposits) and rotating frame. They must use the
+/// PRE-update state: the FMM solved for that density, so only then does
+/// sum(V rho g) vanish to rounding (machine-precision momentum conservation).
+void apply_sources(subgrid& g, node_key k, const step_options& opt, double dt,
+                   const aligned_vector<double>& old_rho,
+                   const aligned_vector<dvec3>& old_s) {
+    std::optional<gravity_field> gf;
+    if (opt.gravity) gf = opt.gravity(k);
+    const double V = g.geom.cell_volume();
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                const std::size_t old_idx =
+                    static_cast<std::size_t>(((i * INX) + j) * INX + kk);
+                const double rho = old_rho[old_idx];
+                const dvec3 s = old_s[old_idx];
+                if (gf) {
+                    const int cidx = (i * INX + j) * INX + kk;
+                    const dvec3 acc{gf->gx[cidx], gf->gy[cidx], gf->gz[cidx]};
+                    g.interior(f_sx, i, j, kk) += dt * rho * acc.x;
+                    g.interior(f_sy, i, j, kk) += dt * rho * acc.y;
+                    g.interior(f_sz, i, j, kk) += dt * rho * acc.z;
+                    g.interior(f_egas, i, j, kk) += dt * dot(s, acc);
+                    // FMM spin-torque ledger (per-cell total torque -> spin
+                    // density).
+                    g.interior(f_lx, i, j, kk) += dt * gf->tqx[cidx] / V;
+                    g.interior(f_ly, i, j, kk) += dt * gf->tqy[cidx] / V;
+                    g.interior(f_lz, i, j, kk) += dt * gf->tqz[cidx] / V;
+                }
+                if (norm2(opt.omega) > 0.0) {
+                    // Rotating frame: Coriolis + centrifugal (pre-update
+                    // state, like gravity).
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const dvec3 v = s / std::max(rho, rho_floor);
+                    const dvec3 a = -2.0 * cross(opt.omega, v) -
+                                    cross(opt.omega, cross(opt.omega, r));
+                    g.interior(f_sx, i, j, kk) += dt * rho * a.x;
+                    g.interior(f_sy, i, j, kk) += dt * rho * a.y;
+                    g.interior(f_sz, i, j, kk) += dt * rho * a.z;
+                    g.interior(f_egas, i, j, kk) += dt * rho * dot(v, a);
+                }
+            }
+}
+
+/// u0 snapshot layout: [q][i][j][k] over interior cells.
+void save_u0(const subgrid& g, aligned_vector<double>& v) {
+    v.resize(static_cast<std::size_t>(n_fields) * INX3);
+    std::size_t idx = 0;
+    for (int q = 0; q < n_fields; ++q)
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk, ++idx) {
+                    v[idx] = g.interior(q, i, j, kk);
+                }
+}
+
+void blend_scalar(subgrid& g, const aligned_vector<double>& u0) {
+    std::size_t idx = 0;
+    for (int q = 0; q < n_fields; ++q)
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk, ++idx) {
+                    double& u = g.interior(q, i, j, kk);
+                    u = 0.5 * (u0[idx] + u);
+                }
+}
+
+void blend_simd(subgrid& g, const aligned_vector<double>& u0) {
+    const dpack half(0.5);
+    std::size_t idx = 0;
+    for (int q = 0; q < n_fields; ++q)
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j) {
+                double* cell = g.field_data(q) + subgrid::interior_index(i, j, 0);
+                for (int kk = 0; kk < INX; kk += W, idx += W) {
+                    const dpack u = dpack::load(cell + kk);
+                    (half * (dpack::load(u0.data() + idx) + u)).store(cell + kk);
+                }
+            }
+}
+
+void dual_energy_scalar(subgrid& g, const phys::ideal_gas_eos& eos) {
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                double& rho = g.interior(f_rho, i, j, kk);
+                rho = std::max(rho, rho_floor);
+                const dvec3 s{g.interior(f_sx, i, j, kk),
+                              g.interior(f_sy, i, j, kk),
+                              g.interior(f_sz, i, j, kk)};
+                const double ke = 0.5 * norm2(s) / rho;
+                double& E = g.interior(f_egas, i, j, kk);
+                double& tau = g.interior(f_tau, i, j, kk);
+                tau = std::max(tau, tau_floor);
+                const double from_total = E - ke;
+                if (from_total > eos.de_switch() * E && from_total > 0.0) {
+                    // Low-Mach: total energy is reliable; sync tau.
+                    tau = eos.tau_from_internal(from_total);
+                } else {
+                    // High-Mach: rebuild E from the tracer.
+                    E = ke + eos.internal_from_tau(tau);
+                }
+            }
+}
+
+void dual_energy_simd(subgrid& g, const phys::ideal_gas_eos& eos) {
+    const double gamma = eos.gamma();
+    const dpack zero(0.0), half(0.5);
+    const dpack rfloor(rho_floor), tfloor(tau_floor), desw(eos.de_switch());
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j) {
+            const int row = subgrid::interior_index(i, j, 0);
+            for (int kk = 0; kk < INX; kk += W) {
+                double* prho = g.field_data(f_rho) + row + kk;
+                double* ptau = g.field_data(f_tau) + row + kk;
+                double* pE = g.field_data(f_egas) + row + kk;
+                const dpack rho = simd::max(dpack::load(prho), rfloor);
+                rho.store(prho);
+                const dpack sx = dpack::load(g.field_data(f_sx) + row + kk);
+                const dpack sy = dpack::load(g.field_data(f_sy) + row + kk);
+                const dpack sz = dpack::load(g.field_data(f_sz) + row + kk);
+                const dpack ke = half * (sx * sx + sy * sy + sz * sz) / rho;
+                const dpack E0 = dpack::load(pE);
+                const dpack tau0 = simd::max(dpack::load(ptau), tfloor);
+                const dpack from_total = E0 - ke;
+                const dmask use_total =
+                    (from_total > desw * E0) && (from_total > zero);
+                // The two pow() branches only run when some lane takes them.
+                dpack tau1 = tau0;
+                if (simd::any(use_total)) {
+                    tau1 = simd::pow(simd::max(from_total, zero), 1.0 / gamma);
+                }
+                dpack E1 = E0;
+                if (!simd::all(use_total)) {
+                    E1 = ke + simd::pow(simd::max(tau0, zero), gamma);
+                }
+                simd::select(use_total, tau1, tau0).store(ptau);
+                simd::select(use_total, E0, E1).store(pE);
+            }
+        }
+}
+
+/// The full per-leaf update (flux divergence, reflux moments, sources, RK
+/// blend, dual-energy bookkeeping + floors), shared verbatim by the
+/// barriered and the futurized schedules so they agree bit for bit.
+void update_leaf(node_key k, subgrid& g, const leaf_flux_soa& lf, double dt,
+                 const step_options& opt,
+                 const std::vector<const reflux_entry*>& refl,
+                 const aligned_vector<double>* u0) {
+    const bool need_sources =
+        static_cast<bool>(opt.gravity) || norm2(opt.omega) > 0.0;
+    aligned_vector<double> old_rho;
+    aligned_vector<dvec3> old_s;
+    if (need_sources) snapshot_sources(g, old_rho, old_s);
+
+    if (opt.use_simd) {
+        flux_divergence_simd(g, lf, dt);
+    } else {
+        flux_divergence_scalar(g, lf, dt);
+    }
+    for (const reflux_entry* e : refl) apply_reflux_moments(g, *e, dt);
+    if (need_sources) apply_sources(g, k, opt, dt, old_rho, old_s);
+    if (u0 != nullptr) {
+        if (opt.use_simd) {
+            blend_simd(g, *u0);
+        } else {
+            blend_scalar(g, *u0);
+        }
+    }
+    // Dual-energy bookkeeping + floors after the blend so the committed
+    // state is consistent.
+    if (opt.use_simd) {
+        dual_energy_simd(g, opt.eos);
+    } else {
+        dual_energy_scalar(g, opt.eos);
+    }
+}
+
+// ---- CFL -------------------------------------------------------------------
+
+double leaf_max_wave_speed_scalar(const subgrid& g,
+                                  const phys::ideal_gas_eos& eos) {
+    double max_speed = 1e-30;
+    for (int i = 0; i < INX; ++i)
+        for (int j = 0; j < INX; ++j)
+            for (int kk = 0; kk < INX; ++kk) {
+                state u;
+                for (int q = 0; q < n_fields; ++q) {
+                    u[static_cast<std::size_t>(q)] = g.interior(q, i, j, kk);
+                }
+                const primitives pr = to_primitives(u, eos);
+                for (int a = 0; a < 3; ++a) {
+                    max_speed = std::max(max_speed, max_wave_speed(pr, a));
+                }
+            }
+    return max_speed;
+}
+
+double leaf_max_wave_speed(const subgrid& g, const step_options& opt) {
+    return opt.use_simd ? leaf_max_wave_speed_simd(g, opt.eos)
+                        : leaf_max_wave_speed_scalar(g, opt.eos);
 }
 
 } // namespace
 
 double cfl_timestep(tree& t, const step_options& opt) {
     fill_all_ghosts(t, opt.bc);
-    double dt = std::numeric_limits<double>::max();
-    for (const auto& level : t.levels()) {
-        for (const node_key k : level) {
-            if (t.node(k).refined) continue;
-            const auto& g = *t.node(k).fields;
-            double max_speed = 1e-30;
-            for (int i = 0; i < INX; ++i)
-                for (int j = 0; j < INX; ++j)
-                    for (int kk = 0; kk < INX; ++kk) {
-                        state u;
-                        for (int q = 0; q < n_fields; ++q) {
-                            u[static_cast<std::size_t>(q)] =
-                                g.interior(q, i, j, kk);
-                        }
-                        const primitives pr = to_primitives(u, opt.eos);
-                        for (int a = 0; a < 3; ++a) {
-                            max_speed = std::max(max_speed, max_wave_speed(pr, a));
-                        }
-                    }
-            dt = std::min(dt, opt.cfl * g.geom.dx / max_speed);
+    rt::thread_pool& pool =
+        opt.pool != nullptr ? *opt.pool : rt::thread_pool::global();
+    const std::vector<node_key> leaves = t.leaves_sfc();
+    std::vector<double> speeds(leaves.size());
+    {
+        std::vector<rt::future<void>> fs;
+        fs.reserve(leaves.size());
+        for (std::size_t idx = 0; idx < leaves.size(); ++idx) {
+            fs.push_back(rt::async(pool, [&t, &opt, &speeds, &leaves, idx] {
+                speeds[idx] =
+                    leaf_max_wave_speed(*t.node(leaves[idx]).fields, opt);
+            }));
         }
+        rt::apex_count("hydro.cfl_tasks", leaves.size());
+        for (auto& f : fs) f.get();
+    }
+    double dt = std::numeric_limits<double>::max();
+    for (std::size_t idx = 0; idx < leaves.size(); ++idx) {
+        const double dx = t.node(leaves[idx]).fields->geom.dx;
+        dt = std::min(dt, opt.cfl * dx / speeds[idx]);
     }
     return dt;
 }
 
 namespace {
+
+// ---- barriered schedule ----------------------------------------------------
 
 /// One Euler stage: U <- U + dt * L(U) over all leaves. Ghosts must be
 /// filled. If `blend_with` is non-null (second RK stage), the result is
@@ -288,28 +711,25 @@ void stage(tree& t, double dt, const step_options& opt,
            const std::unordered_map<node_key, aligned_vector<double>>* blend_with,
            rt::thread_pool& pool) {
     // Pass 1: fluxes for every leaf, in parallel.
-    std::unordered_map<node_key, leaf_fluxes> fluxes;
+    std::unordered_map<node_key, leaf_flux_soa> fluxes;
     std::vector<node_key> leaves = t.leaves_sfc();
-    for (const node_key k : leaves) fluxes.emplace(k, leaf_fluxes{});
+    for (const node_key k : leaves) fluxes[k].reset();
     {
         std::vector<rt::future<void>> fs;
         fs.reserve(leaves.size());
         for (const node_key k : leaves) {
             fs.push_back(rt::async(pool, [&t, &opt, &fluxes, k] {
-                compute_leaf_fluxes(*t.node(k).fields, opt, fluxes.at(k));
+                const subgrid& g = *t.node(k).fields;
+                leaf_flux_soa& out = fluxes.at(k);
+                for (int axis = 0; axis < 3; ++axis) {
+                    compute_axis_fluxes(g, axis, opt, out);
+                }
             }));
         }
         for (auto& f : fs) f.get();
     }
 
     // Pass 2: reflux coarse faces adjacent to refined same-level neighbors.
-    // Key: (leaf, axis, dir) -> per-face-cell tangential moments.
-    struct reflux_entry {
-        node_key leaf;
-        int axis;
-        int dir;
-        std::vector<reflux_moment> moments;
-    };
     std::vector<reflux_entry> refluxes;
     for (const node_key k : leaves) {
         for (int axis = 0; axis < 3; ++axis) {
@@ -323,212 +743,45 @@ void stage(tree& t, double dt, const step_options& opt,
                 e.leaf = k;
                 e.axis = axis;
                 e.dir = dir;
-                reflux_face(t, k, axis, dir, fluxes, e.moments);
+                reflux_face(
+                    t, k, axis, dir, fluxes.at(k),
+                    [&fluxes](node_key c) -> const leaf_flux_soa& {
+                        return fluxes.at(c);
+                    },
+                    e.moments);
                 refluxes.push_back(std::move(e));
             }
         }
     }
+    std::unordered_map<node_key, std::vector<const reflux_entry*>> refl_of;
+    for (const auto& e : refluxes) refl_of[e.leaf].push_back(&e);
 
     // Pass 3: conservative update + ledger + sources, in parallel.
     {
+        const std::vector<const reflux_entry*> no_refl;
         std::vector<rt::future<void>> fs;
         fs.reserve(leaves.size());
         for (const node_key k : leaves) {
-            fs.push_back(rt::async(pool, [&, k] {
-                subgrid& g = *t.node(k).fields;
-                const auto& lf = fluxes.at(k);
-                const double dx = g.geom.dx;
-                const double lambda = dt / dx;
-
-                // Pre-update density/momentum for the source terms.
-                aligned_vector<double> old_rho(INX3);
-                aligned_vector<dvec3> old_s(INX3);
-                for (int i = 0; i < INX; ++i)
-                    for (int j = 0; j < INX; ++j)
-                        for (int kk = 0; kk < INX; ++kk) {
-                            const auto c = static_cast<std::size_t>(
-                                ((i * INX) + j) * INX + kk);
-                            old_rho[c] = g.interior(f_rho, i, j, kk);
-                            old_s[c] = {g.interior(f_sx, i, j, kk),
-                                        g.interior(f_sy, i, j, kk),
-                                        g.interior(f_sz, i, j, kk)};
-                        }
-
-                for (int i = 0; i < INX; ++i)
-                    for (int j = 0; j < INX; ++j)
-                        for (int kk = 0; kk < INX; ++kk) {
-                            state du{};
-                            dvec3 dl{0, 0, 0}; // spin ledger
-                            for (int axis = 0; axis < 3; ++axis) {
-                                int p, b, c;
-                                switch (axis) {
-                                    case 0: p = i; b = j; c = kk; break;
-                                    case 1: p = j; b = i; c = kk; break;
-                                    default: p = kk; b = i; c = j; break;
-                                }
-                                const state& fl = lf.f[axis][static_cast<std::size_t>(
-                                    leaf_fluxes::index(p, b, c))];
-                                const state& fh = lf.f[axis][static_cast<std::size_t>(
-                                    leaf_fluxes::index(p + 1, b, c))];
-                                for (int q = 0; q < n_fields; ++q) {
-                                    du[static_cast<std::size_t>(q)] -=
-                                        lambda * (fh[static_cast<std::size_t>(q)] -
-                                                  fl[static_cast<std::size_t>(q)]);
-                                }
-                                // Angular-momentum ledger: each face's
-                                // momentum transport carries L about the face
-                                // center; the cell-centered update loses
-                                // (dx e_a) x F per face pair. Each adjacent
-                                // cell absorbs -1/2 dt e_a x F into its spin.
-                                dvec3 ea{0, 0, 0};
-                                ea[axis] = 1.0;
-                                const dvec3 Fl{fl[f_sx], fl[f_sy], fl[f_sz]};
-                                const dvec3 Fh{fh[f_sx], fh[f_sy], fh[f_sz]};
-                                dl -= 0.5 * dt * cross(ea, Fl);
-                                dl -= 0.5 * dt * cross(ea, Fh);
-                            }
-                            for (int q = 0; q < n_fields; ++q) {
-                                g.interior(q, i, j, kk) +=
-                                    du[static_cast<std::size_t>(q)];
-                            }
-                            g.interior(f_lx, i, j, kk) += dl.x;
-                            g.interior(f_ly, i, j, kk) += dl.y;
-                            g.interior(f_lz, i, j, kk) += dl.z;
-                        }
-
-                // Coarse-fine residual moments for this leaf's refluxed faces.
-                for (const auto& e : refluxes) {
-                    if (e.leaf != k) continue;
-                    const double V = g.geom.cell_volume();
-                    for (int b = 0; b < INX; ++b)
-                        for (int c = 0; c < INX; ++c) {
-                            const dvec3 M =
-                                e.moments[static_cast<std::size_t>(b * INX + c)].m;
-                            // Residual spin: -dt * sum A_f (t x F) / V,
-                            // signed by which side of the cell the face is.
-                            const double sgn = e.dir > 0 ? -1.0 : 1.0;
-                            int ci, cj, ck;
-                            axis_cell(e.axis, e.dir > 0 ? INX - 1 : 0, b, c, ci,
-                                      cj, ck);
-                            const dvec3 corr = (sgn * dt / V) * M;
-                            g.interior(f_lx, ci, cj, ck) += corr.x;
-                            g.interior(f_ly, ci, cj, ck) += corr.y;
-                            g.interior(f_lz, ci, cj, ck) += corr.z;
-                        }
-                }
-
-                // Sources: gravity (+ spin-torque deposits) and rotating
-                // frame. They must use the PRE-update state: the FMM solved
-                // for that density, so only then does sum(V rho g) vanish to
-                // rounding (machine-precision momentum conservation).
-                std::optional<gravity_field> gf;
-                if (opt.gravity) gf = opt.gravity(k);
-                const double V = g.geom.cell_volume();
-                for (int i = 0; i < INX; ++i)
-                    for (int j = 0; j < INX; ++j)
-                        for (int kk = 0; kk < INX; ++kk) {
-                            const std::size_t old_idx = static_cast<std::size_t>(
-                                ((i * INX) + j) * INX + kk);
-                            const double rho = old_rho[old_idx];
-                            const dvec3 s = old_s[old_idx];
-                            if (gf) {
-                                const int cidx = (i * INX + j) * INX + kk;
-                                const dvec3 acc{gf->gx[cidx], gf->gy[cidx],
-                                                gf->gz[cidx]};
-                                g.interior(f_sx, i, j, kk) += dt * rho * acc.x;
-                                g.interior(f_sy, i, j, kk) += dt * rho * acc.y;
-                                g.interior(f_sz, i, j, kk) += dt * rho * acc.z;
-                                g.interior(f_egas, i, j, kk) += dt * dot(s, acc);
-                                // FMM spin-torque ledger (per-cell total
-                                // torque -> spin density).
-                                g.interior(f_lx, i, j, kk) +=
-                                    dt * gf->tqx[cidx] / V;
-                                g.interior(f_ly, i, j, kk) +=
-                                    dt * gf->tqy[cidx] / V;
-                                g.interior(f_lz, i, j, kk) +=
-                                    dt * gf->tqz[cidx] / V;
-                            }
-                            if (norm2(opt.omega) > 0.0) {
-                                // Rotating frame: Coriolis + centrifugal
-                                // (pre-update state, like gravity).
-                                const dvec3 r = g.geom.cell_center(i, j, kk);
-                                const dvec3 v = s / std::max(rho, rho_floor);
-                                const dvec3 a =
-                                    -2.0 * cross(opt.omega, v) -
-                                    cross(opt.omega, cross(opt.omega, r));
-                                g.interior(f_sx, i, j, kk) += dt * rho * a.x;
-                                g.interior(f_sy, i, j, kk) += dt * rho * a.y;
-                                g.interior(f_sz, i, j, kk) += dt * rho * a.z;
-                                g.interior(f_egas, i, j, kk) +=
-                                    dt * rho * dot(v, a);
-                            }
-                        }
-
-                // RK blend.
-                if (blend_with != nullptr) {
-                    const auto& u0 = blend_with->at(k);
-                    std::size_t idx = 0;
-                    for (int q = 0; q < n_fields; ++q)
-                        for (int i = 0; i < INX; ++i)
-                            for (int j = 0; j < INX; ++j)
-                                for (int kk = 0; kk < INX; ++kk, ++idx) {
-                                    double& u = g.interior(q, i, j, kk);
-                                    u = 0.5 * (u0[idx] + u);
-                                }
-                }
-
-                // Dual-energy bookkeeping + floors (after the blend so the
-                // committed state is consistent).
-                for (int i = 0; i < INX; ++i)
-                    for (int j = 0; j < INX; ++j)
-                        for (int kk = 0; kk < INX; ++kk) {
-                            double& rho = g.interior(f_rho, i, j, kk);
-                            rho = std::max(rho, rho_floor);
-                            const dvec3 s{g.interior(f_sx, i, j, kk),
-                                          g.interior(f_sy, i, j, kk),
-                                          g.interior(f_sz, i, j, kk)};
-                            const double ke = 0.5 * norm2(s) / rho;
-                            double& E = g.interior(f_egas, i, j, kk);
-                            double& tau = g.interior(f_tau, i, j, kk);
-                            tau = std::max(tau, tau_floor);
-                            const double from_total = E - ke;
-                            if (from_total > opt.eos.de_switch() * E &&
-                                from_total > 0.0) {
-                                // Low-Mach: total energy is reliable; sync tau.
-                                tau = opt.eos.tau_from_internal(from_total);
-                            } else {
-                                // High-Mach: rebuild E from the tracer.
-                                E = ke + opt.eos.internal_from_tau(tau);
-                            }
-                        }
+            const auto it = refl_of.find(k);
+            const auto* refl = it != refl_of.end() ? &it->second : &no_refl;
+            fs.push_back(rt::async(pool, [&t, &opt, &fluxes, k, dt, refl,
+                                          blend_with] {
+                update_leaf(k, *t.node(k).fields, fluxes.at(k), dt, opt, *refl,
+                            blend_with != nullptr ? &blend_with->at(k)
+                                                  : nullptr);
             }));
         }
         for (auto& f : fs) f.get();
     }
 }
 
-} // namespace
-
-double step(tree& t, const step_options& opt) {
-    rt::apex_timer timer("hydro::step");
-    rt::apex_count("hydro::steps");
-    rt::thread_pool& pool =
-        opt.pool != nullptr ? *opt.pool : rt::thread_pool::global();
-
+double step_barriered(tree& t, const step_options& opt, rt::thread_pool& pool) {
     const double dt = opt.fixed_dt > 0.0 ? opt.fixed_dt : cfl_timestep(t, opt);
 
     // Save U^n for the RK2 blend.
     std::unordered_map<node_key, aligned_vector<double>> u0;
     for (const node_key k : t.leaves_sfc()) {
-        const auto& g = *t.node(k).fields;
-        auto& v = u0[k];
-        v.reserve(static_cast<std::size_t>(n_fields) * INX3);
-        for (int q = 0; q < n_fields; ++q)
-            for (int i = 0; i < INX; ++i)
-                for (int j = 0; j < INX; ++j)
-                    for (int kk = 0; kk < INX; ++kk) {
-                        v.push_back(g.interior(q, i, j, kk));
-                    }
+        save_u0(*t.node(k).fields, u0[k]);
     }
 
     if (opt.before_stage) opt.before_stage();
@@ -538,6 +791,367 @@ double step(tree& t, const step_options& opt) {
     fill_all_ghosts(t, opt.bc);
     stage(t, dt, opt, &u0, pool);
     return dt;
+}
+
+// ---- futurized schedule ----------------------------------------------------
+//
+// The per-leaf future pipeline, in the style of the FMM DAG (solver.cpp):
+// instead of `fill_all_ghosts` barriers before each RK stage, every ghost
+// region fill, restriction, flux sweep, reflux and leaf update is its own
+// task gated by when_all() on exactly the data it reads — plus the
+// anti-dependencies on tasks still *reading* data it overwrites. Halo
+// exchange overlaps compute across the whole step: the second stage's fills
+// start as soon as their donor leaves completed stage one, while unrelated
+// stage-one updates are still in flight, and the gravity re-solve of the
+// coupled driver (before_stage) runs concurrently with the fills and flux
+// sweeps of the stage that consumes it.
+
+struct leaf_ctx {
+    subgrid* g = nullptr;
+    const node_ghost_plan* plan = nullptr;
+    leaf_flux_soa fluxes;
+    aligned_vector<double> u0;
+    std::vector<const reflux_entry*> refluxes;
+};
+
+double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
+    // Serial prologue: plan acquisition (allocates refined-node storage so no
+    // task mutates the tree) and the pure-structure task lists.
+    const ghost_plan& gp = acquire_ghost_plan(t, opt.bc);
+    std::unordered_map<node_key, const node_ghost_plan*> plans;
+    std::vector<node_key> refined; // coarse-to-fine order
+    plans.reserve(gp.nodes.size());
+    for (const auto& np : gp.nodes) {
+        plans[np.key] = &np;
+        if (!np.leaf) refined.push_back(np.key);
+    }
+
+    const std::vector<node_key> leaves = t.leaves_sfc();
+    std::unordered_map<node_key, leaf_ctx> ctx;
+    ctx.reserve(leaves.size());
+    for (const node_key k : leaves) {
+        leaf_ctx& lc = ctx[k];
+        lc.g = t.node(k).fields.get();
+        lc.plan = plans.at(k);
+        lc.fluxes.reset();
+    }
+
+    // Reflux adjacency (structure only; moments rewritten each stage).
+    std::vector<reflux_entry> rentries;
+    for (const node_key k : leaves) {
+        for (int axis = 0; axis < 3; ++axis) {
+            for (int dir = -1; dir <= 1; dir += 2) {
+                const node_key nb = key_neighbor(k, {axis == 0 ? dir : 0,
+                                                     axis == 1 ? dir : 0,
+                                                     axis == 2 ? dir : 0});
+                if (nb == invalid_key || !t.contains(nb)) continue;
+                if (!t.node(nb).refined) continue;
+                rentries.push_back({k, axis, dir, {}});
+            }
+        }
+    }
+    for (const auto& e : rentries) ctx.at(e.leaf).refluxes.push_back(&e);
+
+    // Dependency handles are minted by aliasing the shared state (the FMM
+    // DAG's trick): when_all() consumers get aliases, the join list gets one
+    // alias per task, and get() runs exactly once there.
+    const auto alias = [](const rt::future<void>& f) {
+        return rt::future<void>(f.state());
+    };
+    std::vector<rt::future<void>> join;
+    std::size_t task_count = 0;
+
+    // Overlap instrumentation: fraction of ghost-fill tasks that completed
+    // after the first flux sweep started, i.e. halo exchange that was hidden
+    // behind compute instead of serialized before it.
+    auto flux_started = std::make_shared<std::atomic<bool>>(false);
+    auto fills_total = std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto fills_overlapped = std::make_shared<std::atomic<std::uint64_t>>(0);
+
+    // CFL reduction: one task per leaf, joined by when_all into the dt value
+    // every update task depends on. The flux sweeps do not need dt, so the
+    // whole reduction overlaps them.
+    auto dt_val = std::make_shared<double>(opt.fixed_dt);
+    rt::future<void> dt_ready;
+    if (opt.fixed_dt > 0.0) {
+        dt_ready = rt::make_ready_future();
+    } else {
+        auto speeds = std::make_shared<std::vector<double>>(leaves.size());
+        std::vector<double> dxs(leaves.size());
+        std::vector<rt::future<void>> cfs;
+        cfs.reserve(leaves.size());
+        for (std::size_t idx = 0; idx < leaves.size(); ++idx) {
+            const node_key k = leaves[idx];
+            dxs[idx] = ctx.at(k).g->geom.dx;
+            cfs.push_back(rt::async(pool, [&ctx, &opt, speeds, idx, k] {
+                (*speeds)[idx] = leaf_max_wave_speed(*ctx.at(k).g, opt);
+            }));
+        }
+        rt::apex_count("hydro.cfl_tasks", leaves.size());
+        task_count += leaves.size();
+        dt_ready = rt::when_all(std::move(cfs))
+                       .then(pool, [speeds, dt_val, dxs = std::move(dxs),
+                                    cfl = opt.cfl](auto) {
+                           double dt = std::numeric_limits<double>::max();
+                           for (std::size_t i = 0; i < speeds->size(); ++i) {
+                               dt = std::min(dt, cfl * dxs[i] / (*speeds)[i]);
+                           }
+                           *dt_val = dt;
+                       });
+    }
+    join.push_back(alias(dt_ready));
+
+    // Producer futures of the previous stage (leaf updates), anti-dependency
+    // reader lists, and flux-buffer reader lists carried across stages.
+    std::unordered_map<node_key, rt::future<void>> ready;
+    std::unordered_map<node_key, std::vector<rt::future<void>>> readers_prev;
+    std::unordered_map<node_key, std::vector<rt::future<void>>> fluxreaders_prev;
+
+    for (int s = 0; s < 2; ++s) {
+        const bool second = s == 1;
+
+        // Gravity re-solve for this stage: stage one's runs immediately
+        // (pre-step state), stage two's as a continuation of all stage-one
+        // updates. Fills, restricts and flux sweeps overlap it — the FMM
+        // only reads leaf interiors, which no task of this stage writes
+        // before its update (and updates wait for gravity).
+        rt::future<void> gravity_done;
+        if (opt.before_stage) {
+            if (!second) {
+                gravity_done = rt::async(pool, [&opt] { opt.before_stage(); });
+            } else {
+                std::vector<rt::future<void>> deps;
+                deps.reserve(leaves.size());
+                for (const node_key k : leaves) {
+                    deps.push_back(alias(ready.at(k)));
+                }
+                gravity_done = rt::when_all(std::move(deps))
+                                   .then(pool, [&opt](auto) {
+                                       opt.before_stage();
+                                   });
+            }
+            ++task_count;
+        } else {
+            gravity_done = rt::make_ready_future();
+        }
+        join.push_back(alias(gravity_done));
+
+        // 1. Restriction tasks for refined nodes, constructed fine-to-coarse
+        // so parents can depend on child restrictions of the same stage.
+        std::unordered_map<node_key, rt::future<void>> restrict_f;
+        std::unordered_map<node_key, std::vector<rt::future<void>>> readers_cur;
+        std::unordered_map<node_key, std::vector<rt::future<void>>>
+            fluxreaders_cur;
+        for (auto it = refined.rbegin(); it != refined.rend(); ++it) {
+            const node_key k = *it;
+            std::vector<rt::future<void>> deps;
+            for (int c = 0; c < 8; ++c) {
+                const node_key ck = key_child(k, c);
+                if (!plans.at(ck)->leaf) {
+                    deps.push_back(alias(restrict_f.at(ck)));
+                } else if (second) {
+                    deps.push_back(alias(ready.at(ck)));
+                }
+            }
+            // Anti-dependency: last stage's fills may still read this
+            // node's (previously restricted) interior.
+            if (auto pr = readers_prev.find(k); pr != readers_prev.end()) {
+                for (auto& f : pr->second) deps.push_back(std::move(f));
+                pr->second.clear();
+            }
+            auto f = rt::when_all(std::move(deps)).then(pool, [&t, k](auto) {
+                restrict_node(t, k);
+            });
+            for (int c = 0; c < 8; ++c) {
+                readers_cur[key_child(k, c)].push_back(alias(f));
+            }
+            join.push_back(alias(f));
+            restrict_f.emplace(k, std::move(f));
+            ++task_count;
+        }
+
+        // Donor readiness: a refined donor's data is its restriction of this
+        // stage; a leaf donor's is its previous-stage update.
+        const auto donor_ready = [&](node_key d,
+                                     std::vector<rt::future<void>>& deps) {
+            if (!plans.at(d)->leaf) {
+                deps.push_back(alias(restrict_f.at(d)));
+            } else if (second) {
+                deps.push_back(alias(ready.at(d)));
+            }
+        };
+
+        // 2. Ghost-fill tasks: one per region (six faces + edges/corners) of
+        // every leaf, gated only on that region's donors.
+        std::unordered_map<node_key,
+                           std::array<rt::future<void>, n_ghost_regions>>
+            fill_f;
+        for (const node_key k : leaves) {
+            leaf_ctx& lc = ctx.at(k);
+            auto& fills = fill_f[k];
+            for (int r = 0; r < n_ghost_regions; ++r) {
+                const ghost_region_plan& region = lc.plan->regions[r];
+                if (region.entries.empty()) {
+                    fills[static_cast<std::size_t>(r)] = rt::make_ready_future();
+                    continue;
+                }
+                std::vector<rt::future<void>> deps;
+                for (const node_key d : region.donors) donor_ready(d, deps);
+                // Anti-dependency: this leaf's previous-stage flux sweeps
+                // read the ghost zones this fill overwrites; its update
+                // (which waits for them) must complete first.
+                if (second) deps.push_back(alias(ready.at(k)));
+                auto f = rt::when_all(std::move(deps))
+                             .then(pool, [g = lc.g, &region, flux_started,
+                                          fills_total, fills_overlapped](auto) {
+                                 apply_ghost_region(*g, region);
+                                 fills_total->fetch_add(
+                                     1, std::memory_order_relaxed);
+                                 if (flux_started->load(
+                                         std::memory_order_relaxed)) {
+                                     fills_overlapped->fetch_add(
+                                         1, std::memory_order_relaxed);
+                                 }
+                             });
+                for (const node_key d : region.donors) {
+                    readers_cur[d].push_back(alias(f));
+                }
+                join.push_back(alias(f));
+                fills[static_cast<std::size_t>(r)] = std::move(f);
+                ++task_count;
+            }
+        }
+
+        // 3. Flux sweeps: one task per (leaf, axis), gated on the two face
+        // fills of that axis (pencils read face ghosts only) plus the leaf's
+        // own previous-stage update, plus any reflux of the previous stage
+        // that still reads this leaf's flux buffers.
+        std::unordered_map<node_key, std::array<rt::future<void>, 3>> flux_f;
+        for (const node_key k : leaves) {
+            leaf_ctx& lc = ctx.at(k);
+            auto& fx = flux_f[k];
+            for (int axis = 0; axis < 3; ++axis) {
+                std::vector<rt::future<void>> deps;
+                deps.push_back(alias(
+                    fill_f.at(k)[static_cast<std::size_t>(
+                        ghost_face_region(axis, -1))]));
+                deps.push_back(alias(
+                    fill_f.at(k)[static_cast<std::size_t>(
+                        ghost_face_region(axis, +1))]));
+                if (second) deps.push_back(alias(ready.at(k)));
+                // Anti-dependency: previous-stage refluxes still reading
+                // this leaf's flux buffers.
+                if (auto fr = fluxreaders_prev.find(k);
+                    fr != fluxreaders_prev.end()) {
+                    for (const auto& f : fr->second) deps.push_back(alias(f));
+                }
+                auto f = rt::when_all(std::move(deps))
+                             .then(pool, [&opt, g = lc.g, lf = &lc.fluxes,
+                                          axis, flux_started](auto) {
+                                 flux_started->store(
+                                     true, std::memory_order_relaxed);
+                                 compute_axis_fluxes(*g, axis, opt, *lf);
+                             });
+                join.push_back(alias(f));
+                fx[static_cast<std::size_t>(axis)] = std::move(f);
+                ++task_count;
+            }
+        }
+
+        // 4. Reflux tasks: restrict fine boundary fluxes onto the coarse
+        // neighbor as soon as the five flux sweeps involved are done.
+        std::unordered_map<node_key, std::vector<rt::future<void>>> refl_f;
+        for (auto& e : rentries) {
+            std::vector<rt::future<void>> deps;
+            deps.push_back(
+                alias(flux_f.at(e.leaf)[static_cast<std::size_t>(e.axis)]));
+            const node_key nb =
+                key_neighbor(e.leaf, {e.axis == 0 ? e.dir : 0,
+                                      e.axis == 1 ? e.dir : 0,
+                                      e.axis == 2 ? e.dir : 0});
+            const auto children = face_children(nb, e.axis, e.dir);
+            for (const node_key c : children) {
+                deps.push_back(
+                    alias(flux_f.at(c)[static_cast<std::size_t>(e.axis)]));
+            }
+            auto f = rt::when_all(std::move(deps))
+                         .then(pool, [&t, &ctx, e_ptr = &e](auto) {
+                             reflux_face(
+                                 t, e_ptr->leaf, e_ptr->axis, e_ptr->dir,
+                                 ctx.at(e_ptr->leaf).fluxes,
+                                 [&ctx](node_key c) -> const leaf_flux_soa& {
+                                     return ctx.at(c).fluxes;
+                                 },
+                                 e_ptr->moments);
+                         });
+            // The next stage's flux sweeps of the fine children must not
+            // overwrite the buffers this reflux reads.
+            for (const node_key c : children) {
+                fluxreaders_cur[c].push_back(alias(f));
+            }
+            join.push_back(alias(f));
+            refl_f[e.leaf].push_back(std::move(f));
+            ++task_count;
+        }
+
+        // 5. Update tasks: everything the leaf's update reads or overwrites —
+        // its flux sweeps, refluxes into it, every task still reading its
+        // interior (fills/restricts of this stage), dt, and gravity.
+        std::unordered_map<node_key, rt::future<void>> ready_next;
+        for (const node_key k : leaves) {
+            leaf_ctx& lc = ctx.at(k);
+            std::vector<rt::future<void>> deps;
+            for (auto& f : flux_f.at(k)) deps.push_back(alias(f));
+            if (auto rf = refl_f.find(k); rf != refl_f.end()) {
+                for (auto& f : rf->second) deps.push_back(std::move(f));
+            }
+            if (auto rc = readers_cur.find(k); rc != readers_cur.end()) {
+                for (auto& f : rc->second) deps.push_back(std::move(f));
+                rc->second.clear();
+            }
+            deps.push_back(alias(dt_ready));
+            deps.push_back(alias(gravity_done));
+            auto f = rt::when_all(std::move(deps))
+                         .then(pool, [&opt, k, lc_ptr = &lc, dt_val,
+                                      second](auto) {
+                             if (!second) save_u0(*lc_ptr->g, lc_ptr->u0);
+                             update_leaf(k, *lc_ptr->g, lc_ptr->fluxes,
+                                         *dt_val, opt, lc_ptr->refluxes,
+                                         second ? &lc_ptr->u0 : nullptr);
+                         });
+            join.push_back(alias(f));
+            ready_next.emplace(k, std::move(f));
+            ++task_count;
+        }
+
+        ready = std::move(ready_next);
+        readers_prev = std::move(readers_cur);
+        fluxreaders_prev = std::move(fluxreaders_cur);
+    }
+
+    for (auto& f : join) f.get();
+
+    rt::apex_count("hydro.stage_tasks", task_count);
+    const std::uint64_t total = fills_total->load(std::memory_order_relaxed);
+    if (total > 0) {
+        rt::apex_gauge(
+            "hydro.ghost_overlap_fraction",
+            100 * fills_overlapped->load(std::memory_order_relaxed) / total);
+    }
+    return *dt_val;
+}
+
+} // namespace
+
+double step(tree& t, const step_options& opt) {
+    rt::apex_timer timer("hydro::step");
+    rt::apex_count("hydro::steps");
+    rt::apex_gauge("hydro.simd_width",
+                   opt.use_simd ? simd::default_width : 1);
+    rt::thread_pool& pool =
+        opt.pool != nullptr ? *opt.pool : rt::thread_pool::global();
+    return opt.futurized ? step_futurized(t, opt, pool)
+                         : step_barriered(t, opt, pool);
 }
 
 totals compute_totals(const tree& t) {

@@ -37,6 +37,16 @@ struct step_options {
     amr::boundary_kind bc = amr::boundary_kind::outflow;
     double cfl = 0.4;
     bool use_ppm = true;        ///< false: piecewise-constant (ablation)
+    /// SoA pencil kernels on simd::pack (paper §4.3) vs the scalar AoS
+    /// loops. Both produce results equal to rounding; the scalar path is
+    /// kept selectable for A/B benchmarking and equivalence tests.
+    bool use_simd = true;
+    /// Per-leaf future pipeline (ghost fills, flux sweeps, refluxes and
+    /// updates chained as continuations, RK stages overlapped) vs the
+    /// barriered fill-then-stage schedule. Identical results by
+    /// construction — the DAG encodes exactly the data dependencies the
+    /// barriers over-approximate.
+    bool futurized = true;
     double fixed_dt = 0.0;      ///< >0: skip the CFL computation
     dvec3 omega{0, 0, 0};       ///< rotating-frame angular velocity
     gravity_lookup gravity;     ///< optional gravitational coupling

@@ -14,6 +14,11 @@ void apex_registry::increment(const std::string& counter, std::uint64_t by) {
     counters_[counter] += by;
 }
 
+void apex_registry::set(const std::string& counter, std::uint64_t value) {
+    std::lock_guard lock(mutex_);
+    counters_[counter] = value;
+}
+
 std::uint64_t apex_registry::counter(const std::string& name) const {
     std::lock_guard lock(mutex_);
     auto it = counters_.find(name);

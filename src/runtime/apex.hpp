@@ -32,6 +32,9 @@ class apex_registry {
     static apex_registry& instance();
 
     void increment(const std::string& counter, std::uint64_t by = 1);
+    /// Gauge semantics: overwrite the counter with the latest sample (used
+    /// for values like SIMD width or overlap percentages that are not sums).
+    void set(const std::string& counter, std::uint64_t value);
     std::uint64_t counter(const std::string& name) const;
 
     void record_time(const std::string& timer, double seconds);
@@ -67,6 +70,10 @@ class apex_timer {
 
 inline void apex_count(const std::string& counter, std::uint64_t by = 1) {
     apex_registry::instance().increment(counter, by);
+}
+
+inline void apex_gauge(const std::string& counter, std::uint64_t value) {
+    apex_registry::instance().set(counter, value);
 }
 
 } // namespace octo::rt

@@ -12,14 +12,18 @@
 #include <thread>
 #include <vector>
 
+#include "amr/tree.hpp"
+#include "hydro/update.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/future.hpp"
 #include "runtime/latch.hpp"
 #include "runtime/thread_pool.hpp"
+#include "simd/pack.hpp"
 
 namespace {
 
+using namespace octo;
 using namespace octo::rt;
 
 TEST(ThreadPool, ExecutesPostedTasks) {
@@ -320,6 +324,63 @@ TEST(Apex, ScopedTimersAggregateByName) {
     const auto st = reg.timer("test.phase");
     EXPECT_EQ(st.count, 3u);
     EXPECT_GT(st.total_seconds, 0.0);
+}
+
+TEST(Apex, GaugeOverwritesInsteadOfAccumulating) {
+    auto& reg = apex_registry::instance();
+    reg.reset();
+    apex_gauge("test.width", 4);
+    apex_gauge("test.width", 8);
+    EXPECT_EQ(reg.counter("test.width"), 8u);
+}
+
+TEST(Apex, HydroStepRegistersPipelineCounters) {
+    // The futurized hydro step must publish its task-graph counters: the
+    // number of pipeline tasks, the per-leaf CFL reduction tasks, the SIMD
+    // lane width gauge, and the ghost-fill/compute overlap gauge.
+    auto& reg = apex_registry::instance();
+    reg.reset();
+
+    amr::box_geometry root;
+    root.origin = {0, 0, 0};
+    root.dx = 1.0 / amr::INX;
+    amr::tree t(root);
+    for (const auto k : t.leaves_sfc()) t.refine(k);
+    phys::ideal_gas_eos eos(1.4);
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int i = 0; i < amr::INX; ++i)
+            for (int j = 0; j < amr::INX; ++j)
+                for (int kk = 0; kk < amr::INX; ++kk) {
+                    g.interior(amr::f_rho, i, j, kk) = 1.0;
+                    g.interior(amr::f_egas, i, j, kk) = 1.0;
+                    g.interior(amr::f_tau, i, j, kk) =
+                        eos.tau_from_internal(1.0);
+                }
+    }
+    hydro::step_options opt; // defaults: use_simd + futurized
+    opt.eos = eos;
+    hydro::step(t, opt);
+
+    const auto leaves = t.leaves_sfc().size();
+    // Per stage: per-leaf fills, 3 flux sweeps and an update at minimum,
+    // plus the CFL tasks counted into the graph.
+    EXPECT_GE(reg.counter("hydro.stage_tasks"), 2 * 4 * leaves);
+    EXPECT_EQ(reg.counter("hydro.cfl_tasks"), leaves);
+    EXPECT_EQ(reg.counter("hydro.simd_width"),
+              static_cast<std::uint64_t>(octo::simd::default_width));
+    // The overlap gauge is a percentage.
+    EXPECT_LE(reg.counter("hydro.ghost_overlap_fraction"), 100u);
+
+    // The scalar/barriered ablation path reports lane width 1 and posts no
+    // pipeline tasks beyond the CFL reduction.
+    reg.reset();
+    opt.use_simd = false;
+    opt.futurized = false;
+    hydro::step(t, opt);
+    EXPECT_EQ(reg.counter("hydro.simd_width"), 1u);
+    EXPECT_EQ(reg.counter("hydro.stage_tasks"), 0u);
+    EXPECT_EQ(reg.counter("hydro.cfl_tasks"), leaves);
 }
 
 TEST(Apex, ReportSortsByTotalTime) {
