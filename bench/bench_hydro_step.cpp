@@ -86,7 +86,7 @@ run_result run(amr::tree& t, const hydro::step_options& opt, int steps,
     for (int i = 0; i < steps; ++i) {
         const auto before = rec.stats();
         stopwatch sw;
-        hydro::step(t, opt);
+        (void)hydro::step(t, opt);
         const double ms = sw.seconds() * 1e3;
         const auto after = rec.stats();
         if (report_recycler) {

@@ -7,6 +7,7 @@
 
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
+#include "sanitize/hooks.hpp"
 #include "support/assert.hpp"
 #include "support/buffer_recycler.hpp"
 
@@ -42,6 +43,11 @@ void solver::compute_leaf_moments(tree& t, node_key k) {
 
     auto& mom = moments_.at(k);
     auto& invm = invm_.at(k);
+    // Race-detector region claims: reads the leaf's hydro interior (rho),
+    // writes the node's moment set. The same keys are used by the hydro
+    // pipeline, so an FMM solve overlapping a hydro stage is checked too.
+    sanitize::region_read(n.fields.get(), "hydro.interior");
+    sanitize::region_write(&mom, "fmm.moments");
     for (int i = 0; i < INX; ++i)
         for (int j = 0; j < INX; ++j)
             for (int kk = 0; kk < INX; ++kk) {
@@ -62,10 +68,12 @@ void solver::m2m(tree& t, node_key k) {
     auto& mom = moments_.at(k);
     auto& invm = invm_.at(k);
     const box_geometry geom = t.geometry(k);
+    sanitize::region_write(&mom, "fmm.moments");
 
     for (int c = 0; c < 8; ++c) {
         const node_key ck = key_child(k, c);
         const auto& cm = moments_.at(ck);
+        sanitize::region_read(&cm, "fmm.moments");
         const int ox = ((c >> 0) & 1) * (INX / 2);
         const int oy = ((c >> 1) & 1) * (INX / 2);
         const int oz = ((c >> 2) & 1) * (INX / 2);
@@ -119,6 +127,7 @@ void solver::fill_buffer_region(tree& t, node_key nb, const ivec3& off,
                                 partner_buffer& buf) const {
     constexpr int R = partner_buffer::reach;
     const auto& mom = moments_.at(nb);
+    sanitize::region_read(&mom, "fmm.moments");
     // Padded-region index range covered by this neighbor.
     const int lo[3] = {std::max(off.x * INX, -R), std::max(off.y * INX, -R),
                        std::max(off.z * INX, -R)};
@@ -179,6 +188,7 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
     // children's same-level tasks, so nothing has accumulated into this node
     // yet when its same-level task starts.
     auto& out = gravity_.at(k);
+    sanitize::region_write(&out, "fmm.gravity");
     for (auto& l : out.L) std::fill(l.begin(), l.end(), 0.0);
     for (auto& q : out.tq) std::fill(q.begin(), q.end(), 0.0);
 
@@ -344,16 +354,18 @@ void solver::l2l(tree& t, node_key k) {
     (void)t;
     const auto& parentL = gravity_.at(k);
     const auto& pm = moments_.at(k);
+    sanitize::region_read(&parentL, "fmm.gravity");
+    sanitize::region_read(&pm, "fmm.moments");
 
     // Gather pointers to the 8 children's data once.
-    const node_gravity* childL[8];
     const node_moments* childM[8];
     node_gravity* childLw[8];
     for (int c = 0; c < 8; ++c) {
         const node_key ck = key_child(k, c);
         childLw[c] = &gravity_.at(ck);
-        childL[c] = childLw[c];
         childM[c] = &moments_.at(ck);
+        sanitize::region_write(childLw[c], "fmm.gravity");
+        sanitize::region_read(childM[c], "fmm.moments");
     }
 
     // Per PARENT cell: translate the expansion to its 8 child cells.
@@ -519,6 +531,7 @@ void solver::l2l(tree& t, node_key k) {
 
 void solver::evaluate_node(node_key k) {
     auto& g = gravity_.at(k);
+    sanitize::region_write(&g, "fmm.gravity");
     for (int c = 0; c < INX3; ++c) {
         g.phi[c] = g.L[0][c];
         g.gx[c] = -g.L[1][c];
@@ -756,7 +769,10 @@ void solver::solve_futurized(tree& t) {
                     }
             auto done = std::make_shared<rt::promise<void>>();
             same_done.emplace(k, done->get_future());
-            rt::when_all(std::move(deps)).then(pool, [this, &t, k, done](auto) {
+            // Fire-and-forget chains: completion is signalled through the
+            // `done` promise, so the then() handles are detached explicitly.
+            rt::detach(rt::when_all(std::move(deps))
+                           .then(pool, [this, &t, k, done](auto) {
                 try {
                     std::vector<rt::future<void>> pending;
                     same_level(t, k, pending);
@@ -767,20 +783,23 @@ void solver::solve_futurized(tree& t) {
                         done->set_value();
                         return;
                     }
-                    rt::when_all(std::move(pending))
-                        .then(*pool_, [this, k, done](auto fs) {
-                            try {
-                                for (auto& f : fs.get()) f.get();
-                                if (k == amr::root_key) evaluate_node(k);
-                                done->set_value();
-                            } catch (...) {
-                                done->set_exception(std::current_exception());
-                            }
-                        });
+                    rt::detach(rt::when_all(std::move(pending))
+                                   .then(*pool_, [this, k, done](auto fs) {
+                                       try {
+                                           for (auto& f : fs.get()) f.get();
+                                           if (k == amr::root_key) {
+                                               evaluate_node(k);
+                                           }
+                                           done->set_value();
+                                       } catch (...) {
+                                           done->set_exception(
+                                               std::current_exception());
+                                       }
+                                   }));
                 } catch (...) {
                     done->set_exception(std::current_exception());
                 }
-            });
+            }));
             ++tasks;
         }
     }

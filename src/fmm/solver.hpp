@@ -49,28 +49,28 @@ class solver {
     /// node and available via gravity().
     void solve(amr::tree& t);
 
-    const node_gravity& gravity(amr::node_key k) const;
-    const node_moments& moments(amr::node_key k) const;
+    [[nodiscard]] const node_gravity& gravity(amr::node_key k) const;
+    [[nodiscard]] const node_moments& moments(amr::node_key k) const;
 
     // ---- diagnostics (used by tests and the conservation ledger) ----------
 
     /// Sum over leaf cells of m * g — zero to rounding in conserving mode.
-    dvec3 total_force(const amr::tree& t) const;
+    [[nodiscard]] dvec3 total_force(const amr::tree& t) const;
     /// Sum over leaf cells of com x (m * g) — zero to rounding in
     /// central_projection mode; cancelled by total_spin_torque() in
     /// spin_deposit mode.
-    dvec3 total_torque(const amr::tree& t) const;
+    [[nodiscard]] dvec3 total_torque(const amr::tree& t) const;
     /// Sum of the per-cell spin-torque deposits over all leaves
     /// (am_mode::spin_deposit): total_torque() + total_spin_torque() is zero
     /// to rounding.
-    dvec3 total_spin_torque(const amr::tree& t) const;
+    [[nodiscard]] dvec3 total_spin_torque(const amr::tree& t) const;
     /// Gravitational potential energy 0.5 * sum m * phi.
-    double potential_energy(const amr::tree& t) const;
+    [[nodiscard]] double potential_energy(const amr::tree& t) const;
 
     /// Evaluate the potential at an arbitrary point by Taylor-evaluating the
     /// containing leaf cell's local expansion about its center of mass.
     /// Used by the SCF solver, which needs smooth point values.
-    double potential_at(const amr::tree& t, const dvec3& r) const;
+    [[nodiscard]] double potential_at(const amr::tree& t, const dvec3& r) const;
 
   private:
     void compute_leaf_moments(amr::tree& t, amr::node_key k);

@@ -814,6 +814,19 @@ struct leaf_ctx {
     std::vector<const reflux_entry*> refluxes;
 };
 
+// Race-detector region keys: one logical region per sub-object of a leaf a
+// task can touch independently. The keys are synthetic addresses derived
+// from stable objects (a subgrid / flux workspace is far larger than the
+// small offsets used), so distinct regions never collide and survive for the
+// whole step. The names show up in detector reports.
+const void* interior_region(const subgrid* g) { return g; }
+const void* ghost_region_key(const subgrid* g, int r) {
+    return reinterpret_cast<const char*>(g) + 1 + r;
+}
+const void* flux_region(const leaf_flux_soa* f, int axis) {
+    return reinterpret_cast<const char*>(f) + 1 + axis;
+}
+
 double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
     // Serial prologue: plan acquisition (allocates refined-node storage so no
     // task mutates the tree) and the pure-structure task lists.
@@ -884,6 +897,8 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
             const node_key k = leaves[idx];
             dxs[idx] = ctx.at(k).g->geom.dx;
             cfs.push_back(rt::async(pool, [&ctx, &opt, speeds, idx, k] {
+                sanitize::region_read(interior_region(ctx.at(k).g),
+                                      "hydro.interior");
                 (*speeds)[idx] = leaf_max_wave_speed(*ctx.at(k).g, opt);
             }));
         }
@@ -896,6 +911,7 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                            for (std::size_t i = 0; i < speeds->size(); ++i) {
                                dt = std::min(dt, cfl * dxs[i] / (*speeds)[i]);
                            }
+                           sanitize::region_write(dt_val.get(), "hydro.dt");
                            *dt_val = dt;
                        });
     }
@@ -960,6 +976,13 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                 pr->second.clear();
             }
             auto f = rt::when_all(std::move(deps)).then(pool, [&t, k](auto) {
+                for (int c = 0; c < 8; ++c) {
+                    sanitize::region_read(
+                        interior_region(t.node(key_child(k, c)).fields.get()),
+                        "hydro.interior");
+                }
+                sanitize::region_write(interior_region(t.node(k).fields.get()),
+                                       "hydro.interior");
                 restrict_node(t, k);
             });
             for (int c = 0; c < 8; ++c) {
@@ -1002,8 +1025,16 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                 // (which waits for them) must complete first.
                 if (second) deps.push_back(alias(ready.at(k)));
                 auto f = rt::when_all(std::move(deps))
-                             .then(pool, [g = lc.g, &region, flux_started,
+                             .then(pool, [g = lc.g, &region, &t, r, flux_started,
                                           fills_total, fills_overlapped](auto) {
+                                 for (const node_key d : region.donors) {
+                                     sanitize::region_read(
+                                         interior_region(
+                                             t.node(d).fields.get()),
+                                         "hydro.interior");
+                                 }
+                                 sanitize::region_write(ghost_region_key(g, r),
+                                                        "hydro.ghosts");
                                  apply_ghost_region(*g, region);
                                  fills_total->fetch_add(
                                      1, std::memory_order_relaxed);
@@ -1031,13 +1062,11 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
             leaf_ctx& lc = ctx.at(k);
             auto& fx = flux_f[k];
             for (int axis = 0; axis < 3; ++axis) {
+                const int rlo = static_cast<int>(ghost_face_region(axis, -1));
+                const int rhi = static_cast<int>(ghost_face_region(axis, +1));
                 std::vector<rt::future<void>> deps;
-                deps.push_back(alias(
-                    fill_f.at(k)[static_cast<std::size_t>(
-                        ghost_face_region(axis, -1))]));
-                deps.push_back(alias(
-                    fill_f.at(k)[static_cast<std::size_t>(
-                        ghost_face_region(axis, +1))]));
+                deps.push_back(alias(fill_f.at(k)[static_cast<std::size_t>(rlo)]));
+                deps.push_back(alias(fill_f.at(k)[static_cast<std::size_t>(rhi)]));
                 if (second) deps.push_back(alias(ready.at(k)));
                 // Anti-dependency: previous-stage refluxes still reading
                 // this leaf's flux buffers.
@@ -1047,9 +1076,17 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                 }
                 auto f = rt::when_all(std::move(deps))
                              .then(pool, [&opt, g = lc.g, lf = &lc.fluxes,
-                                          axis, flux_started](auto) {
+                                          axis, rlo, rhi, flux_started](auto) {
                                  flux_started->store(
-                                     true, std::memory_order_relaxed);
+                                     true, std::memory_order_release);
+                                 sanitize::region_read(interior_region(g),
+                                                       "hydro.interior");
+                                 sanitize::region_read(ghost_region_key(g, rlo),
+                                                       "hydro.ghosts");
+                                 sanitize::region_read(ghost_region_key(g, rhi),
+                                                       "hydro.ghosts");
+                                 sanitize::region_write(flux_region(lf, axis),
+                                                        "hydro.flux");
                                  compute_axis_fluxes(*g, axis, opt, *lf);
                              });
                 join.push_back(alias(f));
@@ -1075,7 +1112,19 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                     alias(flux_f.at(c)[static_cast<std::size_t>(e.axis)]));
             }
             auto f = rt::when_all(std::move(deps))
-                         .then(pool, [&t, &ctx, e_ptr = &e](auto) {
+                         .then(pool, [&t, &ctx, e_ptr = &e, children](auto) {
+                             sanitize::region_read(
+                                 flux_region(&ctx.at(e_ptr->leaf).fluxes,
+                                             e_ptr->axis),
+                                 "hydro.flux");
+                             for (const node_key c : children) {
+                                 sanitize::region_read(
+                                     flux_region(&ctx.at(c).fluxes,
+                                                 e_ptr->axis),
+                                     "hydro.flux");
+                             }
+                             sanitize::region_write(e_ptr,
+                                                    "hydro.reflux_moments");
                              reflux_face(
                                  t, e_ptr->leaf, e_ptr->axis, e_ptr->dir,
                                  ctx.at(e_ptr->leaf).fluxes,
@@ -1114,7 +1163,26 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
             auto f = rt::when_all(std::move(deps))
                          .then(pool, [&opt, k, lc_ptr = &lc, dt_val,
                                       second](auto) {
-                             if (!second) save_u0(*lc_ptr->g, lc_ptr->u0);
+                             for (int axis = 0; axis < 3; ++axis) {
+                                 sanitize::region_read(
+                                     flux_region(&lc_ptr->fluxes, axis),
+                                     "hydro.flux");
+                             }
+                             for (const reflux_entry* e : lc_ptr->refluxes) {
+                                 sanitize::region_read(
+                                     e, "hydro.reflux_moments");
+                             }
+                             sanitize::region_read(dt_val.get(), "hydro.dt");
+                             sanitize::region_write(interior_region(lc_ptr->g),
+                                                    "hydro.interior");
+                             if (!second) {
+                                 sanitize::region_write(&lc_ptr->u0,
+                                                        "hydro.u0");
+                                 save_u0(*lc_ptr->g, lc_ptr->u0);
+                             } else {
+                                 sanitize::region_read(&lc_ptr->u0,
+                                                       "hydro.u0");
+                             }
                              update_leaf(k, *lc_ptr->g, lc_ptr->fluxes,
                                          *dt_val, opt, lc_ptr->refluxes,
                                          second ? &lc_ptr->u0 : nullptr);

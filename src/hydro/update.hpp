@@ -60,10 +60,11 @@ struct step_options {
 
 /// Advance the whole tree by one SSP-RK2 step; returns the dt taken.
 /// Leaves must hold field data; ghost zones are filled internally.
-double step(amr::tree& t, const step_options& opt);
+/// Discarding the dt loses the only record of how far time advanced.
+[[nodiscard]] double step(amr::tree& t, const step_options& opt);
 
 /// Global CFL timestep for the current state (used by step / diagnostics).
-double cfl_timestep(amr::tree& t, const step_options& opt);
+[[nodiscard]] double cfl_timestep(amr::tree& t, const step_options& opt);
 
 /// Conserved-quantity ledger over all leaves.
 struct totals {
@@ -74,6 +75,6 @@ struct totals {
     double tau = 0;
     double passive[amr::n_passive] = {0, 0, 0, 0, 0};
 };
-totals compute_totals(const amr::tree& t);
+[[nodiscard]] totals compute_totals(const amr::tree& t);
 
 } // namespace octo::hydro

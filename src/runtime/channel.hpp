@@ -6,19 +6,24 @@
 //
 // Octo-Tiger uses channels for halo exchange between neighbouring octree
 // nodes; our AMR layer does the same. A channel is an ordered, unbounded
-// stream: the i-th get() receives the i-th set().
+// stream: the i-th recv() receives the i-th send().
 
 #include <deque>
 #include <mutex>
 #include <utility>
 
 #include "runtime/future.hpp"
+#include "sanitize/hooks.hpp"
 
 namespace octo::rt {
 
 template <class T>
 class channel {
   public:
+#ifdef OCTO_RACE_DETECT
+    ~channel() { sanitize::sync_retire(this); }
+#endif
+
     /// Push a value into the channel. If a receiver is already waiting for
     /// this slot its future becomes ready immediately (and its continuations
     /// are scheduled); otherwise the value is buffered.
@@ -26,11 +31,16 @@ class channel {
         promise<T> waiting;
         {
             std::lock_guard lock(mutex_);
+            // Sender's writes happen-before the matching recv() — on the
+            // buffered path the value changes threads through buffered_, so
+            // the channel itself is the sync object (the pending path gets a
+            // second, tighter edge through the promise's shared state).
+            sanitize::hb_before(this);
             if (pending_gets_.empty()) {
                 buffered_.push_back(std::move(value));
                 return;
             }
-            // Satisfy the oldest outstanding get(). set_value runs outside
+            // Satisfy the oldest outstanding recv(). set_value runs outside
             // the lock so continuations can call back into the channel.
             waiting = std::move(pending_gets_.front());
             pending_gets_.pop_front();
@@ -38,10 +48,14 @@ class channel {
         waiting.set_value(std::move(value));
     }
 
+    /// HPX-style naming: send/recv are the channel verbs used at call sites.
+    void send(T value) { set(std::move(value)); }
+
     /// Fetch a future for the next value in stream order. May be called
     /// several slots ahead of the sender (N-timesteps-ahead prefetch).
-    future<T> get() {
+    [[nodiscard]] future<T> get() {
         std::lock_guard lock(mutex_);
+        sanitize::hb_after(this);
         if (!buffered_.empty()) {
             auto f = make_ready_future(std::move(buffered_.front()));
             buffered_.pop_front();
@@ -51,8 +65,10 @@ class channel {
         return pending_gets_.back().get_future();
     }
 
+    [[nodiscard]] future<T> recv() { return get(); }
+
     /// Number of buffered (sent but unreceived) values.
-    std::size_t buffered() const {
+    [[nodiscard]] std::size_t buffered() const {
         std::lock_guard lock(mutex_);
         return buffered_.size();
     }

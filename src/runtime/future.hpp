@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "sanitize/hooks.hpp"
+#include "sanitize/tsan.hpp"
 #include "support/assert.hpp"
 
 namespace octo::rt {
@@ -57,6 +59,10 @@ class shared_state {
   public:
     using value_type = typename state_value<T>::type;
 
+#ifdef OCTO_RACE_DETECT
+    ~shared_state() { sanitize::sync_retire(this); }
+#endif
+
     bool is_ready() const {
         std::lock_guard lock(mutex_);
         return ready_;
@@ -68,6 +74,10 @@ class shared_state {
             std::lock_guard lock(mutex_);
             OCTO_ASSERT_MSG(!ready_, "promise satisfied twice");
             value_.emplace(std::move(v));
+            // The producer's writes happen-before every consumer that
+            // observes ready_ (get/wait/continuations).
+            sanitize::hb_before(this);
+            OCTO_TSAN_HB_BEFORE(this);
             ready_ = true;
             conts.swap(continuations_);
         }
@@ -81,6 +91,8 @@ class shared_state {
             std::lock_guard lock(mutex_);
             OCTO_ASSERT_MSG(!ready_, "promise satisfied twice");
             exception_ = e;
+            sanitize::hb_before(this);
+            OCTO_TSAN_HB_BEFORE(this);
             ready_ = true;
             conts.swap(continuations_);
         }
@@ -95,10 +107,14 @@ class shared_state {
             while (!is_ready()) {
                 if (!pool->run_pending_task()) std::this_thread::yield();
             }
+            sanitize::hb_after(this);
+            OCTO_TSAN_HB_AFTER(this);
             return;
         }
         std::unique_lock lock(mutex_);
         cv_.wait(lock, [this] { return ready_; });
+        sanitize::hb_after(this);
+        OCTO_TSAN_HB_AFTER(this);
     }
 
     value_type get() {
@@ -122,6 +138,10 @@ class shared_state {
                 continuations_.push_back(std::move(cb));
                 return;
             }
+            // Already ready: the callback runs on *this* thread, which must
+            // inherit the producer's clock before it schedules consumers.
+            sanitize::hb_after(this);
+            OCTO_TSAN_HB_AFTER(this);
         }
         cb();
     }
@@ -155,8 +175,12 @@ struct is_future<future<R>> : std::true_type {};
 /// One-shot asynchronous value. Movable, shareable via share-by-copy of the
 /// underlying state is intentionally NOT provided (HPX shared_future would
 /// be the analogue); Octo-Tiger's dataflow is single-consumer.
+///
+/// [[nodiscard]]: a dropped future is a dropped dependency edge — the work
+/// still runs, but nothing ever waits for it or observes its exception.
+/// Intentional fire-and-forget must say so via detach().
 template <class T>
-class future {
+class [[nodiscard]] future {
   public:
     using state_type = detail::shared_state<T>;
 
@@ -210,16 +234,26 @@ class promise {
         return future<T>(state_);
     }
 
+    // Each setter pins the state with a local strong reference for the whole
+    // call: the instant ready_ flips, a waiter may wake, observe completion
+    // and destroy this promise (and with it state_) — e.g. a latch on the
+    // waiter's stack — while the setter is still notifying the condition
+    // variable inside the state.
     template <class U = T>
     std::enable_if_t<!std::is_void_v<U>> set_value(U v) {
-        state_->set_value(std::move(v));
+        auto s = state_;
+        s->set_value(std::move(v));
     }
     template <class U = T>
     std::enable_if_t<std::is_void_v<U>> set_value() {
-        state_->set_value(detail::unit{});
+        auto s = state_;
+        s->set_value(detail::unit{});
     }
 
-    void set_exception(std::exception_ptr e) { state_->set_exception(e); }
+    void set_exception(std::exception_ptr e) {
+        auto s = state_;
+        s->set_exception(e);
+    }
 
     std::shared_ptr<typename future<T>::state_type> state() const { return state_; }
 
@@ -227,6 +261,16 @@ class promise {
     std::shared_ptr<typename future<T>::state_type> state_;
     bool future_taken_ = false;
 };
+
+/// Explicitly drop a future: the associated task keeps running (its promise
+/// and captures stay alive through the scheduler), but nothing will wait for
+/// it. This is the only sanctioned way to ignore a future-returning call —
+/// a bare discard trips [[nodiscard]] and the dropped-future lint.
+template <class T>
+void detach(future<T>&& f) {
+    future<T> dropped(std::move(f));
+    (void)dropped;
+}
 
 template <class T>
 future<std::decay_t<T>> make_ready_future(T&& v) {
@@ -310,19 +354,28 @@ auto async(F f) {
 /// Join a homogeneous set of futures: ready when all inputs are ready.
 /// Exceptions: the first stored exception is propagated.
 template <class T>
-future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
+[[nodiscard]] future<std::vector<future<T>>>
+when_all(std::vector<future<T>> futures) {
     struct join_state {
         std::atomic<std::size_t> remaining;
         std::vector<future<T>> futures;
         promise<std::vector<future<T>>> p;
+#ifdef OCTO_RACE_DETECT
+        ~join_state() { sanitize::sync_retire(this); }
+#endif
     };
     auto js = std::make_shared<join_state>();
-    js->remaining.store(futures.size() + 1, std::memory_order_relaxed);
+    // Pre-publication init: on_ready registration below is the publish.
+    js->remaining.store(futures.size() + 1, std::memory_order_release);
     js->futures = std::move(futures);
     auto result = js->p.get_future();
 
     auto arm = [js] {
+        // Each contributor releases its clock into the join counter; the
+        // final decrementer acquires them all before satisfying the promise.
+        sanitize::hb_before(js.get());
         if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            sanitize::hb_after(js.get());
             js->p.set_value(std::move(js->futures));
         }
     };
@@ -336,18 +389,23 @@ future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
 
 /// Join heterogeneous futures; result carries the (ready) input futures.
 template <class... Ts>
-future<std::tuple<future<Ts>...>> when_all(future<Ts>... fs) {
+[[nodiscard]] future<std::tuple<future<Ts>...>> when_all(future<Ts>... fs) {
     struct join_state {
         std::atomic<std::size_t> remaining;
         std::tuple<future<Ts>...> futures;
         promise<std::tuple<future<Ts>...>> p;
         explicit join_state(future<Ts>... f)
             : remaining(sizeof...(Ts) + 1), futures(std::move(f)...) {}
+#ifdef OCTO_RACE_DETECT
+        ~join_state() { sanitize::sync_retire(this); }
+#endif
     };
     auto js = std::make_shared<join_state>(std::move(fs)...);
     auto result = js->p.get_future();
     auto arm = [js] {
+        sanitize::hb_before(js.get());
         if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            sanitize::hb_after(js.get());
             js->p.set_value(std::move(js->futures));
         }
     };

@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "runtime/future.hpp"
+#include "sanitize/hooks.hpp"
 
 namespace octo::rt {
 
@@ -15,18 +16,33 @@ class latch {
         if (count == 0) done_.set_value();
     }
 
+#ifdef OCTO_RACE_DETECT
+    ~latch() { sanitize::sync_retire(this); }
+#endif
+
     void count_down(std::ptrdiff_t n = 1) {
+        // Every contributor releases its clock into the latch; the final
+        // decrementer joins them all before firing the done promise, which
+        // is what lets waiters see *all* contributors' writes.
+        sanitize::hb_before(this);
         const auto prev = count_.fetch_sub(n, std::memory_order_acq_rel);
         OCTO_ASSERT(prev >= n);
-        if (prev == n) done_.set_value();
+        if (prev == n) {
+            sanitize::hb_after(this);
+            done_.set_value();
+        }
     }
 
-    bool try_wait() const { return count_.load(std::memory_order_acquire) == 0; }
+    [[nodiscard]] bool try_wait() const {
+        if (count_.load(std::memory_order_acquire) != 0) return false;
+        sanitize::hb_after(this);
+        return true;
+    }
 
     void wait() { done_future().wait(); }
 
     /// A future that becomes ready when the count reaches zero.
-    future<void> done_future() {
+    [[nodiscard]] future<void> done_future() {
         if (!fut_.valid()) fut_ = done_.get_future();
         return future<void>(fut_.state());
     }

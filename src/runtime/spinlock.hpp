@@ -5,19 +5,35 @@
 
 #include <atomic>
 
+#include "sanitize/hooks.hpp"
+
 namespace octo::rt {
 
 class spinlock {
   public:
+#ifdef OCTO_RACE_DETECT
+    ~spinlock() { sanitize::sync_retire(this); }
+#endif
+
     void lock() noexcept {
         while (flag_.test_and_set(std::memory_order_acquire)) {
             while (flag_.test(std::memory_order_relaxed)) {
                 // spin; pause would go here on x86
             }
         }
+        // Records the lock-order edge (held -> this) and joins the previous
+        // holder's clock.
+        sanitize::lock_acquired(this);
     }
-    bool try_lock() noexcept { return !flag_.test_and_set(std::memory_order_acquire); }
-    void unlock() noexcept { flag_.clear(std::memory_order_release); }
+    bool try_lock() noexcept {
+        if (flag_.test_and_set(std::memory_order_acquire)) return false;
+        sanitize::lock_acquired(this);
+        return true;
+    }
+    void unlock() noexcept {
+        sanitize::lock_released(this);
+        flag_.clear(std::memory_order_release);
+    }
 
   private:
     std::atomic_flag flag_ = ATOMIC_FLAG_INIT;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 
+#include "sanitize/hooks.hpp"
 #include "support/assert.hpp"
 
 namespace octo::rt {
@@ -11,6 +13,24 @@ namespace {
 // Thread-local identity of a pool worker.
 thread_local thread_pool* tls_pool = nullptr;
 thread_local unsigned tls_index = 0;
+
+#ifdef OCTO_RACE_DETECT
+/// Wrap a task with a per-post sync token so the detector sees the edge
+/// "everything the poster did happens-before the task body" — the edge the
+/// queue mutex provides for real. Odd token values never alias object
+/// addresses (all tracked objects are at least 2-byte aligned).
+task wrap_task_for_detector(task t) {
+    static std::atomic<std::uintptr_t> counter{1};
+    const void* token = reinterpret_cast<const void*>(
+        counter.fetch_add(2, std::memory_order_relaxed));
+    sanitize::hb_before(token);
+    return [inner = std::move(t), token]() mutable {
+        sanitize::hb_after(token);
+        inner();
+        sanitize::sync_retire(token);
+    };
+}
+#endif
 
 } // namespace
 
@@ -37,7 +57,13 @@ thread_pool::~thread_pool() {
 
 void thread_pool::post(task t) {
     OCTO_ASSERT_MSG(!stop_.load(std::memory_order_acquire), "post() after shutdown");
-    inflight_.fetch_add(1, std::memory_order_relaxed);
+#ifdef OCTO_RACE_DETECT
+    t = wrap_task_for_detector(std::move(t));
+#endif
+    // acq_rel: the increment must be ordered against wait_idle()'s acquire
+    // load — a relaxed increment could let a concurrent wait_idle() observe
+    // the pre-post zero after the task is already enqueued.
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
     posted_.fetch_add(1, std::memory_order_relaxed);
 
     unsigned q;

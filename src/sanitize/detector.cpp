@@ -1,0 +1,302 @@
+#include "sanitize/detector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace octo::sanitize {
+
+namespace {
+
+using clock_t_ = std::uint64_t;
+using vclock = std::vector<clock_t_>;
+
+/// slot of the calling thread, -1 before registration.
+thread_local int tls_slot = -1;
+
+void join_into(vclock& dst, const vclock& src) {
+    if (dst.size() < src.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = std::max(dst[i], src[i]);
+    }
+}
+
+clock_t_ component(const vclock& vc, int slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    return s < vc.size() ? vc[s] : 0;
+}
+
+} // namespace
+
+struct detector::impl {
+    mutable std::mutex mutex;
+    std::atomic<bool> active{false};
+
+    int nthreads = 0;                 ///< slots handed out so far
+    std::vector<vclock> thread_clock; ///< per-slot vector clock
+
+    std::unordered_map<const void*, vclock> sync_clock;
+
+    struct region_state {
+        const char* name = "";
+        int writer = -1;      ///< slot of the last writer
+        clock_t_ write_epoch = 0;
+        std::unordered_map<int, clock_t_> read_epochs; ///< slot -> epoch
+    };
+    std::unordered_map<const void*, region_state> regions;
+
+    // Lock-order graph + per-thread held-lock stacks.
+    std::unordered_map<const void*, std::unordered_set<const void*>> lock_edges;
+    std::unordered_map<int, std::vector<const void*>> held;
+
+    std::vector<race_report> races;
+    std::vector<inversion_report> inversions;
+    std::set<std::tuple<const void*, int, int, int>> race_seen;
+    std::set<std::pair<const void*, const void*>> inversion_seen;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t edges = 0;
+
+    static constexpr std::size_t max_reports = 64;
+
+    /// Register the calling thread (under mutex) and return its slot.
+    int slot() {
+        if (tls_slot < 0) {
+            tls_slot = nthreads++;
+            thread_clock.emplace_back();
+        }
+        if (static_cast<std::size_t>(tls_slot) >= thread_clock.size()) {
+            thread_clock.resize(static_cast<std::size_t>(tls_slot) + 1);
+        }
+        auto& vc = thread_clock[static_cast<std::size_t>(tls_slot)];
+        if (vc.size() <= static_cast<std::size_t>(tls_slot)) {
+            vc.resize(static_cast<std::size_t>(tls_slot) + 1, 0);
+        }
+        if (vc[static_cast<std::size_t>(tls_slot)] == 0) {
+            vc[static_cast<std::size_t>(tls_slot)] = 1; // epoch 0 = never seen
+        }
+        return tls_slot;
+    }
+
+    /// Is lock `to` reachable from `from` in the lock-order graph?
+    bool reachable(const void* from, const void* to) const {
+        std::vector<const void*> stack{from};
+        std::unordered_set<const void*> visited;
+        while (!stack.empty()) {
+            const void* l = stack.back();
+            stack.pop_back();
+            if (l == to) return true;
+            if (!visited.insert(l).second) continue;
+            if (auto it = lock_edges.find(l); it != lock_edges.end()) {
+                for (const void* n : it->second) stack.push_back(n);
+            }
+        }
+        return false;
+    }
+
+    void report_race(const void* region, const char* name, const char* kind,
+                     int first, int second, int kind_id) {
+        if (!race_seen.insert({region, kind_id, first, second}).second) return;
+        if (races.size() >= max_reports) return;
+        races.push_back({name, kind, static_cast<unsigned>(first),
+                         static_cast<unsigned>(second)});
+    }
+};
+
+detector::detector() : impl_(new impl) {}
+
+detector& detector::instance() {
+    static detector* const d = new detector; // leaked on purpose
+    return *d;
+}
+
+void detector::enable() { impl_->active.store(true, std::memory_order_release); }
+void detector::disable() {
+    impl_->active.store(false, std::memory_order_release);
+}
+bool detector::active() const noexcept {
+    return impl_->active.load(std::memory_order_acquire);
+}
+
+void detector::reset() {
+    std::lock_guard lock(impl_->mutex);
+    for (auto& vc : impl_->thread_clock) vc.clear();
+    impl_->sync_clock.clear();
+    impl_->regions.clear();
+    impl_->lock_edges.clear();
+    impl_->held.clear();
+    impl_->races.clear();
+    impl_->inversions.clear();
+    impl_->race_seen.clear();
+    impl_->inversion_seen.clear();
+    impl_->accesses = 0;
+    impl_->edges = 0;
+}
+
+void detector::on_release(const void* sync) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    const int t = impl_->slot();
+    auto& ct = impl_->thread_clock[static_cast<std::size_t>(t)];
+    join_into(impl_->sync_clock[sync], ct);
+    ++ct[static_cast<std::size_t>(t)]; // later ops are a new epoch
+    ++impl_->edges;
+}
+
+void detector::on_acquire(const void* sync) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    const int t = impl_->slot();
+    if (auto it = impl_->sync_clock.find(sync); it != impl_->sync_clock.end()) {
+        join_into(impl_->thread_clock[static_cast<std::size_t>(t)], it->second);
+        ++impl_->edges;
+    }
+}
+
+void detector::on_sync_retire(const void* sync) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    impl_->sync_clock.erase(sync);
+}
+
+void detector::on_lock_acquired(const void* l) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    const int t = impl_->slot();
+    for (const void* h : impl_->held[t]) {
+        if (h == l) continue;
+        auto& out = impl_->lock_edges[h];
+        if (out.count(l)) continue;
+        // Adding h -> l: if l already reaches h the graph gains a cycle,
+        // i.e. two schedules acquire this pair in opposite orders.
+        if (impl_->reachable(l, h)) {
+            if (impl_->inversion_seen.insert({h, l}).second &&
+                impl_->inversions.size() < impl::max_reports) {
+                impl_->inversions.push_back({h, l});
+            }
+        }
+        out.insert(l);
+    }
+    impl_->held[t].push_back(l);
+    // The previous holder's critical section happens-before ours.
+    if (auto it = impl_->sync_clock.find(l); it != impl_->sync_clock.end()) {
+        join_into(impl_->thread_clock[static_cast<std::size_t>(t)], it->second);
+    }
+    ++impl_->edges;
+}
+
+void detector::on_lock_released(const void* l) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    const int t = impl_->slot();
+    auto& ct = impl_->thread_clock[static_cast<std::size_t>(t)];
+    join_into(impl_->sync_clock[l], ct);
+    ++ct[static_cast<std::size_t>(t)];
+    auto& held = impl_->held[t];
+    if (auto it = std::find(held.rbegin(), held.rend(), l); it != held.rend()) {
+        held.erase(std::next(it).base());
+    }
+    ++impl_->edges;
+}
+
+void detector::on_region_access(const void* region, const char* name,
+                                bool is_write) {
+    if (!active()) return;
+    std::lock_guard lock(impl_->mutex);
+    const int t = impl_->slot();
+    auto& ct = impl_->thread_clock[static_cast<std::size_t>(t)];
+    auto& rs = impl_->regions[region];
+    rs.name = name;
+    ++impl_->accesses;
+
+    // Previous write ordered before this access?
+    if (rs.writer >= 0 && rs.writer != t &&
+        component(ct, rs.writer) < rs.write_epoch) {
+        impl_->report_race(region, name, is_write ? "write-write" : "write-read",
+                           rs.writer, t, is_write ? 0 : 1);
+    }
+    if (is_write) {
+        // Every previous read must be ordered before a write.
+        for (const auto& [rt, epoch] : rs.read_epochs) {
+            if (rt != t && component(ct, rt) < epoch) {
+                impl_->report_race(region, name, "read-write", rt, t, 2);
+            }
+        }
+        rs.writer = t;
+        rs.write_epoch = component(ct, t);
+        rs.read_epochs.clear();
+    } else {
+        rs.read_epochs[t] = component(ct, t);
+    }
+}
+
+std::size_t detector::race_count() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->races.size();
+}
+std::size_t detector::inversion_count() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->inversions.size();
+}
+std::vector<race_report> detector::races() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->races;
+}
+std::vector<inversion_report> detector::inversions() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->inversions;
+}
+std::uint64_t detector::accesses_checked() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->accesses;
+}
+std::uint64_t detector::hb_edges_recorded() const {
+    std::lock_guard lock(impl_->mutex);
+    return impl_->edges;
+}
+
+std::string detector::summary() const {
+    std::lock_guard lock(impl_->mutex);
+    std::ostringstream os;
+    os << impl_->races.size() << " race(s), " << impl_->inversions.size()
+       << " lock inversion(s); " << impl_->accesses << " accesses, "
+       << impl_->edges << " hb edges\n";
+    for (const auto& r : impl_->races) {
+        os << "  race [" << r.kind << "] on " << r.region << ": thread "
+           << r.first_thread << " vs thread " << r.second_thread << "\n";
+    }
+    for (const auto& iv : impl_->inversions) {
+        os << "  lock inversion: " << iv.held << " -> " << iv.acquired
+           << " closes a cycle\n";
+    }
+    return os.str();
+}
+
+#ifdef OCTO_RACE_DETECT
+
+// ---- hook trampolines (hooks.hpp declarations) -----------------------------
+
+void hb_before(const void* sync) { detector::instance().on_release(sync); }
+void hb_after(const void* sync) { detector::instance().on_acquire(sync); }
+void sync_retire(const void* sync) { detector::instance().on_sync_retire(sync); }
+void lock_acquired(const void* lock) {
+    detector::instance().on_lock_acquired(lock);
+}
+void lock_released(const void* lock) {
+    detector::instance().on_lock_released(lock);
+}
+void region_read(const void* region, const char* name) {
+    detector::instance().on_region_access(region, name, false);
+}
+void region_write(const void* region, const char* name) {
+    detector::instance().on_region_access(region, name, true);
+}
+
+#endif // OCTO_RACE_DETECT
+
+} // namespace octo::sanitize

@@ -1,0 +1,93 @@
+#pragma once
+// Vector-clock happens-before race detector and lock-order (deadlock-cycle)
+// graph for the hand-rolled runtime (ISSUE: concurrency-correctness layer).
+//
+// The detector is a FastTrack-style checker at *logical region* granularity:
+// instead of shadowing every byte, the instrumented schedules report which
+// logical buffer (a node's moments, a leaf's interior, one ghost region, one
+// axis' flux buffer, ...) each task touches. Synchronization primitives
+// report release/acquire edges (hooks.hpp); the detector keeps one vector
+// clock per thread and per sync object and checks on every region access
+// that the previous conflicting epoch is contained in the accessor's clock.
+//
+// Lock order: every blocking acquire records edges from all currently-held
+// locks to the new one; a path in the opposite direction means two run-time
+// orders exist and the pair can deadlock — reported as an inversion even if
+// the schedule that ran never actually deadlocked.
+//
+// The class is always compiled (tests link it in every configuration); the
+// *hooks* in the primitives are no-ops unless OCTO_RACE_DETECT is defined,
+// so without that option nothing ever calls in here.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace octo::sanitize {
+
+struct race_report {
+    std::string region;   ///< region name given at the access hook
+    std::string kind;     ///< "write-write", "read-write" or "write-read"
+    unsigned first_thread = 0;
+    unsigned second_thread = 0;
+};
+
+struct inversion_report {
+    const void* held = nullptr;     ///< lock already held
+    const void* acquired = nullptr; ///< lock whose acquisition closed a cycle
+};
+
+class detector {
+  public:
+    /// Process-wide instance (leaky singleton, same policy as the recycler).
+    static detector& instance();
+
+    /// Hooks only record while enabled; reset() wipes all clocks, region
+    /// shadow state, the lock graph and the reports.
+    void enable();
+    void disable();
+    bool active() const noexcept;
+    void reset();
+
+    // ---- hook entry points (see hooks.hpp for semantics) -------------------
+    void on_release(const void* sync);
+    void on_acquire(const void* sync);
+    void on_sync_retire(const void* sync);
+    void on_lock_acquired(const void* lock);
+    void on_lock_released(const void* lock);
+    void on_region_access(const void* region, const char* name, bool is_write);
+
+    // ---- results -----------------------------------------------------------
+    std::size_t race_count() const;
+    std::size_t inversion_count() const;
+    std::vector<race_report> races() const;
+    std::vector<inversion_report> inversions() const;
+    /// Accesses / edges recorded since the last reset (coverage telemetry —
+    /// lets tests assert the instrumentation actually fired).
+    std::uint64_t accesses_checked() const;
+    std::uint64_t hb_edges_recorded() const;
+    /// Human-readable report of every race and inversion.
+    std::string summary() const;
+
+  private:
+    detector();
+    ~detector() = delete; // leaky singleton
+
+    struct impl;
+    impl* impl_;
+};
+
+/// RAII scope: reset + enable on construction, disable on destruction.
+class session {
+  public:
+    session() {
+        detector::instance().reset();
+        detector::instance().enable();
+    }
+    ~session() { detector::instance().disable(); }
+    session(const session&) = delete;
+    session& operator=(const session&) = delete;
+};
+
+} // namespace octo::sanitize

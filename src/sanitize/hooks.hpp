@@ -1,0 +1,62 @@
+#pragma once
+// Synchronization hooks for the in-repo concurrency-correctness layer.
+//
+// Every hand-rolled synchronization primitive in src/runtime/ (future state,
+// channel, spinlock, latch, thread-pool task hand-off, when_all join
+// counters) and the buffer_recycler free-list hand-off calls these hooks at
+// the points where a happens-before edge is created or consumed. The
+// futurized FMM and hydro schedules additionally report which logical data
+// region each task reads and writes. The detector (detector.hpp) replays the
+// edges as vector-clock joins and flags
+//   * cross-thread region accesses not ordered by any recorded edge (a data
+//     race the DAG failed to express), and
+//   * lock-acquisition orders that form a cycle (a potential deadlock).
+//
+// Builds without OCTO_RACE_DETECT compile every hook to an empty inline
+// function: the instrumented code is identical, the cost is zero.
+
+#ifdef OCTO_RACE_DETECT
+
+namespace octo::sanitize {
+
+/// Record a release operation on sync object `sync`: everything this thread
+/// did so far happens-before any subsequent hb_after() on the same object.
+void hb_before(const void* sync);
+
+/// Record an acquire operation on `sync`: join every release recorded on it
+/// into this thread's clock.
+void hb_after(const void* sync);
+
+/// Forget a sync object (its storage is being destroyed or recycled), so an
+/// unrelated object reincarnated at the same address starts clean.
+void sync_retire(const void* sync);
+
+/// Blocking lock acquired: records the lock-order edge (held locks -> lock),
+/// flags cycles, and acts as hb_after(lock).
+void lock_acquired(const void* lock);
+
+/// Lock released: acts as hb_before(lock) and pops the held-lock stack.
+void lock_released(const void* lock);
+
+/// A task is reading / writing the logical data region keyed by `region`.
+/// Unordered conflicting accesses from two threads are reported as races.
+void region_read(const void* region, const char* name);
+void region_write(const void* region, const char* name);
+
+} // namespace octo::sanitize
+
+#else // !OCTO_RACE_DETECT — all hooks are no-ops the optimizer deletes.
+
+namespace octo::sanitize {
+
+inline void hb_before(const void*) {}
+inline void hb_after(const void*) {}
+inline void sync_retire(const void*) {}
+inline void lock_acquired(const void*) {}
+inline void lock_released(const void*) {}
+inline void region_read(const void*, const char*) {}
+inline void region_write(const void*, const char*) {}
+
+} // namespace octo::sanitize
+
+#endif // OCTO_RACE_DETECT

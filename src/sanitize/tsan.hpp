@@ -1,0 +1,51 @@
+#pragma once
+// ThreadSanitizer annotations for the custom synchronization primitives.
+//
+// The runtime's future state and the recycler free lists already order their
+// hand-offs with std::mutex / std::atomic, which TSan models natively — but
+// the *intent* of each hand-off is invisible to it, and any future change
+// that weakens an ordering (e.g. replacing a mutex with a relaxed flag)
+// would surface as an obscure report deep inside a kernel. Annotating the
+// hand-off points keeps the happens-before edges explicit in TSan's model so
+// reports point at the primitive that lost its edge, and protects the
+// free-list hand-off where the *payload* bytes are written before
+// deallocate() and read after a later allocate() without any per-byte
+// synchronization TSan could attribute.
+//
+// Expands to nothing unless the build is actually under TSan.
+
+#if defined(__SANITIZE_THREAD__)
+#define OCTO_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OCTO_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef OCTO_TSAN_ENABLED
+
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line,
+                           const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line,
+                          const volatile void* addr);
+void AnnotateNewMemory(const char* file, int line, const volatile void* addr,
+                       unsigned long size); // NOLINT(google-runtime-int)
+}
+
+#define OCTO_TSAN_HB_BEFORE(addr) \
+    AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void*)(addr))
+#define OCTO_TSAN_HB_AFTER(addr) \
+    AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void*)(addr))
+#define OCTO_TSAN_NEW_MEMORY(addr, size)                       \
+    AnnotateNewMemory(__FILE__, __LINE__,                      \
+                      (const volatile void*)(addr),            \
+                      (unsigned long)(size))
+
+#else
+
+#define OCTO_TSAN_HB_BEFORE(addr) ((void)0)
+#define OCTO_TSAN_HB_AFTER(addr) ((void)0)
+#define OCTO_TSAN_NEW_MEMORY(addr, size) ((void)0)
+
+#endif // OCTO_TSAN_ENABLED

@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sanitize/hooks.hpp"
+#include "sanitize/tsan.hpp"
+
 namespace octo {
 
 namespace {
@@ -46,6 +49,13 @@ void* buffer_recycler::allocate(std::size_t bytes, std::size_t align) {
             it->second.pop_back();
             impl_->pooled_bytes -= bytes;
             impl_->hits.fetch_add(1, std::memory_order_relaxed);
+            // Free-list hand-off, consumer side: join the parking thread's
+            // clock, and tell TSan the previous owner's unsynchronized
+            // payload writes are dead — this block is fresh memory to the
+            // new owner.
+            sanitize::hb_after(p);
+            OCTO_TSAN_HB_AFTER(p);
+            OCTO_TSAN_NEW_MEMORY(p, bytes);
             return p;
         }
     }
@@ -58,6 +68,10 @@ void buffer_recycler::deallocate(void* p, std::size_t bytes,
     if (p == nullptr) return;
     if (impl_->enabled.load(std::memory_order_relaxed)) {
         impl_->returns.fetch_add(1, std::memory_order_relaxed);
+        // Free-list hand-off, producer side: whatever the parking thread
+        // wrote into the buffer happens-before the next owner's reuse.
+        sanitize::hb_before(p);
+        OCTO_TSAN_HB_BEFORE(p);
         std::lock_guard lock(impl_->mutex);
         impl_->buckets[bucket_key(bytes, align)].push_back(p);
         impl_->pooled_bytes += bytes;
@@ -85,12 +99,15 @@ void buffer_recycler::clear() {
     }
     for (auto& [key, list] : buckets) {
         const auto align = static_cast<std::size_t>(key >> 48);
-        for (void* p : list) ::operator delete(p, std::align_val_t{align});
+        for (void* p : list) {
+            sanitize::sync_retire(p); // address may be reincarnated by new
+            ::operator delete(p, std::align_val_t{align});
+        }
     }
 }
 
 void buffer_recycler::set_enabled(bool enabled) {
-    impl_->enabled.store(enabled, std::memory_order_relaxed);
+    impl_->enabled.store(enabled, std::memory_order_release);
 }
 
 bool buffer_recycler::enabled() const {

@@ -278,7 +278,7 @@ TEST(Step, SodIsOneDimensional) {
     });
     step_options opt;
     opt.eos = eos;
-    for (int s = 0; s < 5; ++s) step(t, opt);
+    for (int s = 0; s < 5; ++s) (void)step(t, opt);
     for (const auto k : t.leaves_sfc()) {
         const auto& g = *t.node(k).fields;
         for (int i = 0; i < INX; ++i)
@@ -330,7 +330,7 @@ TEST_P(ConservationTest, MassMomentumAngularMomentumToRounding) {
     step_options opt;
     opt.eos = eos;
     opt.bc = boundary_kind::outflow;
-    for (int s = 0; s < 3; ++s) step(t, opt);
+    for (int s = 0; s < 3; ++s) (void)step(t, opt);
     const totals after = compute_totals(t);
 
     EXPECT_NEAR(after.mass, before.mass, before.mass * 1e-12);
@@ -366,7 +366,7 @@ TEST(Step, GravitySourceAddsMomentum) {
                              zero.data(), zero.data(), zero.data()};
     };
     opt.fixed_dt = 1e-3;
-    step(t, opt);
+    (void)step(t, opt);
     const totals after = compute_totals(t);
     EXPECT_NEAR(after.momentum.z, -1.5 * after.mass * 1e-3,
                 std::abs(after.momentum.z) * 1e-10);
@@ -387,7 +387,7 @@ TEST(Step, SpinTorqueDepositFeedsSpinField) {
                              zero.data(), zero.data(), tqz.data()};
     };
     opt.fixed_dt = 1e-3;
-    step(t, opt);
+    (void)step(t, opt);
     const totals after = compute_totals(t);
     // 512 cells x torque 2.0 x dt = total Lz gain of 1.024e-3... in total
     // units: deposits are per-cell totals, so sum = 512 * 2.0 * dt.
@@ -408,7 +408,7 @@ TEST(Step, RotatingFrameCoriolisDeflects) {
     opt.bc = boundary_kind::periodic;
     opt.omega = {0, 0, 1.0};
     opt.fixed_dt = 1e-3;
-    step(t, opt);
+    (void)step(t, opt);
     const totals after = compute_totals(t);
     // Coriolis: a = -2 Omega x v = -2 (0,0,1) x (0.1,0,0) = (0, -0.2, 0);
     // centrifugal adds net force ~ 0 only if the domain is symmetric about
@@ -428,7 +428,7 @@ TEST(Step, DualEnergyKeepsPressurePositiveInHighMach) {
     step_options opt;
     opt.eos = eos;
     opt.bc = boundary_kind::periodic;
-    for (int s = 0; s < 3; ++s) step(t, opt);
+    for (int s = 0; s < 3; ++s) (void)step(t, opt);
     for (const auto k : t.leaves_sfc()) {
         const auto& g = *t.node(k).fields;
         for (int i = 0; i < INX; ++i)
@@ -612,7 +612,7 @@ TEST_P(ConservationSweep, LedgerClosesForAllSchemes) {
     opt.eos = eos;
     opt.use_ppm = use_ppm;
     opt.cfl = cfl;
-    for (int s = 0; s < 2; ++s) step(t, opt);
+    for (int s = 0; s < 2; ++s) (void)step(t, opt);
     const totals after = compute_totals(t);
     EXPECT_NEAR(after.mass, before.mass, before.mass * 1e-12);
     const double lscale = std::max(norm(before.angular_momentum), 1e-20);
@@ -820,7 +820,7 @@ TEST(Ablations, LedgerClosesOnDefaultSimdFuturizedPath) {
     const totals before = compute_totals(t);
     step_options opt; // defaults: use_simd = true, futurized = true
     opt.eos = eos;
-    for (int s = 0; s < 3; ++s) step(t, opt);
+    for (int s = 0; s < 3; ++s) (void)step(t, opt);
     const totals after = compute_totals(t);
     EXPECT_NEAR(after.mass, before.mass, before.mass * 1e-12);
     EXPECT_LT(norm(after.momentum - before.momentum), 1e-12);

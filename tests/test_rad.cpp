@@ -291,7 +291,7 @@ TEST(RadHydro, HydroStepLeavesRadiationUntouched) {
     }
     hydro::step_options h;
     h.bc = boundary_kind::periodic;
-    hydro::step(t, h);
+    (void)hydro::step(t, h);
     for (const auto k : t.leaves_sfc()) {
         const auto& g = *t.node(k).fields;
         for (int i = 0; i < INX; ++i)

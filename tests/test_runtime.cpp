@@ -360,7 +360,7 @@ TEST(Apex, HydroStepRegistersPipelineCounters) {
     }
     hydro::step_options opt; // defaults: use_simd + futurized
     opt.eos = eos;
-    hydro::step(t, opt);
+    (void)hydro::step(t, opt);
 
     const auto leaves = t.leaves_sfc().size();
     // Per stage: per-leaf fills, 3 flux sweeps and an update at minimum,
@@ -377,7 +377,7 @@ TEST(Apex, HydroStepRegistersPipelineCounters) {
     reg.reset();
     opt.use_simd = false;
     opt.futurized = false;
-    hydro::step(t, opt);
+    (void)hydro::step(t, opt);
     EXPECT_EQ(reg.counter("hydro.simd_width"), 1u);
     EXPECT_EQ(reg.counter("hydro.stage_tasks"), 0u);
     EXPECT_EQ(reg.counter("hydro.cfl_tasks"), leaves);
