@@ -1,8 +1,10 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "amr/prolong.hpp"
+#include "io/checkpoint.hpp"
 #include "support/assert.hpp"
 
 namespace octo::core {
@@ -16,6 +18,15 @@ simulation::simulation(tree t, sim_options opt)
                 .vectorized = opt.vectorized,
                 .device = opt.device,
                 .pool = opt.pool}) {}
+
+simulation simulation::restart(const std::string& checkpoint_path,
+                               sim_options opt) {
+    io::checkpoint_data ck = io::read_checkpoint_full(checkpoint_path);
+    simulation s(std::move(ck.t), opt);
+    s.time_ = ck.meta.time;
+    s.steps_ = ck.meta.steps;
+    return s;
+}
 
 double simulation::advance() {
     hydro::step_options h;
@@ -43,6 +54,12 @@ double simulation::advance() {
     const double dt = hydro::step(tree_, h);
     time_ += dt;
     ++steps_;
+    if (ckpt_.every_steps > 0 && steps_ % ckpt_.every_steps == 0) {
+        std::string path =
+            ckpt_.path_prefix + "." + std::to_string(steps_) + ".ckpt";
+        io::write_checkpoint(tree_, path, {.time = time_, .steps = steps_});
+        last_checkpoint_ = std::move(path);
+    }
     return dt;
 }
 

@@ -6,6 +6,7 @@
 // kernels, and density-based regridding.
 
 #include <functional>
+#include <string>
 
 #include "amr/halo.hpp"
 #include "amr/tree.hpp"
@@ -37,13 +38,32 @@ struct report {
     dvec3 center_of_mass{0, 0, 0};
 };
 
+/// Periodic-checkpoint policy (ISSUE 5): production runs are driven end to
+/// end by restart files (paper §6.2), so the driver itself writes them.
+struct checkpoint_policy {
+    long every_steps = 0; ///< 0 disables periodic checkpoints
+    std::string path_prefix; ///< files land at <prefix>.<step>.ckpt
+};
+
 class simulation {
   public:
     simulation(amr::tree t, sim_options opt);
 
+    /// Resume from a checkpoint written by a previous run: restores the
+    /// tree, simulation time and step count, so the continued run is bit-
+    /// identical to one that never stopped (asserted in tests/test_fault).
+    static simulation restart(const std::string& checkpoint_path,
+                              sim_options opt);
+
     /// Advance one coupled step (gravity solve + SSP-RK2 hydro step with
-    /// source coupling); returns the dt taken.
+    /// source coupling); returns the dt taken. When a checkpoint policy is
+    /// set, writes <prefix>.<step>.ckpt every `every_steps` steps (atomic,
+    /// checksummed — io/checkpoint.hpp).
     double advance();
+
+    void set_checkpoint_policy(checkpoint_policy p) { ckpt_ = std::move(p); }
+    /// Path of the most recent periodic checkpoint ("" before the first).
+    const std::string& last_checkpoint() const { return last_checkpoint_; }
 
     double time() const { return time_; }
     long step_count() const { return steps_; }
@@ -77,6 +97,8 @@ class simulation {
     double time_ = 0;
     long steps_ = 0;
     bool gravity_valid_ = false;
+    checkpoint_policy ckpt_;
+    std::string last_checkpoint_;
 };
 
 } // namespace octo::core

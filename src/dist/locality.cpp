@@ -1,20 +1,39 @@
 #include "dist/locality.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
+#include "runtime/apex.hpp"
+#include "sanitize/hooks.hpp"
 #include "support/assert.hpp"
+#include "support/crc32.hpp"
 
 namespace octo::dist {
 
+std::uint32_t parcel_crc(const parcel& p) {
+    // Covers everything a corrupted transport could damage except `attempt`
+    // (a port-side bookkeeping field: retransmits must carry the identical
+    // checksum so receivers treat them as the same parcel).
+    std::uint32_t c = crc32(&p.dest, sizeof(p.dest));
+    c = crc32(&p.action, sizeof(p.action), c);
+    c = crc32(&p.kind, sizeof(p.kind), c);
+    c = crc32(&p.seq, sizeof(p.seq), c);
+    return crc32(p.payload.data(), p.payload.size(), c);
+}
+
 runtime::runtime(int nlocalities, parcelport_factory make_port,
-                 unsigned threads_per_locality) {
+                 unsigned threads_per_locality, reliability_params rel)
+    : rel_params_(rel) {
     OCTO_ASSERT(nlocalities >= 1);
     pools_.reserve(static_cast<std::size_t>(nlocalities));
     for (int i = 0; i < nlocalities; ++i) {
         pools_.push_back(std::make_unique<rt::thread_pool>(threads_per_locality));
         strands_.push_back(std::make_unique<strand>());
     }
+    rel_.next_seq.assign(static_cast<std::size_t>(nlocalities), 0);
+    rel_.rx.resize(static_cast<std::size_t>(nlocalities));
     port_ = make_port(*this);
     OCTO_ASSERT(port_ != nullptr);
 
@@ -24,9 +43,23 @@ runtime::runtime(int nlocalities, parcelport_factory make_port,
         auto value = a.read_vector<double>();
         channel_of(g).set(std::move(value));
     });
+
+    retransmit_ = std::thread([this] { retransmit_loop(); });
 }
 
-runtime::~runtime() { wait_quiet(); }
+runtime::~runtime() {
+    // Quiesce first — the retransmit thread is what drives lost parcels to
+    // either delivery or a bounded-budget failure, so it must outlive the
+    // wait. Straggler duplicates/acks delivered during the port's own
+    // destruction still find rel_ alive (declared before port_).
+    wait_quiet();
+    {
+        std::lock_guard lock(rel_.mutex);
+        rel_.stop = true;
+    }
+    rel_.cv.notify_all();
+    if (retransmit_.joinable()) retransmit_.join();
+}
 
 rt::thread_pool& runtime::pool(int rank) {
     OCTO_ASSERT(rank >= 0 && rank < size());
@@ -47,16 +80,97 @@ void runtime::apply(int dest, action_id a, oarchive args) {
         std::lock_guard lock(actions_mutex_);
         OCTO_ASSERT_MSG(a < actions_.size(), "unregistered action");
     }
-    inflight_parcels_.fetch_add(1, std::memory_order_relaxed);
-    port_->send(parcel{dest, a, args.take()});
+    inflight_parcels_.fetch_add(1, std::memory_order_acq_rel);
+    parcel p;
+    p.dest = dest;
+    p.action = a;
+    p.payload = args.take();
+    p.kind = parcel_kind::data;
+    {
+        std::lock_guard lock(rel_.mutex);
+        p.seq = rel_.next_seq[static_cast<std::size_t>(dest)]++;
+        p.checksum = parcel_crc(p);
+        unacked_entry e;
+        e.p = p; // retransmit copy, checksum included
+        e.backoff = rel_params_.retransmit_timeout;
+        e.next_resend = std::chrono::steady_clock::now() + e.backoff;
+        rel_.unacked.emplace(std::pair(dest, p.seq), std::move(e));
+    }
+    // Send outside the lock: a one-sided port delivers synchronously, and
+    // delivery re-enters the reliability state (dedup, ack handling).
+    port_->send(std::move(p));
 }
 
 void runtime::deliver(parcel p) {
+    // A lossy transport may hand us anything: verify the checksum first.
+    // Corrupt data parcels are dropped (the sender's retransmit recovers);
+    // corrupt acks are dropped (the retransmit-triggered duplicate re-acks).
+    if (p.checksum != parcel_crc(p)) {
+        rel_.corrupt_dropped.fetch_add(1, std::memory_order_relaxed);
+        rt::apex_count("net.corrupt_dropped");
+        return;
+    }
+    if (p.kind == parcel_kind::ack) {
+        handle_ack(p.dest, p.seq);
+        return;
+    }
+
+    const int dest = p.dest;
+    OCTO_ASSERT(dest >= 0 && dest < size());
+    std::uint64_t cumulative = 0;
+    bool dup = false;
+    bool held = false;
+    {
+        std::lock_guard lock(rel_.mutex);
+        auto& rx = rel_.rx[static_cast<std::size_t>(dest)];
+        if (p.seq < rx.expected || rx.held.count(p.seq) != 0) {
+            dup = true; // seen before (duplicate or already-buffered copy)
+        } else if (p.seq == rx.expected) {
+            enqueue_strand(std::move(p));
+            ++rx.expected;
+            // The gap just closed may release buffered successors too.
+            auto it = rx.held.begin();
+            while (it != rx.held.end() && it->first == rx.expected) {
+                enqueue_strand(std::move(it->second));
+                it = rx.held.erase(it);
+                ++rx.expected;
+            }
+        } else {
+            held = true; // out of order: stash until the gap fills
+            rx.held.emplace(p.seq, std::move(p));
+        }
+        cumulative = rx.expected;
+        // The enqueues MUST happen before rel_.mutex is released: the moment
+        // another thread can observe the advanced rx.expected (a concurrent
+        // duplicate sends a cumulative ack with it), the sender may count the
+        // parcel delivered — so its strand task has to be posted already, or
+        // wait_quiet() could return with the action still unscheduled. Same
+        // section also fixes the release order: two concurrently released
+        // batches would otherwise race to the strand.
+    }
+    if (dup) {
+        rel_.dups_dropped.fetch_add(1, std::memory_order_relaxed);
+        rt::apex_count("net.dups_dropped");
+    }
+    if (held) {
+        rel_.reorders_buffered.fetch_add(1, std::memory_order_relaxed);
+        rt::apex_count("net.reorders_buffered");
+    }
+    // Cumulative ack — sent even for duplicates, so a lost ack is healed by
+    // the retransmit it provoked. Outside rel_.mutex: a one-sided port
+    // delivers the ack synchronously and handle_ack re-takes the lock.
+    send_ack(dest, cumulative);
+}
+
+void runtime::enqueue_strand(parcel p) {
     const int dest = p.dest;
     auto& st = *strands_[static_cast<std::size_t>(dest)];
     bool start = false;
     {
         std::lock_guard lock(st.mutex);
+        // Detector edge: the sender's payload writes happen-before the
+        // action body that reads them (mirrors rt::channel's buffered path).
+        sanitize::hb_before(&st);
         st.queue.push_back(std::move(p));
         if (!st.draining) {
             st.draining = true;
@@ -72,6 +186,7 @@ void runtime::drain_strand(int dest) {
         parcel p;
         {
             std::lock_guard lock(st.mutex);
+            sanitize::hb_after(&st);
             if (st.queue.empty()) {
                 st.draining = false;
                 return;
@@ -80,14 +195,129 @@ void runtime::drain_strand(int dest) {
             st.queue.pop_front();
         }
         std::function<void(int, iarchive)> fn;
+        const char* name = "?";
         {
             std::lock_guard lock(actions_mutex_);
             OCTO_ASSERT(p.action < actions_.size());
             fn = actions_[p.action];
+            name = action_names_[p.action].c_str();
         }
-        fn(dest, iarchive(p.payload));
-        inflight_parcels_.fetch_sub(1, std::memory_order_acq_rel);
+        // An action that throws must not take down the locality's pool (the
+        // worker would std::terminate): route the exception into the error
+        // channel and keep draining — the strand stays live.
+        try {
+            fn(dest, iarchive(p.payload));
+        } catch (const std::exception& e) {
+            rt::apex_count("dist.action_errors");
+            record_error("action '" + std::string(name) + "' on locality " +
+                         std::to_string(dest) + " threw: " + e.what());
+        } catch (...) {
+            rt::apex_count("dist.action_errors");
+            record_error("action '" + std::string(name) + "' on locality " +
+                         std::to_string(dest) + " threw a non-std exception");
+        }
     }
+}
+
+void runtime::handle_ack(int dest, std::uint64_t cumulative) {
+    std::uint64_t acked = 0;
+    {
+        std::lock_guard lock(rel_.mutex);
+        auto it = rel_.unacked.lower_bound({dest, 0});
+        while (it != rel_.unacked.end() && it->first.first == dest &&
+               it->first.second < cumulative) {
+            it = rel_.unacked.erase(it);
+            ++acked;
+        }
+    }
+    if (acked > 0) {
+        inflight_parcels_.fetch_sub(acked, std::memory_order_acq_rel);
+    }
+}
+
+void runtime::send_ack(int dest, std::uint64_t cumulative) {
+    parcel a;
+    a.dest = dest; // the locality whose inbound stream is acknowledged
+    a.kind = parcel_kind::ack;
+    a.seq = cumulative;
+    a.checksum = parcel_crc(a);
+    port_->send(std::move(a));
+}
+
+void runtime::retransmit_loop() {
+    std::unique_lock lock(rel_.mutex);
+    for (;;) {
+        rel_.cv.wait_for(lock, rel_params_.tick);
+        if (rel_.stop) return;
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<parcel> resend;
+        std::vector<std::string> failures;
+        for (auto it = rel_.unacked.begin(); it != rel_.unacked.end();) {
+            auto& e = it->second;
+            if (e.next_resend > now) {
+                ++it;
+                continue;
+            }
+            if (e.attempts >= rel_params_.retry_budget) {
+                // Bounded failure detection: a dead link becomes an error
+                // report, not an infinite hang.
+                failures.push_back(
+                    "parcel seq " + std::to_string(it->first.second) +
+                    " to locality " + std::to_string(it->first.first) +
+                    " undeliverable after " + std::to_string(e.attempts) +
+                    " retransmits");
+                it = rel_.unacked.erase(it);
+                continue;
+            }
+            ++e.attempts;
+            e.backoff = std::min(e.backoff * 2, rel_params_.max_backoff);
+            e.next_resend = now + e.backoff;
+            parcel copy = e.p;
+            copy.attempt = e.attempts;
+            resend.push_back(std::move(copy));
+            ++it;
+        }
+        lock.unlock();
+        for (auto& p : resend) {
+            rel_.retries.fetch_add(1, std::memory_order_relaxed);
+            rt::apex_count("net.retries");
+            port_->send(std::move(p));
+        }
+        if (!failures.empty()) {
+            rel_.delivery_failures.fetch_add(failures.size(),
+                                             std::memory_order_relaxed);
+            rt::apex_count("net.delivery_failures", failures.size());
+            for (auto& f : failures) record_error(std::move(f));
+            inflight_parcels_.fetch_sub(failures.size(),
+                                        std::memory_order_acq_rel);
+        }
+        lock.lock();
+    }
+}
+
+void runtime::record_error(std::string what) {
+    std::lock_guard lock(errors_mutex_);
+    errors_.push_back(std::move(what));
+}
+
+std::vector<std::string> runtime::take_errors() {
+    std::lock_guard lock(errors_mutex_);
+    return std::exchange(errors_, {});
+}
+
+std::size_t runtime::error_count() const {
+    std::lock_guard lock(errors_mutex_);
+    return errors_.size();
+}
+
+port_stats runtime::net_stats() const {
+    port_stats s = port_->stats();
+    s.retries = rel_.retries.load(std::memory_order_relaxed);
+    s.dups_dropped = rel_.dups_dropped.load(std::memory_order_relaxed);
+    s.corrupt_dropped = rel_.corrupt_dropped.load(std::memory_order_relaxed);
+    s.reorders_buffered = rel_.reorders_buffered.load(std::memory_order_relaxed);
+    s.delivery_failures = rel_.delivery_failures.load(std::memory_order_relaxed);
+    return s;
 }
 
 gid runtime::register_object(int owner) {
@@ -144,6 +374,18 @@ void runtime::wait_quiet() {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
     for (auto& p : pools_) p->wait_idle();
+}
+
+bool runtime::wait_quiet_for(std::chrono::nanoseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (inflight_parcels_.load(std::memory_order_acquire) != 0) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    // Network quiescence is deadline-bound above; the remaining local tasks
+    // always make progress, so this tail is finite.
+    for (auto& p : pools_) p->wait_idle();
+    return true;
 }
 
 } // namespace octo::dist

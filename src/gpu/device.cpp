@@ -1,6 +1,8 @@
 #include "gpu/device.hpp"
 
+#include "runtime/apex.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 
 namespace octo::gpu {
 
@@ -30,6 +32,15 @@ device::device(device_spec spec, unsigned nworkers)
 device::~device() = default;
 
 std::optional<stream_lease> device::try_acquire_stream() {
+    // Seeded fault injection (ISSUE 5): a real driver can fail a stream
+    // acquire transiently (OOM, context pressure). The caller's contract is
+    // unchanged — nullopt means "run the kernel on the CPU instead" (§5.1) —
+    // so the injected failure exercises exactly the production fallback.
+    if (auto* inj = support::gpu_faults();
+        inj != nullptr && inj->gpu_stream_fail()) {
+        rt::apex_count("gpu.stream_fallbacks");
+        return std::nullopt;
+    }
     // Lock-free optimistic acquire, matching the paper's requirement that
     // scheduling stays "lock-free, low-overhead" (§1).
     unsigned cur = in_use_.load(std::memory_order_relaxed);
@@ -38,6 +49,8 @@ std::optional<stream_lease> device::try_acquire_stream() {
             return stream_lease(this);
         }
     }
+    // All streams busy: the caller falls back to CPU execution.
+    rt::apex_count("gpu.stream_fallbacks");
     return std::nullopt;
 }
 

@@ -1,10 +1,16 @@
 #include "io/checkpoint.hpp"
 
+#include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "runtime/apex.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace octo::io {
 
@@ -12,10 +18,31 @@ using namespace octo::amr;
 
 namespace {
 
-constexpr std::uint64_t magic = 0x4f43544f53494d31ULL; // "OCTOSIM1"
+constexpr std::uint64_t magic_v1 = 0x4f43544f53494d31ULL; // "OCTOSIM1"
+constexpr std::uint64_t magic_v2 = 0x4f43544f53494d32ULL; // "OCTOSIM2"
+constexpr std::uint32_t format_version = 2;
+/// 64-bit Morton keys hold at most 21 levels; anything deeper is garbage.
+constexpr int max_key_level = 20;
+/// Transient write failures (real or injected) are retried this many times.
+constexpr int max_write_attempts = 5;
+
+constexpr std::size_t record_doubles = std::size_t{n_fields} * INX3;
+
+[[noreturn]] void crc_failure(const std::string& what) {
+    rt::apex_count("io.checkpoint_crc_failures");
+    throw error("checkpoint: " + what);
+}
+
+// ---- raw stream helpers ------------------------------------------------------
 
 template <class T>
 void put(std::ofstream& out, const T& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+void put_crc(std::ofstream& out, crc32_accumulator& crc, const T& v) {
+    crc.update(&v, sizeof(T));
     out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
@@ -27,17 +54,65 @@ T get(std::ifstream& in) {
     return v;
 }
 
-} // namespace
+template <class T>
+T get_crc(std::ifstream& in, crc32_accumulator& crc) {
+    T v = get<T>(in);
+    crc.update(&v, sizeof(T));
+    return v;
+}
 
-void write_checkpoint(const tree& t, const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
+// ---- key validation ----------------------------------------------------------
+// A corrupted or adversarial file must not drive the tree (refine /
+// ensure_fields OCTO_ASSERT on misuse and would abort the process): reject
+// malformed keys with a clear error instead.
+
+bool key_shape_ok(node_key k) {
+    if (k == invalid_key) return false;
+    const int significant = 64 - std::countl_zero(k); // 1 + 3*level
+    if ((significant - 1) % 3 != 0) return false;
+    return (significant - 1) / 3 <= max_key_level;
+}
+
+void validate_refined_key(const tree& t, node_key k) {
+    if (!key_shape_ok(k)) {
+        throw error("checkpoint: malformed refined node key");
+    }
+    // Keys were written level-by-level, so a valid file always names an
+    // existing (parent-created) node, exactly once.
+    if (!t.contains(k)) {
+        throw error("checkpoint: refined key outside the tree");
+    }
+    if (t.node(k).refined) {
+        throw error("checkpoint: duplicate refined key");
+    }
+}
+
+void validate_data_key(const tree& t, node_key k) {
+    if (!key_shape_ok(k)) {
+        throw error("checkpoint: malformed leaf node key");
+    }
+    if (!t.contains(k)) {
+        throw error("checkpoint: leaf data key outside the tree");
+    }
+    if (t.node(k).refined) {
+        throw error("checkpoint: leaf data key names a refined node");
+    }
+}
+
+// ---- v2 write ----------------------------------------------------------------
+
+void write_image(const tree& t, const checkpoint_meta& meta,
+                 const std::string& path) {
+    auto* inj = support::io_faults();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) throw error("cannot open " + path);
-    put(out, magic);
-    const auto& root = t.root_geometry();
-    put(out, root.origin.x);
-    put(out, root.origin.y);
-    put(out, root.origin.z);
-    put(out, root.dx);
+    if (inj != nullptr && inj->io_fail()) {
+        throw error("checkpoint: transient I/O failure (injected) opening " +
+                    path);
+    }
+
+    put(out, magic_v2);
+    put(out, format_version);
 
     // Refined node keys (children are implied), then leaves with data.
     std::vector<node_key> refined;
@@ -50,26 +125,51 @@ void write_checkpoint(const tree& t, const std::string& path) {
             }
         }
     }
-    put(out, static_cast<std::uint64_t>(refined.size()));
-    for (const node_key k : refined) put(out, k);
-    put(out, static_cast<std::uint64_t>(with_data.size()));
+
+    // Header section: geometry + simulation meta + section counts, CRC'd so
+    // a flipped count can never send the reader off the rails.
+    const auto& root = t.root_geometry();
+    crc32_accumulator crc;
+    put_crc(out, crc, root.origin.x);
+    put_crc(out, crc, root.origin.y);
+    put_crc(out, crc, root.origin.z);
+    put_crc(out, crc, root.dx);
+    put_crc(out, crc, meta.time);
+    put_crc(out, crc, static_cast<std::int64_t>(meta.steps));
+    put_crc(out, crc, static_cast<std::uint64_t>(refined.size()));
+    put_crc(out, crc, static_cast<std::uint64_t>(with_data.size()));
+    put(out, crc.value());
+
+    // Refined-keys section.
+    crc.reset();
+    for (const node_key k : refined) put_crc(out, crc, k);
+    put(out, crc.value());
+
+    // Leaf-data section.
+    crc.reset();
     for (const node_key k : with_data) {
-        put(out, k);
+        put_crc(out, crc, k);
         const auto& g = *t.node(k).fields;
         for (int f = 0; f < n_fields; ++f)
             for (int i = 0; i < INX; ++i)
                 for (int j = 0; j < INX; ++j)
                     for (int kk = 0; kk < INX; ++kk) {
-                        put(out, g.interior(f, i, j, kk));
+                        put_crc(out, crc, g.interior(f, i, j, kk));
                     }
     }
+    put(out, crc.value());
+
+    if (inj != nullptr && inj->io_fail()) {
+        throw error("checkpoint: transient I/O failure (injected) writing " +
+                    path);
+    }
+    out.flush();
     if (!out) throw error("checkpoint: write failed for " + path);
 }
 
-tree read_checkpoint(const std::string& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw error("cannot open " + path);
-    if (get<std::uint64_t>(in) != magic) throw error("checkpoint: bad magic");
+// ---- v1 legacy read (no checksums; same key validation) ----------------------
+
+tree read_v1_body(std::ifstream& in) {
     box_geometry root;
     root.origin.x = get<double>(in);
     root.origin.y = get<double>(in);
@@ -78,14 +178,15 @@ tree read_checkpoint(const std::string& path) {
     tree t(root);
 
     const auto nrefined = get<std::uint64_t>(in);
-    // Keys were written level-by-level, so parents precede children.
     for (std::uint64_t i = 0; i < nrefined; ++i) {
         const auto k = get<node_key>(in);
+        validate_refined_key(t, k);
         t.refine(k);
     }
     const auto ndata = get<std::uint64_t>(in);
     for (std::uint64_t d = 0; d < ndata; ++d) {
         const auto k = get<node_key>(in);
+        validate_data_key(t, k);
         auto& g = t.ensure_fields(k);
         for (int f = 0; f < n_fields; ++f)
             for (int i = 0; i < INX; ++i)
@@ -95,6 +196,126 @@ tree read_checkpoint(const std::string& path) {
                     }
     }
     return t;
+}
+
+// ---- v2 read -----------------------------------------------------------------
+
+checkpoint_data read_v2_body(std::ifstream& in, std::uint64_t file_size) {
+    const auto version = get<std::uint32_t>(in);
+    if (version != format_version) {
+        throw error("checkpoint: unsupported format version " +
+                    std::to_string(version));
+    }
+
+    // Header section.
+    crc32_accumulator crc;
+    box_geometry root;
+    checkpoint_meta meta;
+    root.origin.x = get_crc<double>(in, crc);
+    root.origin.y = get_crc<double>(in, crc);
+    root.origin.z = get_crc<double>(in, crc);
+    root.dx = get_crc<double>(in, crc);
+    meta.time = get_crc<double>(in, crc);
+    meta.steps = static_cast<long>(get_crc<std::int64_t>(in, crc));
+    const auto nrefined = get_crc<std::uint64_t>(in, crc);
+    const auto ndata = get_crc<std::uint64_t>(in, crc);
+    if (get<std::uint32_t>(in) != crc.value()) {
+        crc_failure("header checksum mismatch");
+    }
+
+    // The header CRC vouches for the counts; still bound them by what the
+    // file could physically hold before allocating anything.
+    const std::uint64_t record_bytes = 8 + record_doubles * sizeof(double);
+    if (nrefined > file_size / sizeof(node_key) ||
+        ndata > file_size / record_bytes) {
+        throw error("checkpoint: section counts exceed file size");
+    }
+
+    tree t(root);
+
+    // Refined-keys section.
+    crc.reset();
+    for (std::uint64_t i = 0; i < nrefined; ++i) {
+        const auto k = get_crc<node_key>(in, crc);
+        validate_refined_key(t, k);
+        t.refine(k);
+    }
+    if (get<std::uint32_t>(in) != crc.value()) {
+        crc_failure("refined-keys section checksum mismatch");
+    }
+
+    // Leaf-data section.
+    crc.reset();
+    std::vector<double> record(record_doubles);
+    for (std::uint64_t d = 0; d < ndata; ++d) {
+        const auto k = get_crc<node_key>(in, crc);
+        validate_data_key(t, k);
+        in.read(reinterpret_cast<char*>(record.data()),
+                static_cast<std::streamsize>(record.size() * sizeof(double)));
+        if (!in) throw error("checkpoint: truncated file");
+        crc.update(record.data(), record.size() * sizeof(double));
+        auto& g = t.ensure_fields(k);
+        std::size_t idx = 0;
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        g.interior(f, i, j, kk) = record[idx++];
+                    }
+    }
+    if (get<std::uint32_t>(in) != crc.value()) {
+        crc_failure("leaf-data section checksum mismatch");
+    }
+
+    // Nothing may follow the last checksum: appended bytes mean the file is
+    // not the image the writer produced.
+    if (in.peek() != std::ifstream::traits_type::eof()) {
+        throw error("checkpoint: trailing bytes after final checksum");
+    }
+    return {std::move(t), meta};
+}
+
+checkpoint_data read_any(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw error("cannot open " + path);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+    const auto magic = get<std::uint64_t>(in);
+    if (magic == magic_v2) return read_v2_body(in, file_size);
+    if (magic == magic_v1) return {read_v1_body(in), checkpoint_meta{}};
+    throw error("checkpoint: bad magic");
+}
+
+} // namespace
+
+void write_checkpoint(const tree& t, const std::string& path,
+                      checkpoint_meta meta) {
+    // Write-to-temp + atomic rename: the destination either keeps its old
+    // content or atomically becomes the complete new image — never a torn
+    // half-written file. Transient failures retry with a fresh temp file.
+    const std::string tmp = path + ".tmp";
+    for (int attempt = 1;; ++attempt) {
+        try {
+            write_image(t, meta, tmp);
+            break;
+        } catch (const error&) {
+            std::remove(tmp.c_str());
+            rt::apex_count("io.transient_write_faults");
+            if (attempt >= max_write_attempts) throw;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw error("checkpoint: atomic rename to " + path + " failed");
+    }
+}
+
+tree read_checkpoint(const std::string& path) {
+    return read_any(path).t;
+}
+
+checkpoint_data read_checkpoint_full(const std::string& path) {
+    return read_any(path);
 }
 
 } // namespace octo::io

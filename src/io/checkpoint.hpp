@@ -5,6 +5,19 @@
 // higher levels of resolution through conservative interpolation of the
 // evolved variables" (§6.2). write/read here plus simulation::regrid
 // reproduce exactly that workflow.
+//
+// Format v2 (ISSUE 5) hardens the 5400-node-run workflow against an
+// imperfect machine:
+//   * write-to-temp + atomic rename — a crash or transient I/O failure mid-
+//     write never clobbers the previous checkpoint,
+//   * bounded retry over injected/transient write failures,
+//   * versioned header and per-section CRC32 (header / refined keys / leaf
+//     data) — any bit flip or truncation is detected, never silently loaded,
+//   * bounds-validated node keys on read — a corrupted or adversarial file
+//     cannot drive the tree with garbage keys,
+//   * simulation metadata (time, step count) so a restart resumes mid-run
+//     bit-identically.
+// v1 files (no checksums) are still readable, with the same key validation.
 
 #include <string>
 
@@ -12,11 +25,34 @@
 
 namespace octo::io {
 
-/// Serialize the tree structure (keys) and every leaf's interior field data.
-void write_checkpoint(const amr::tree& t, const std::string& path);
+/// Simulation state carried alongside the tree so a restart continues
+/// exactly where the writer stopped.
+struct checkpoint_meta {
+    double time = 0;
+    long steps = 0;
+};
+
+struct checkpoint_data {
+    amr::tree t;
+    checkpoint_meta meta;
+};
+
+/// Serialize the tree structure (keys) and every leaf's interior field data
+/// (format v2: checksummed sections, atomic rename into place). Retries
+/// transient write failures (including injected ones — support/fault.hpp) a
+/// bounded number of times before throwing; the destination file is only
+/// ever replaced by a fully written, checksummed image.
+void write_checkpoint(const amr::tree& t, const std::string& path,
+                      checkpoint_meta meta = {});
 
 /// Rebuild a tree from a checkpoint. The root geometry is restored from the
-/// file; field storage is allocated for every node that had data.
+/// file; field storage is allocated for every node that had data. Throws
+/// octo::error on any checksum mismatch, truncation, trailing garbage or
+/// out-of-bounds key (APEX counter: io.checkpoint_crc_failures).
 amr::tree read_checkpoint(const std::string& path);
+
+/// As read_checkpoint, but also returns the simulation metadata (v1 files
+/// report zeros — they predate the meta header).
+checkpoint_data read_checkpoint_full(const std::string& path);
 
 } // namespace octo::io

@@ -1,0 +1,117 @@
+#include "net/faulty.hpp"
+
+#include <algorithm>
+
+#include "runtime/apex.hpp"
+#include "support/assert.hpp"
+
+namespace octo::net {
+
+faulty_parcelport::faulty_parcelport(std::unique_ptr<dist::parcelport> inner,
+                                     support::fault_config cfg)
+    : inner_(std::move(inner)), inj_(cfg) {
+    OCTO_ASSERT(inner_ != nullptr);
+    name_ = std::string("faulty(") + inner_->name() + ")";
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+faulty_parcelport::~faulty_parcelport() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+    // Flush any remaining holdbacks so no parcel is lost by teardown itself
+    // (forwarding can recursively send acks, which the stopped state routes
+    // straight through — see send()).
+    for (;;) {
+        std::vector<held_parcel> rest;
+        {
+            std::lock_guard lock(mutex_);
+            rest.swap(held_);
+        }
+        if (rest.empty()) break;
+        for (auto& h : rest) inner_->send(std::move(h.p));
+    }
+}
+
+void faulty_parcelport::send(dist::parcel p) {
+    bool teardown = false;
+    {
+        std::lock_guard lock(mutex_);
+        teardown = stop_;
+    }
+    // Teardown path: no injection, no holdback — forward directly so the
+    // final drain (which can recursively send acks) terminates.
+    if (!teardown) {
+        if (inj_.drop()) {
+            rt::apex_count("fault.drops");
+            return; // the completion never arrives; retransmit will recover
+        }
+        if (inj_.corrupt()) {
+            rt::apex_count("fault.corruptions");
+            if (!p.payload.empty()) {
+                const std::size_t bit = inj_.corrupt_bit(p.payload.size() * 8);
+                p.payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+            } else {
+                p.checksum ^= 1u << (inj_.corrupt_bit(32) % 32);
+            }
+        }
+        if (inj_.duplicate()) {
+            rt::apex_count("fault.dups");
+            inner_->send(p); // first copy now; the second follows below
+        }
+        if (auto hold = inj_.hold_us()) {
+            rt::apex_count("fault.holds");
+            const auto due = std::chrono::steady_clock::now() +
+                             std::chrono::microseconds(
+                                 static_cast<long>(std::max(1.0, *hold)));
+            std::lock_guard lock(mutex_);
+            if (!stop_) {
+                held_.push_back({due, std::move(p)});
+                cv_.notify_one();
+                return;
+            }
+            // Raced with teardown: fall through and forward immediately.
+        }
+    }
+    inner_->send(std::move(p));
+}
+
+void faulty_parcelport::flush_due(std::chrono::steady_clock::time_point now) {
+    std::vector<dist::parcel> due;
+    {
+        std::lock_guard lock(mutex_);
+        auto it = held_.begin();
+        while (it != held_.end()) {
+            if (it->due <= now) {
+                due.push_back(std::move(it->p));
+                it = held_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto& p : due) inner_->send(std::move(p));
+}
+
+void faulty_parcelport::worker_loop() {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+        cv_.wait_for(lock, std::chrono::microseconds(50));
+        if (stop_) return;
+        lock.unlock();
+        flush_due(std::chrono::steady_clock::now());
+        lock.lock();
+    }
+}
+
+dist::parcelport_factory make_faulty_port(dist::parcelport_factory inner,
+                                          support::fault_config cfg) {
+    return [inner = std::move(inner), cfg](dist::runtime& rt) {
+        return std::make_unique<faulty_parcelport>(inner(rt), cfg);
+    };
+}
+
+} // namespace octo::net

@@ -1,0 +1,68 @@
+#pragma once
+// Fault-injecting parcelport decorator (ISSUE 5). Wraps either real port and
+// subjects every parcel — data, retransmit and ack alike — to the seeded
+// fault schedule of a support::fault_injector:
+//
+//   drop      the parcel vanishes (a lost completion),
+//   duplicate the parcel is forwarded twice,
+//   corrupt   one payload bit (or the checksum, for empty payloads) flips,
+//   reorder   the parcel is held back so later sends overtake it,
+//   delay     the parcel is forwarded late by a seeded amount.
+//
+// Held parcels are released by a worker thread; nothing is held past the
+// configured bound, so a quiesced campaign always drains. The decorator is
+// transparent to accounting: stats() reports the inner port's counters, and
+// injected-fault counts are read from injector().stats().
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/locality.hpp"
+#include "support/fault.hpp"
+
+namespace octo::net {
+
+class faulty_parcelport final : public dist::parcelport {
+  public:
+    faulty_parcelport(std::unique_ptr<dist::parcelport> inner,
+                      support::fault_config cfg);
+    ~faulty_parcelport() override;
+
+    void send(dist::parcel p) override;
+    const char* name() const override { return name_.c_str(); }
+    dist::port_stats stats() const override { return inner_->stats(); }
+
+    support::fault_injector& injector() { return inj_; }
+    const support::fault_injector& injector() const { return inj_; }
+
+  private:
+    void worker_loop();
+    void flush_due(std::chrono::steady_clock::time_point now);
+
+    struct held_parcel {
+        std::chrono::steady_clock::time_point due;
+        dist::parcel p;
+    };
+
+    std::unique_ptr<dist::parcelport> inner_;
+    support::fault_injector inj_;
+    std::string name_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<held_parcel> held_;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+/// Decorate a port factory with the seeded fault schedule:
+///   runtime rt(4, make_faulty_port(make_mpi_port(), {.seed=7, .drop_prob=.1}));
+dist::parcelport_factory make_faulty_port(dist::parcelport_factory inner,
+                                          support::fault_config cfg);
+
+} // namespace octo::net

@@ -45,7 +45,8 @@ class mpi_parcelport final : public dist::parcelport {
 
     dist::runtime& rt_;
     network_params params_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_; ///< mutable: stats() is logically const
+    std::condition_variable stop_cv_; ///< wakes the poll sleep on shutdown
     std::deque<dist::parcel> staged_;
     std::thread progress_;
     bool stop_ = false;

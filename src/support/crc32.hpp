@@ -1,0 +1,64 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, reflected) used for parcel payload
+// checksums (src/dist reliable delivery) and checkpoint section checksums
+// (src/io format v2). A table-driven software implementation is plenty:
+// both call sites checksum buffers that are about to cross a "lossy"
+// boundary (a modeled network or a file system), never a per-cell hot loop.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace octo {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/// One-shot CRC of a buffer. `seed` chains calls: crc32(b, n, crc32(a, m))
+/// equals the CRC of a||b, which is how multi-part messages (header +
+/// payload) are covered by a single checksum.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+    const auto& table = detail::crc32_table();
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i) {
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+/// Incremental accumulator for streamed writes (checkpoint sections).
+class crc32_accumulator {
+  public:
+    void update(const void* data, std::size_t n) {
+        const auto& table = detail::crc32_table();
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state_ = table[(state_ ^ p[i]) & 0xffu] ^ (state_ >> 8);
+        }
+    }
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+    void reset() { state_ = 0xffffffffu; }
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+} // namespace octo

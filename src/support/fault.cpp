@@ -1,0 +1,86 @@
+#include "support/fault.hpp"
+
+#include <atomic>
+
+namespace octo::support {
+
+fault_injector::fault_injector(fault_config cfg) : cfg_(cfg) {
+    // Independent xoshiro streams per fault category, all derived from the
+    // one campaign seed: consulting one category never perturbs another, so
+    // "same seed" really means "same fault schedule per category".
+    std::uint64_t sm = cfg_.seed;
+    for (auto& r : rng_) r = xoshiro256(splitmix64(sm));
+}
+
+bool fault_injector::fire(stream s, double prob,
+                          std::uint64_t fault_stats::*count) {
+    if (prob <= 0.0) return false;
+    std::lock_guard lock(mutex_);
+    if (rng_[s].uniform() >= prob) return false;
+    stats_.*count += 1;
+    return true;
+}
+
+bool fault_injector::drop() {
+    return fire(s_drop, cfg_.drop_prob, &fault_stats::drops);
+}
+
+bool fault_injector::duplicate() {
+    return fire(s_dup, cfg_.dup_prob, &fault_stats::dups);
+}
+
+bool fault_injector::corrupt() {
+    return fire(s_corrupt, cfg_.corrupt_prob, &fault_stats::corruptions);
+}
+
+std::optional<double> fault_injector::hold_us() {
+    if (fire(s_reorder, cfg_.reorder_prob, &fault_stats::reorders)) {
+        return cfg_.reorder_hold_us;
+    }
+    if (fire(s_delay, cfg_.delay_prob, &fault_stats::delays)) {
+        std::lock_guard lock(mutex_);
+        return rng_[s_delay].uniform(cfg_.delay_us_min, cfg_.delay_us_max);
+    }
+    return std::nullopt;
+}
+
+std::size_t fault_injector::corrupt_bit(std::size_t nbits) {
+    if (nbits == 0) return 0;
+    std::lock_guard lock(mutex_);
+    return static_cast<std::size_t>(rng_[s_bit].below(nbits));
+}
+
+bool fault_injector::gpu_stream_fail() {
+    return fire(s_gpu, cfg_.gpu_stream_fail_prob,
+                &fault_stats::gpu_stream_failures);
+}
+
+bool fault_injector::io_fail() {
+    return fire(s_io, cfg_.io_fail_prob, &fault_stats::io_failures);
+}
+
+fault_stats fault_injector::stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+namespace {
+std::atomic<fault_injector*> g_gpu_faults{nullptr};
+std::atomic<fault_injector*> g_io_faults{nullptr};
+} // namespace
+
+fault_injector* gpu_faults() noexcept {
+    return g_gpu_faults.load(std::memory_order_acquire);
+}
+void set_gpu_faults(fault_injector* f) noexcept {
+    g_gpu_faults.store(f, std::memory_order_release);
+}
+
+fault_injector* io_faults() noexcept {
+    return g_io_faults.load(std::memory_order_acquire);
+}
+void set_io_faults(fault_injector* f) noexcept {
+    g_io_faults.store(f, std::memory_order_release);
+}
+
+} // namespace octo::support

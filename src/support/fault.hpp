@@ -1,0 +1,125 @@
+#pragma once
+// Deterministic, seed-driven fault injector (ISSUE 5). One seed replays an
+// entire fault campaign: every category of fault (parcel drop / duplicate /
+// reorder / delay / bit-corruption, GPU stream-acquire failure, transient
+// checkpoint I/O error) draws from its own PRNG stream derived from the
+// campaign seed, so the decision sequence of one category is independent of
+// how often the others are consulted. The injector makes *decisions* only;
+// the faulty_parcelport decorator (src/net/faulty.hpp), gpu::device and
+// io::write_checkpoint own the mechanics of acting on them.
+//
+// Real fabrics drop and reorder completions and real file systems fail
+// transiently; PRs 1-3 built futurized DAGs that had never been exercised
+// under failure. This is the probe that exercises them.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "support/rng.hpp"
+
+namespace octo::support {
+
+struct fault_config {
+    std::uint64_t seed = 1; ///< replays the whole campaign
+
+    // Parcel-transport faults (consumed by net::faulty_parcelport).
+    double drop_prob = 0;    ///< parcel vanishes (completion lost)
+    double dup_prob = 0;     ///< parcel delivered twice
+    double reorder_prob = 0; ///< parcel held back so later sends overtake it
+    double delay_prob = 0;   ///< parcel delivered late (but in unknown order)
+    double corrupt_prob = 0; ///< one payload bit flipped in flight
+    double delay_us_min = 20;
+    double delay_us_max = 200;
+    double reorder_hold_us = 200; ///< holdback bound, so nothing starves
+
+    // Accelerator / storage faults (consumed through the global hooks).
+    double gpu_stream_fail_prob = 0; ///< try_acquire_stream spuriously fails
+    double io_fail_prob = 0;         ///< transient checkpoint write failure
+};
+
+/// Counts of faults actually injected — what the campaign asserts against
+/// (e.g. "this seed injected drops, so the runtime must show retries").
+struct fault_stats {
+    std::uint64_t drops = 0;
+    std::uint64_t dups = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t gpu_stream_failures = 0;
+    std::uint64_t io_failures = 0;
+};
+
+class fault_injector {
+  public:
+    explicit fault_injector(fault_config cfg);
+
+    const fault_config& config() const { return cfg_; }
+
+    // Transport decisions, one per parcel send, in this order. Each returns
+    // whether the fault fires and counts it when it does.
+    bool drop();
+    bool duplicate();
+    bool corrupt();
+    /// nullopt: deliver now. Otherwise: hold for the returned microseconds
+    /// (reorder holds use the fixed bound; delays draw from [min, max)).
+    std::optional<double> hold_us();
+
+    /// Which bit of an `nbits`-bit payload to flip (deterministic stream).
+    std::size_t corrupt_bit(std::size_t nbits);
+
+    // Accelerator / storage decisions.
+    bool gpu_stream_fail();
+    bool io_fail();
+
+    fault_stats stats() const;
+
+  private:
+    enum stream : std::size_t {
+        s_drop = 0,
+        s_dup,
+        s_reorder,
+        s_delay,
+        s_corrupt,
+        s_bit,
+        s_gpu,
+        s_io,
+        n_streams
+    };
+    bool fire(stream s, double prob, std::uint64_t fault_stats::*count);
+
+    mutable std::mutex mutex_;
+    fault_config cfg_;
+    xoshiro256 rng_[n_streams];
+    fault_stats stats_;
+};
+
+// ---- global injection points ------------------------------------------------
+// gpu::device and io::write_checkpoint sit below the layers that know about
+// campaigns, so they consult process-global hooks (null = no injection, the
+// default). Scoped guards install an injector for the duration of a test.
+
+fault_injector* gpu_faults() noexcept;
+void set_gpu_faults(fault_injector* f) noexcept;
+
+fault_injector* io_faults() noexcept;
+void set_io_faults(fault_injector* f) noexcept;
+
+class scoped_gpu_faults {
+  public:
+    explicit scoped_gpu_faults(fault_injector& f) { set_gpu_faults(&f); }
+    ~scoped_gpu_faults() { set_gpu_faults(nullptr); }
+    scoped_gpu_faults(const scoped_gpu_faults&) = delete;
+    scoped_gpu_faults& operator=(const scoped_gpu_faults&) = delete;
+};
+
+class scoped_io_faults {
+  public:
+    explicit scoped_io_faults(fault_injector& f) { set_io_faults(&f); }
+    ~scoped_io_faults() { set_io_faults(nullptr); }
+    scoped_io_faults(const scoped_io_faults&) = delete;
+    scoped_io_faults& operator=(const scoped_io_faults&) = delete;
+};
+
+} // namespace octo::support

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "gpu/device.hpp"
+#include "runtime/apex.hpp"
 #include "runtime/future.hpp"
+#include "support/fault.hpp"
 
 namespace {
 
@@ -115,6 +117,30 @@ TEST(Device, ManyConcurrentKernelsAllComplete) {
     for (auto& f : fs) f.get();
     EXPECT_EQ(done.load(), 500);
     EXPECT_EQ(dev.kernels_executed() + static_cast<unsigned>(cpu_fallbacks), 500u);
+}
+
+TEST(Device, InjectedStreamFailureFallsBackToCpu) {
+    // Seeded fault injection (ISSUE 5): a transiently failing stream acquire
+    // must look exactly like the all-streams-busy condition — nullopt, CPU
+    // fallback — and be visible in the APEX counter.
+    support::fault_config cfg;
+    cfg.seed = 3;
+    cfg.gpu_stream_fail_prob = 1.0;
+    support::fault_injector inj(cfg);
+    gpu::device dev(gpu::p100(), 1);
+    const auto before =
+        rt::apex_registry::instance().counter("gpu.stream_fallbacks");
+    {
+        support::scoped_gpu_faults guard(inj);
+        EXPECT_FALSE(dev.try_acquire_stream().has_value());
+        EXPECT_FALSE(dev.try_acquire_stream().has_value());
+    }
+    EXPECT_EQ(inj.stats().gpu_stream_failures, 2u);
+    EXPECT_EQ(rt::apex_registry::instance().counter("gpu.stream_fallbacks"),
+              before + 2);
+    EXPECT_EQ(dev.streams_in_use(), 0u); // nothing leaked by the failures
+    // With the injector uninstalled the device recovers immediately.
+    EXPECT_TRUE(dev.try_acquire_stream().has_value());
 }
 
 TEST(Device, ContinuationChainsOffKernel) {

@@ -3,14 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "amr/tree.hpp"
 #include "io/checkpoint.hpp"
 #include "io/writers.hpp"
+#include "runtime/apex.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -170,6 +175,179 @@ TEST(Checkpoint, RejectsCorruptFiles) {
     EXPECT_THROW(io::read_checkpoint(path), octo::error);
     std::remove(path.c_str());
     EXPECT_THROW(io::read_checkpoint("/nonexistent/path.bin"), octo::error);
+}
+
+// ---- format v2 hardening (ISSUE 5) ------------------------------------------
+
+TEST(Checkpoint, MetaSurvivesTheRoundTrip) {
+    tree t = make_test_tree();
+    const std::string path = "/tmp/octo_checkpoint_meta.bin";
+    io::write_checkpoint(t, path, {.time = 3.25, .steps = 17});
+    const auto ck = io::read_checkpoint_full(path);
+    std::remove(path.c_str());
+    EXPECT_DOUBLE_EQ(ck.meta.time, 3.25);
+    EXPECT_EQ(ck.meta.steps, 17);
+    EXPECT_EQ(ck.t.leaf_count(), t.leaf_count());
+}
+
+std::vector<char> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A single-leaf checkpoint keeps the fixture sweep cheap; every byte of the
+/// v2 format is load-bearing (magic, version, CRC'd sections or the CRCs
+/// themselves), so each flip must be detected.
+std::string write_single_leaf_checkpoint() {
+    tree t(unit_root());
+    auto& g = t.ensure_fields(root_key);
+    xoshiro256 rng(7);
+    for (int f = 0; f < n_fields; ++f)
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    g.interior(f, i, j, kk) = rng.uniform(-1.0, 1.0);
+                }
+    const std::string path = "/tmp/octo_checkpoint_fixtures.bin";
+    io::write_checkpoint(t, path);
+    return path;
+}
+
+TEST(Checkpoint, EverySampledBitFlipIsDetected) {
+    const std::string path = write_single_leaf_checkpoint();
+    const auto pristine = slurp(path);
+    ASSERT_GT(pristine.size(), 100u);
+    io::read_checkpoint(path); // sanity: the pristine file loads
+
+    std::size_t fixtures = 0;
+    auto probe = [&](std::size_t offset) {
+        auto bytes = pristine;
+        bytes[offset] ^= static_cast<char>(1 << (offset % 8));
+        spit(path, bytes);
+        EXPECT_THROW(io::read_checkpoint(path), octo::error)
+            << "flip at byte " << offset << " loaded silently";
+        ++fixtures;
+    };
+    // Dense sweep over the header region, sampled sweep over the data body,
+    // and the final checksum bytes.
+    for (std::size_t off = 0; off < 100; ++off) probe(off);
+    for (std::size_t off = 100; off < pristine.size(); off += 509) probe(off);
+    for (std::size_t off = pristine.size() - 4; off < pristine.size(); ++off) {
+        probe(off);
+    }
+    EXPECT_GT(fixtures, 120u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EverySampledTruncationIsDetected) {
+    const std::string path = write_single_leaf_checkpoint();
+    const auto pristine = slurp(path);
+    for (std::size_t len :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, pristine.size() / 4,
+          pristine.size() / 2, pristine.size() - 5, pristine.size() - 1}) {
+        spit(path, {pristine.begin(),
+                    pristine.begin() + static_cast<std::ptrdiff_t>(len)});
+        EXPECT_THROW(io::read_checkpoint(path), octo::error)
+            << "truncation to " << len << " bytes loaded silently";
+    }
+    // Appended trailing garbage is just as corrupt as missing bytes.
+    auto grown = pristine;
+    grown.push_back(0);
+    spit(path, grown);
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CrcFailuresAreCountedInApex) {
+    const std::string path = write_single_leaf_checkpoint();
+    auto bytes = slurp(path);
+    bytes[bytes.size() / 2] ^= 0x10; // a field double, caught by section CRC
+    spit(path, bytes);
+    const auto before =
+        rt::apex_registry::instance().counter("io.checkpoint_crc_failures");
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    EXPECT_EQ(
+        rt::apex_registry::instance().counter("io.checkpoint_crc_failures"),
+        before + 1);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageKeysAreRejectedNotAsserted) {
+    // Hand-craft v1 files (no checksums, so garbage keys reach the key
+    // validator): a malformed Morton key and a well-formed key naming a node
+    // outside the tree must both produce a clean error — not drive
+    // tree::refine into an assert/abort.
+    const std::string path = "/tmp/octo_checkpoint_badkey.bin";
+    auto craft = [&](std::uint64_t refined_key) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        const std::uint64_t magic_v1 = 0x4f43544f53494d31ULL; // "OCTOSIM1"
+        const double geom[4] = {0.0, 0.0, 0.0, 1.0 / INX};
+        const std::uint64_t nrefined = 1;
+        out.write(reinterpret_cast<const char*>(&magic_v1), 8);
+        out.write(reinterpret_cast<const char*>(geom), sizeof(geom));
+        out.write(reinterpret_cast<const char*>(&nrefined), 8);
+        out.write(reinterpret_cast<const char*>(&refined_key), 8);
+    };
+    craft(0xffffffffffffffffULL); // not a valid Morton shape (level > 20)
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    craft(0x2); // bit count not 1+3*level: no Morton key looks like this
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    craft(key_child(key_child(root_key, 0), 0)); // valid shape, absent parent
+    EXPECT_THROW(io::read_checkpoint(path), octo::error);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TransientWriteFaultsRetryAndNeverTearTheOldFile) {
+    const std::string path = "/tmp/octo_checkpoint_transient.bin";
+    tree a = make_test_tree();
+    io::write_checkpoint(a, path);
+    const auto old_bytes = slurp(path);
+
+    // A permanently failing device: the write throws after its bounded
+    // retries, the previous checkpoint is untouched, no temp file remains.
+    tree b(unit_root());
+    b.ensure_fields(root_key);
+    {
+        support::fault_config cfg;
+        cfg.seed = 21;
+        cfg.io_fail_prob = 1.0;
+        support::fault_injector inj(cfg);
+        support::scoped_io_faults guard(inj);
+        EXPECT_THROW(io::write_checkpoint(b, path), octo::error);
+        EXPECT_GT(inj.stats().io_failures, 0u);
+    }
+    EXPECT_EQ(slurp(path), old_bytes);
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    // A flaky device: retries absorb the transient failures and the new
+    // image lands atomically.
+    {
+        support::fault_config cfg;
+        cfg.seed = 21;
+        cfg.io_fail_prob = 0.4;
+        support::fault_injector inj(cfg);
+        support::scoped_io_faults guard(inj);
+        bool wrote = false;
+        for (int i = 0;
+             i < 200 && (!wrote || inj.stats().io_failures == 0); ++i) {
+            try {
+                io::write_checkpoint(b, path);
+                wrote = true;
+            } catch (const octo::error&) {
+            }
+        }
+        EXPECT_TRUE(wrote);
+        EXPECT_GT(inj.stats().io_failures, 0u);
+    }
+    const tree r = io::read_checkpoint(path);
+    EXPECT_EQ(r.leaf_count(), 1u);
+    std::remove(path.c_str());
 }
 
 } // namespace

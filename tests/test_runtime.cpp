@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "amr/tree.hpp"
+#include "dist/locality.hpp"
 #include "hydro/update.hpp"
+#include "net/faulty.hpp"
+#include "net/parcelport.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/future.hpp"
@@ -332,6 +335,40 @@ TEST(Apex, GaugeOverwritesInsteadOfAccumulating) {
     apex_gauge("test.width", 4);
     apex_gauge("test.width", 8);
     EXPECT_EQ(reg.counter("test.width"), 8u);
+}
+
+TEST(Apex, ReliabilityCountersSurfaceInTheRegistry) {
+    // The fault-tolerance counters of ISSUE 5 flow into APEX the same way
+    // the hydro pipeline counters do, so a campaign's health is observable
+    // through the one registry the paper's workflow reads.
+    auto& reg = apex_registry::instance();
+    const auto retries0 = reg.counter("net.retries");
+    const auto dups0 = reg.counter("net.dups_dropped");
+    {
+        support::fault_config cfg;
+        cfg.seed = 13;
+        cfg.drop_prob = 0.4;
+        cfg.dup_prob = 0.4;
+        dist::reliability_params rel;
+        rel.retransmit_timeout = std::chrono::microseconds(500);
+        rel.tick = std::chrono::microseconds(100);
+        dist::runtime rt(2, net::make_faulty_port(net::make_mpi_port(), cfg),
+                         1, rel);
+        std::atomic<int> ran{0};
+        const auto act = rt.register_action(
+            "tick", [&](int, dist::iarchive) { ran.fetch_add(1); });
+        for (int i = 0; i < 60; ++i) rt.apply(1, act, dist::oarchive{});
+        rt.wait_quiet();
+        EXPECT_EQ(ran.load(), 60);
+    }
+    EXPECT_GT(reg.counter("net.retries"), retries0);
+    EXPECT_GT(reg.counter("net.dups_dropped"), dups0);
+    // The counter report carries them alongside the rest.
+    bool found = false;
+    for (const auto& [name, value] : reg.counter_report()) {
+        if (name == "net.retries") found = value > 0;
+    }
+    EXPECT_TRUE(found);
 }
 
 TEST(Apex, HydroStepRegistersPipelineCounters) {
