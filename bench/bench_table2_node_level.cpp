@@ -9,8 +9,10 @@
 
 #include "cluster/event_sim.hpp"
 #include "cluster/scenario_tree.hpp"
+#include "support/bench_json.hpp"
 
 using namespace octo::cluster;
+using octo::support::json_value;
 
 int main() {
     std::printf("=== Table 2: FMM kernel node-level performance ===\n");
@@ -39,21 +41,46 @@ int main() {
         with_p100(piz_daint_node()),
     };
 
-    std::printf("%-48s %-9s %10s %9s %12s %8s %12s\n", "Utilized hardware",
-                "Execution", "total[s]", "FMM[s]", "FMM GFLOP/s", "of peak",
-                "%kern on GPU");
-    for (const auto& p : platforms) {
-        const auto row = measure_platform(p, work, leaves, refined);
-        std::printf("%-48s %-9s %10.1f %9.2f %12.0f %7.1f%% %11.4f%%\n",
+    json_value rows = json_value::array();
+    auto emit = [&rows](const table2_row& row) {
+        std::printf("%-48s %-18s %9.1f %9.2f %12.0f %7.1f%% %11.4f%%\n",
                     row.platform.c_str(), row.execution.c_str(),
                     row.total_runtime_s, row.fmm_runtime_s, row.fmm_gflops,
                     100.0 * row.fraction_of_peak,
                     100.0 * row.gpu_launch_fraction);
+        rows.push(json_value::object()
+                      .add("platform", row.platform)
+                      .add("execution", row.execution)
+                      .add("total_runtime_s", row.total_runtime_s)
+                      .add("fmm_runtime_s", row.fmm_runtime_s)
+                      .add("fmm_gflops", row.fmm_gflops)
+                      .add("fraction_of_peak", row.fraction_of_peak)
+                      .add("gpu_launch_fraction", row.gpu_launch_fraction));
+    };
+
+    std::printf("%-48s %-18s %9s %9s %12s %8s %12s\n", "Utilized hardware",
+                "Execution", "total[s]", "FMM[s]", "FMM GFLOP/s", "of peak",
+                "%kern on GPU");
+    for (const auto& p : platforms) {
+        emit(measure_platform(p, work, leaves, refined));
+        // The aggregation A/B row (arXiv:2210.06438): same platform, fused
+        // launches instead of one stream per kernel.
+        if (p.num_gpus > 0) {
+            emit(measure_platform(p, work, leaves, refined, /*aggregate=*/true));
+        }
     }
 
     std::printf("\npaper reference rows (Table 2): 125 / 2271 / 3185 / 250 / "
                 "1516 / 5188 / 459 / 157 / 973 GFLOP/s\n");
     std::printf("paper fractions of peak:         30 / 32 / 22 / 30 / 22 / "
                 "37 / 17 / 31 / 21 %%\n");
+
+    json_value root = json_value::object();
+    root.add("bench", "table2_node_level")
+        .add("workload",
+             json_value::object().add("leaves", leaves).add("refined", refined))
+        .add("rows", rows);
+    octo::support::write_bench_json("BENCH_table2.json", root);
+    std::printf("\nwrote BENCH_table2.json\n");
     return 0;
 }

@@ -30,6 +30,17 @@ struct node_sim_config {
     /// a MODERATE fraction of peak (21-37% in Table 2) despite the device
     /// rarely idling.
     double device_kernel_overhead_s = 1.0e-4;
+    /// Aggregated-offload mode (arXiv:2210.06438): instead of one stream +
+    /// one launch per kernel, cores enqueue kernels into per-device batches
+    /// of up to aggregation_batch items. Each fused launch pays ONE
+    /// launch_overhead_s and ONE device_kernel_overhead_s for the whole
+    /// batch, and runs at occupancy min(1, batch_blocks / num_sms) of
+    /// device peak — the two levers that make aggregation win.
+    bool aggregate = false;
+    unsigned aggregation_batch = 32;
+    /// CPU-side cost of enqueueing one item (descriptor + staging-slice
+    /// copy); far below a stream launch, which is the point.
+    double submit_overhead_s = 2e-7;
 };
 
 struct node_sim_result {
@@ -40,12 +51,22 @@ struct node_sim_result {
     std::uint64_t fmm_flops = 0;
     std::uint64_t kernels_total = 0;
     std::uint64_t kernels_on_gpu = 0;
+    std::uint64_t fused_launches = 0; ///< aggregated mode: batches launched
+    double mean_occupancy = 0;        ///< aggregated blocks / SMs, averaged
 
     double gpu_launch_fraction() const {
         return kernels_total == 0
                    ? 0.0
                    : static_cast<double>(kernels_on_gpu) /
                          static_cast<double>(kernels_total);
+    }
+    /// Kernels the §5.1 policy pushed back onto the cores.
+    std::uint64_t cpu_fallbacks() const { return kernels_total - kernels_on_gpu; }
+    double mean_batch_size() const {
+        return fused_launches == 0
+                   ? 0.0
+                   : static_cast<double>(kernels_on_gpu) /
+                         static_cast<double>(fused_launches);
     }
 };
 
@@ -65,7 +86,10 @@ struct table2_row {
     double gpu_launch_fraction = 0;
 };
 
+/// `aggregate` switches the GPU run to the fused-launch executor model;
+/// the CPU-only baseline used for the non-FMM subtraction is unaffected.
 table2_row measure_platform(const node_spec& node, const workload_spec& work,
-                            std::size_t leaves, std::size_t refined);
+                            std::size_t leaves, std::size_t refined,
+                            bool aggregate = false);
 
 } // namespace octo::cluster

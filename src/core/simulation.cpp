@@ -14,10 +14,18 @@ using namespace octo::amr;
 simulation::simulation(tree t, sim_options opt)
     : tree_(std::move(t)),
       opt_(opt),
+      own_agg_(opt.aggregator == nullptr && opt.device != nullptr
+                   ? std::make_unique<gpu::aggregator>(
+                         *opt.device,
+                         gpu::aggregator_options{
+                             .max_batch = opt.aggregate ? 16u : 1u})
+                   : nullptr),
+      agg_(opt.aggregator != nullptr ? opt.aggregator : own_agg_.get()),
       gravity_({.conserve = opt.conserve,
                 .vectorized = opt.vectorized,
                 .device = opt.device,
-                .pool = opt.pool}) {}
+                .pool = opt.pool,
+                .aggregator = agg_}) {}
 
 simulation simulation::restart(const std::string& checkpoint_path,
                                sim_options opt) {
@@ -35,6 +43,7 @@ double simulation::advance() {
     h.cfl = opt_.cfl;
     h.omega = opt_.omega;
     h.pool = opt_.pool;
+    h.aggregator = agg_;
     if (opt_.self_gravity) {
         // Gravity is (re)solved before EVERY RK stage so the source terms
         // act on exactly the density the FMM saw — this is what closes the

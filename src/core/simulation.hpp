@@ -8,9 +8,12 @@
 #include <functional>
 #include <string>
 
+#include <memory>
+
 #include "amr/halo.hpp"
 #include "amr/tree.hpp"
 #include "fmm/solver.hpp"
+#include "gpu/aggregator.hpp"
 #include "gpu/device.hpp"
 #include "hydro/update.hpp"
 #include "physics/eos.hpp"
@@ -24,6 +27,11 @@ struct sim_options {
     bool self_gravity = true;
     fmm::am_mode conserve = fmm::am_mode::spin_deposit;
     gpu::device* device = nullptr; ///< offload FMM kernels when set (§5.1)
+    /// External aggregation executor (may span a device_group). When null
+    /// and `device` is set, the simulation owns a private one; FMM and the
+    /// hydro flux sweeps share it — one launch point for all offload.
+    gpu::aggregator* aggregator = nullptr;
+    bool aggregate = true;         ///< false: one-stream-per-kernel A/B mode
     dvec3 omega{0, 0, 0};          ///< rotating-frame angular velocity
     bool vectorized = true;
     rt::thread_pool* pool = nullptr;
@@ -93,6 +101,10 @@ class simulation {
 
     amr::tree tree_;
     sim_options opt_;
+    /// Declared before gravity_: the solver (and in-flight hydro items)
+    /// reference it, so it must outlive them — destruction drains batches.
+    std::unique_ptr<gpu::aggregator> own_agg_;
+    gpu::aggregator* agg_ = nullptr;
     fmm::solver gravity_;
     double time_ = 0;
     long steps_ = 0;

@@ -21,7 +21,21 @@ using amr::node_key;
 using amr::tree;
 
 solver::solver(options o)
-    : opt_(o), pool_(o.pool != nullptr ? o.pool : &rt::thread_pool::global()) {}
+    : opt_(o), pool_(o.pool != nullptr ? o.pool : &rt::thread_pool::global()) {
+    // One launch point for all offload (the Kokkos/HPX lesson of
+    // arXiv:2210.06439): an externally provided executor wins; otherwise a
+    // device implies a private single-device executor. aggregate=false keeps
+    // the executor but degenerates batches to a single item — the paper's
+    // original one-stream-per-kernel policy, preserved for A/B measurement.
+    if (opt_.aggregator != nullptr) {
+        agg_ = opt_.aggregator;
+    } else if (opt_.device != nullptr) {
+        gpu::aggregator_options ao;
+        ao.max_batch = opt_.aggregate ? std::max(1u, opt_.gpu_batch) : 1u;
+        own_agg_ = std::make_unique<gpu::aggregator>(*opt_.device, ao);
+        agg_ = own_agg_.get();
+    }
+}
 
 const node_gravity& solver::gravity(node_key k) const {
     auto it = gravity_.find(k);
@@ -271,30 +285,46 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
     }
 
     // Both partner classes accumulate into the same output arrays, so when
-    // offloading, the node's launches go onto a single stream as one
-    // in-order kernel: the accumulation order matches the CPU path exactly
-    // and two streams never race on out.L.
-    if (opt_.device != nullptr && !launches.empty()) {
-        if (auto lease = opt_.device->try_acquire_stream()) {
-            std::uint64_t flops = 0;
-            for (const auto& s : launches) flops += s.flops;
-            const kernel_class kc = launches.front().kc;
-            auto batch =
-                std::make_shared<std::vector<launch_spec>>(std::move(launches));
-            pending.push_back(lease->launch(
-                [&self_mom, &self_invm, &out, batch] {
-                    for (const auto& s : *batch) {
-                        if (s.monopole_math) {
-                            monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
-                        } else {
-                            multipole_kernel<double>(self_mom, self_invm, *s.buf,
-                                                     s.opt, out);
-                        }
-                    }
-                },
-                flops, kc));
+    // offloading, the node's launches form ONE work item: inside a fused
+    // batch they execute in submission order on a single stream, so the
+    // accumulation order matches the CPU path exactly and two batches never
+    // race on out.L. The executor may pack many such items into one launch
+    // (arXiv:2210.06438); if it refuses (saturated, or an injected
+    // stream-acquire fault), we fall through to the CPU path below — the
+    // per-kernel fallback of §5.1, unchanged.
+    if (agg_ != nullptr && !launches.empty()) {
+        std::uint64_t flops = 0;
+        for (const auto& s : launches) flops += s.flops;
+        gpu::work_item item;
+        item.kc = launches.front().kc;
+        item.flops = flops;
+        // The modeled host→device transfer: the node's mass + center-of-mass
+        // arrays travel in the item's slice of the batched staging buffer.
+        item.staging_doubles = 4 * static_cast<std::size_t>(amr::INX3);
+        item.stage = [&self_mom](double* slice) {
+            std::copy(self_mom.m.begin(), self_mom.m.end(), slice);
+            for (int a = 0; a < 3; ++a) {
+                std::copy(self_mom.com[a].begin(), self_mom.com[a].end(),
+                          slice + (a + 1) * amr::INX3);
+            }
+        };
+        auto batch =
+            std::make_shared<std::vector<launch_spec>>(std::move(launches));
+        item.kernel = [&self_mom, &self_invm, &out, batch](const double*) {
+            for (const auto& s : *batch) {
+                if (s.monopole_math) {
+                    monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
+                } else {
+                    multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt,
+                                             out);
+                }
+            }
+        };
+        if (auto f = agg_->submit(std::move(item))) {
+            pending.push_back(std::move(*f));
             return;
         }
+        launches = std::move(*batch); // rejected: run them on the CPU
     }
 
     // CPU path (vectorized).

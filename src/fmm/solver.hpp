@@ -13,10 +13,12 @@
 // along the line of centers of mass, so total force and total torque vanish
 // to rounding — Octo-Tiger's headline property (§4.2).
 
+#include <memory>
 #include <unordered_map>
 
 #include "amr/tree.hpp"
 #include "fmm/kernels.hpp"
+#include "gpu/aggregator.hpp"
 #include "gpu/device.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -36,6 +38,15 @@ struct solver_options {
     bool futurized = true;
     gpu::device* device = nullptr;    ///< offload same-level kernels when set
     rt::thread_pool* pool = nullptr;  ///< defaults to the global pool
+    /// External aggregation executor (may span a device_group). When null
+    /// and `device` is set, the solver owns a private single-device
+    /// aggregator — all offload goes through one launch point either way.
+    gpu::aggregator* aggregator = nullptr;
+    /// Batch per-node kernels into fused launches (arXiv:2210.06438). When
+    /// false the private executor degenerates to max_batch = 1, reproducing
+    /// the paper's original one-stream-per-node policy for A/B runs.
+    bool aggregate = true;
+    unsigned gpu_batch = 16;          ///< fused-launch size threshold
 };
 
 class solver {
@@ -91,12 +102,16 @@ class solver {
 
     options opt_;
     rt::thread_pool* pool_;
+    gpu::aggregator* agg_ = nullptr; ///< offload launch point (null = CPU only)
     std::unordered_map<amr::node_key, node_moments> moments_;
     std::unordered_map<amr::node_key, node_gravity> gravity_;
     std::unordered_map<amr::node_key, aligned_vector<double>> invm_;
     std::uint64_t workspace_tree_id_ = 0;
     std::uint64_t workspace_revision_ = 0;
     bool workspace_valid_ = false;
+    /// Declared last: its destructor drains in-flight batches while the
+    /// moment/gravity maps their kernels reference are still alive.
+    std::unique_ptr<gpu::aggregator> own_agg_;
 };
 
 

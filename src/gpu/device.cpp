@@ -1,5 +1,7 @@
 #include "gpu/device.hpp"
 
+#include <algorithm>
+
 #include "runtime/apex.hpp"
 #include "support/assert.hpp"
 #include "support/fault.hpp"
@@ -32,13 +34,21 @@ device::device(device_spec spec, unsigned nworkers)
 device::~device() = default;
 
 std::optional<stream_lease> device::try_acquire_stream() {
+    if (auto lease = acquire_impl()) return lease;
+    // Single accounting site for both failure modes (injected fault and
+    // all-streams-busy): exactly one fallback per failed acquire, so the
+    // counter equals the number of kernels the caller ran on the CPU.
+    rt::apex_count("gpu.stream_fallbacks");
+    return std::nullopt;
+}
+
+std::optional<stream_lease> device::acquire_impl() {
     // Seeded fault injection (ISSUE 5): a real driver can fail a stream
     // acquire transiently (OOM, context pressure). The caller's contract is
     // unchanged — nullopt means "run the kernel on the CPU instead" (§5.1) —
     // so the injected failure exercises exactly the production fallback.
     if (auto* inj = support::gpu_faults();
         inj != nullptr && inj->gpu_stream_fail()) {
-        rt::apex_count("gpu.stream_fallbacks");
         return std::nullopt;
     }
     // Lock-free optimistic acquire, matching the paper's requirement that
@@ -49,9 +59,7 @@ std::optional<stream_lease> device::try_acquire_stream() {
             return stream_lease(this);
         }
     }
-    // All streams busy: the caller falls back to CPU execution.
-    rt::apex_count("gpu.stream_fallbacks");
-    return std::nullopt;
+    return std::nullopt; // all streams busy
 }
 
 void device::release_stream() {
@@ -63,6 +71,14 @@ rt::future<void> device::enqueue(std::function<void()> kernel, std::uint64_t flo
                                  kernel_class kc) {
     kernels_.fetch_add(1, std::memory_order_relaxed);
     count_launch(kc, exec_site::gpu);
+    // Modeled occupancy at launch time: every busy stream's kernel holds
+    // blocks_per_kernel SMs (§5.1) — the under-occupancy the aggregation
+    // executor exists to fix (it overwrites this gauge with batch blocks/SMs).
+    const std::uint64_t busy_blocks =
+        static_cast<std::uint64_t>(in_use_.load(std::memory_order_relaxed)) *
+        spec_.blocks_per_kernel;
+    rt::apex_gauge("gpu.occupancy_pct",
+                   std::min<std::uint64_t>(100, busy_blocks * 100 / spec_.num_sms));
     return rt::async(*workers_, [this, kernel = std::move(kernel), flops, kc] {
         kernel();
         count_flops(kc, exec_site::gpu, flops);

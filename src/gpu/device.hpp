@@ -82,6 +82,7 @@ class device {
   private:
     friend class stream_lease;
 
+    std::optional<stream_lease> acquire_impl();
     rt::future<void> enqueue(std::function<void()> kernel, std::uint64_t flops,
                              kernel_class kc);
     void release_stream();

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gpu/aggregator.hpp"
 #include "hydro/flux.hpp"
 #include "hydro/pencil.hpp"
 #include "hydro/reconstruct.hpp"
@@ -25,6 +26,11 @@ using simd::dpack;
 using dmask = simd::mask<double, simd::default_width>;
 
 namespace {
+
+/// Modeled cost of one axis flux sweep over a 8^3 leaf (reconstruction +
+/// Riemann per face) — accounting only; the machine model consumes it.
+constexpr std::uint64_t flux_sweep_flops =
+    static_cast<std::uint64_t>(amr::INX3) * 400;
 
 constexpr int W = static_cast<int>(simd::default_width);
 constexpr int n_face_lanes = leaf_flux_soa::plane_size / n_faces; // = INX*INX
@@ -718,6 +724,25 @@ void stage(tree& t, double dt, const step_options& opt,
         std::vector<rt::future<void>> fs;
         fs.reserve(leaves.size());
         for (const node_key k : leaves) {
+            // Offloadable stage: one work item per leaf (all three axis
+            // sweeps), batched into fused launches by the executor. A
+            // rejected submission falls back to the per-leaf CPU task.
+            if (opt.aggregator != nullptr) {
+                gpu::work_item item;
+                item.kc = kernel_class::hydro;
+                item.flops = 3 * flux_sweep_flops;
+                item.kernel = [&t, &opt, &fluxes, k](const double*) {
+                    const subgrid& g = *t.node(k).fields;
+                    leaf_flux_soa& out = fluxes.at(k);
+                    for (int axis = 0; axis < 3; ++axis) {
+                        compute_axis_fluxes(g, axis, opt, out);
+                    }
+                };
+                if (auto f = opt.aggregator->submit(std::move(item))) {
+                    fs.push_back(std::move(*f));
+                    continue;
+                }
+            }
             fs.push_back(rt::async(pool, [&t, &opt, &fluxes, k] {
                 const subgrid& g = *t.node(k).fields;
                 leaf_flux_soa& out = fluxes.at(k);
@@ -1074,9 +1099,19 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                     fr != fluxreaders_prev.end()) {
                     for (const auto& f : fr->second) deps.push_back(alias(f));
                 }
-                auto f = rt::when_all(std::move(deps))
+                // The sweep itself is an offloadable stage: when an
+                // aggregation executor is configured, the dependency-released
+                // continuation SUBMITS the sweep as a work item (batched into
+                // a fused launch) and a bridge promise completes the task's
+                // future when the item's slice finishes; otherwise — or when
+                // the executor rejects (saturated / injected fault) — the
+                // sweep runs inline as before.
+                rt::promise<void> done;
+                auto f = done.get_future();
+                rt::detach(rt::when_all(std::move(deps))
                              .then(pool, [&opt, g = lc.g, lf = &lc.fluxes,
-                                          axis, rlo, rhi, flux_started](auto) {
+                                          axis, rlo, rhi, flux_started,
+                                          done](auto) mutable {
                                  flux_started->store(
                                      true, std::memory_order_release);
                                  sanitize::region_read(interior_region(g),
@@ -1087,8 +1122,27 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
                                                        "hydro.ghosts");
                                  sanitize::region_write(flux_region(lf, axis),
                                                         "hydro.flux");
+                                 if (opt.aggregator != nullptr) {
+                                     gpu::work_item item;
+                                     item.kc = kernel_class::hydro;
+                                     item.flops = flux_sweep_flops;
+                                     item.kernel = [&opt, g, lf,
+                                                    axis](const double*) {
+                                         compute_axis_fluxes(*g, axis, opt,
+                                                             *lf);
+                                     };
+                                     if (auto af = opt.aggregator->submit(
+                                             std::move(item))) {
+                                         rt::detach(std::move(*af).then(
+                                             [done](rt::future<void>) mutable {
+                                                 done.set_value();
+                                             }));
+                                         return;
+                                     }
+                                 }
                                  compute_axis_fluxes(*g, axis, opt, *lf);
-                             });
+                                 done.set_value();
+                             }));
                 join.push_back(alias(f));
                 fx[static_cast<std::size_t>(axis)] = std::move(f);
                 ++task_count;

@@ -14,6 +14,10 @@
 #include "hydro/state.hpp"
 #include "runtime/thread_pool.hpp"
 
+namespace octo::gpu {
+class aggregator; // gpu/aggregator.hpp — kept out of this header's includes
+}
+
 namespace octo::hydro {
 
 /// Per-node gravity data supplied by the gravity solver (cell index order
@@ -56,6 +60,12 @@ struct step_options {
     /// requirement for machine-precision momentum conservation.
     std::function<void()> before_stage;
     rt::thread_pool* pool = nullptr;
+    /// Offload flux sweeps through the GPU aggregation executor when set
+    /// (the same launch point the FMM solver uses — arXiv:2210.06439's
+    /// "one launch point" lesson). Null keeps the pure-CPU schedule. The
+    /// executor may reject a submission (saturated device, injected fault);
+    /// the sweep then runs inline on the CPU as before.
+    gpu::aggregator* aggregator = nullptr;
 };
 
 /// Advance the whole tree by one SSP-RK2 step; returns the dt taken.

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal JSON emitter for machine-readable benchmark trajectories
+// (BENCH_*.json). The benches print human tables to stdout; CI and the
+// performance-tracking scripts consume these files instead, so the format
+// is deliberately dumb: objects and arrays built by value, no parsing, no
+// external dependency.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace octo::support {
+
+inline std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+/// A JSON value under construction, rendered eagerly into `text`. Compose
+/// with add() (objects) / push() (arrays); nest by passing another value.
+class json_value {
+  public:
+    static json_value object() { return json_value('{', '}'); }
+    static json_value array() { return json_value('[', ']'); }
+
+    // ---- object members ---------------------------------------------------
+    json_value& add(const std::string& key, double v) {
+        return raw_member(key, num(v));
+    }
+    json_value& add(const std::string& key, std::uint64_t v) {
+        return raw_member(key, std::to_string(v));
+    }
+    json_value& add(const std::string& key, int v) {
+        return raw_member(key, std::to_string(v));
+    }
+    json_value& add(const std::string& key, bool v) {
+        return raw_member(key, v ? "true" : "false");
+    }
+    json_value& add(const std::string& key, const std::string& v) {
+        return raw_member(key, "\"" + json_escape(v) + "\"");
+    }
+    json_value& add(const std::string& key, const char* v) {
+        return add(key, std::string(v));
+    }
+    json_value& add(const std::string& key, const json_value& v) {
+        return raw_member(key, v.str());
+    }
+
+    // ---- array elements ---------------------------------------------------
+    json_value& push(const json_value& v) { return raw_element(v.str()); }
+    json_value& push(double v) { return raw_element(num(v)); }
+    json_value& push(const std::string& v) {
+        return raw_element("\"" + json_escape(v) + "\"");
+    }
+
+    std::string str() const { return text_ + close_; }
+
+  private:
+    json_value(char open, char close) : text_(1, open), close_(1, close) {}
+
+    static std::string num(double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return buf;
+    }
+    json_value& raw_member(const std::string& key, const std::string& value) {
+        if (text_.size() > 1) text_ += ",";
+        text_ += "\"" + json_escape(key) + "\":" + value;
+        return *this;
+    }
+    json_value& raw_element(const std::string& value) {
+        if (text_.size() > 1) text_ += ",";
+        text_ += value;
+        return *this;
+    }
+
+    std::string text_;
+    std::string close_;
+};
+
+/// Write a BENCH_*.json trajectory file; returns false (and says so on
+/// stderr) if the file cannot be created.
+inline bool write_bench_json(const std::string& path, const json_value& root) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string body = root.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace octo::support

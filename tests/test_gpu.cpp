@@ -1,12 +1,21 @@
 // Tests for the simulated CUDA device: stream pool semantics, the
-// kernel→future bridge, the all-streams-busy fallback condition, and FLOP
-// accounting per execution site (paper §5.1, §6.1).
+// kernel→future bridge, the all-streams-busy fallback condition, FLOP
+// accounting per execution site (paper §5.1, §6.1), and the GPU work
+// aggregation executor (arXiv:2210.06438): fused batches, flush thresholds,
+// exactly-once completion, fault-driven CPU fallback, multi-device dispatch,
+// and bit-identical aggregated FMM solves.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <vector>
 
+#include "amr/tree.hpp"
+#include "fmm/solver.hpp"
+#include "gpu/aggregator.hpp"
 #include "gpu/device.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
@@ -151,6 +160,272 @@ TEST(Device, ContinuationChainsOffKernel) {
     auto f = lease->launch([&] { order = 1; }, 1, kernel_class::other)
                  .then([&](octo::rt::future<void>) { return order.load() + 10; });
     EXPECT_EQ(f.get(), 11);
+}
+
+// ---- aggregation executor ---------------------------------------------------
+
+gpu::work_item counting_item(std::atomic<int>& ran, kernel_class kc,
+                             std::uint64_t flops = 1) {
+    gpu::work_item item;
+    item.kc = kc;
+    item.flops = flops;
+    item.kernel = [&ran](const double*) { ran.fetch_add(1); };
+    return item;
+}
+
+TEST(Aggregator, SizeThresholdFusesBatchIntoOneLaunch) {
+    gpu::device dev(gpu::p100(), 2);
+    gpu::aggregator agg(dev, {.max_batch = 8, .flush_after_us = 1e6});
+    std::atomic<int> ran{0};
+    std::vector<rt::future<void>> fs;
+    for (int i = 0; i < 8; ++i) {
+        auto f = agg.submit(counting_item(ran, kernel_class::fmm_multipole));
+        ASSERT_TRUE(f.has_value());
+        fs.push_back(std::move(*f));
+    }
+    for (auto& f : fs) f.get();
+    EXPECT_EQ(ran.load(), 8);
+    // The whole batch went up as ONE fused device launch: the flush timeout
+    // (1s) cannot have fired, so reaching max_batch is what launched it.
+    const auto s = agg.stats();
+    EXPECT_EQ(s.submitted, 8u);
+    EXPECT_EQ(s.fused_launches + s.cpu_batches, 1u);
+    EXPECT_EQ(s.aggregated_items, 8u);
+    EXPECT_EQ(s.max_batch_seen, 8u);
+    EXPECT_EQ(dev.kernels_executed(), 1u); // one kernel on the device
+}
+
+TEST(Aggregator, TimeoutFlushesPartialBatch) {
+    gpu::device dev(gpu::p100(), 2);
+    gpu::aggregator agg(dev, {.max_batch = 64, .flush_after_us = 200.0});
+    std::atomic<int> ran{0};
+    auto f = agg.submit(counting_item(ran, kernel_class::fmm_monopole));
+    ASSERT_TRUE(f.has_value());
+    // Far below the size threshold: only the background flusher can launch
+    // this batch. get() must complete without any help from this thread.
+    f->get();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(agg.stats().fused_launches + agg.stats().cpu_batches, 1u);
+}
+
+TEST(Aggregator, EveryItemCompletesExactlyOnce) {
+    gpu::device dev(gpu::p100(), 4);
+    gpu::aggregator agg(dev, {.max_batch = 16, .flush_after_us = 50.0});
+    constexpr int n = 500;
+    std::vector<std::atomic<int>*> counts;
+    std::vector<std::unique_ptr<std::atomic<int>>> storage;
+    std::vector<rt::future<void>> fs;
+    for (int i = 0; i < n; ++i) {
+        storage.push_back(std::make_unique<std::atomic<int>>(0));
+        auto* c = storage.back().get();
+        gpu::work_item item;
+        item.kc = kernel_class::fmm_multipole;
+        item.flops = 10;
+        item.kernel = [c](const double*) { c->fetch_add(1); };
+        auto f = agg.submit(std::move(item));
+        ASSERT_TRUE(f.has_value()) << "saturation unexpected at " << i;
+        fs.push_back(std::move(*f));
+    }
+    // Each future becomes ready exactly when ITS item ran; each item exactly
+    // once.
+    for (int i = 0; i < n; ++i) {
+        fs[static_cast<std::size_t>(i)].get();
+        EXPECT_EQ(storage[static_cast<std::size_t>(i)]->load(), 1) << i;
+    }
+    const auto s = agg.stats();
+    EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(s.aggregated_items, static_cast<std::uint64_t>(n));
+    EXPECT_GT(s.max_batch_seen, 1u); // batching actually happened
+}
+
+TEST(Aggregator, InjectedStreamFaultRejectsSubmitForCpuFallback) {
+    support::fault_config cfg;
+    cfg.seed = 3;
+    cfg.gpu_stream_fail_prob = 1.0;
+    support::fault_injector inj(cfg);
+    gpu::device dev(gpu::p100(), 2);
+    gpu::aggregator agg(dev, {.max_batch = 4, .flush_after_us = 50.0});
+    std::atomic<int> ran{0};
+    const auto before =
+        rt::apex_registry::instance().counter("gpu.stream_fallbacks");
+    {
+        support::scoped_gpu_faults guard(inj);
+        // Every submission must be rejected — the caller's per-kernel CPU
+        // fallback, exactly like a failed try_acquire_stream.
+        for (int i = 0; i < 3; ++i) {
+            auto f = agg.submit(counting_item(ran, kernel_class::fmm_monopole));
+            EXPECT_FALSE(f.has_value());
+        }
+    }
+    EXPECT_EQ(inj.stats().gpu_stream_failures, 3u);
+    EXPECT_EQ(rt::apex_registry::instance().counter("gpu.stream_fallbacks"),
+              before + 3);
+    EXPECT_EQ(agg.stats().rejected, 3u);
+    EXPECT_EQ(agg.stats().submitted, 0u);
+    EXPECT_EQ(ran.load(), 0); // nothing was enqueued behind the caller's back
+    // Injector gone: the same aggregator accepts again.
+    auto f = agg.submit(counting_item(ran, kernel_class::fmm_monopole));
+    ASSERT_TRUE(f.has_value());
+    f->get();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Aggregator, SaturationRejectsForCpuFallback) {
+    gpu::device dev(gpu::p100(), 2);
+    gpu::aggregator agg(dev, {.max_batch = 4,
+                              .flush_after_us = 1e6,
+                              .saturation_items = 3});
+    // Stall the queue below the size threshold (no flush for 1s) so the
+    // in-flight count pins at the saturation bound.
+    std::atomic<int> ran{0};
+    std::vector<rt::future<void>> fs;
+    for (int i = 0; i < 3; ++i) {
+        auto f = agg.submit(counting_item(ran, kernel_class::fmm_multipole));
+        ASSERT_TRUE(f.has_value());
+        fs.push_back(std::move(*f));
+    }
+    EXPECT_FALSE(
+        agg.submit(counting_item(ran, kernel_class::fmm_multipole)).has_value());
+    EXPECT_EQ(agg.stats().rejected, 1u);
+    agg.flush();
+    for (auto& f : fs) f.get();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(DeviceGroup, BatchesSpreadAcrossDevices) {
+    gpu::device_group group(gpu::p100(), 3, 2);
+    gpu::aggregator agg(group, {.max_batch = 4, .flush_after_us = 1e6});
+    std::atomic<int> ran{0};
+    std::vector<rt::future<void>> fs;
+    // 12 full batches; least-loaded + round-robin dispatch must not leave
+    // any device idle.
+    for (int i = 0; i < 12 * 4; ++i) {
+        auto f = agg.submit(counting_item(ran, kernel_class::fmm_multipole));
+        ASSERT_TRUE(f.has_value());
+        fs.push_back(std::move(*f));
+    }
+    for (auto& f : fs) f.get();
+    EXPECT_EQ(ran.load(), 48);
+    std::uint64_t total = 0;
+    for (std::size_t d = 0; d < group.size(); ++d) {
+        EXPECT_GT(group.at(d).kernels_executed(), 0u) << "device " << d << " idle";
+        total += group.at(d).kernels_executed();
+    }
+    EXPECT_EQ(total, agg.stats().fused_launches);
+}
+
+TEST(Aggregator, DrainCompletesEverythingPending) {
+    gpu::device dev(gpu::p100(), 2);
+    gpu::aggregator agg(dev, {.max_batch = 64, .flush_after_us = 1e6});
+    std::atomic<int> ran{0};
+    std::vector<rt::future<void>> fs;
+    for (int i = 0; i < 10; ++i) {
+        auto f = agg.submit(counting_item(ran, kernel_class::hydro));
+        ASSERT_TRUE(f.has_value());
+        fs.push_back(std::move(*f));
+    }
+    EXPECT_EQ(ran.load(), 0); // below threshold, timeout far away
+    agg.drain();
+    EXPECT_EQ(ran.load(), 10);
+    for (auto& f : fs) f.get(); // all ready immediately
+}
+
+// ---- aggregated FMM solve ---------------------------------------------------
+
+amr::box_geometry unit_root() {
+    amr::box_geometry g;
+    g.origin = {-0.5, -0.5, -0.5};
+    g.dx = 1.0 / amr::INX;
+    return g;
+}
+
+void fill_blobs(amr::tree& t) {
+    for (const auto k : t.leaves_sfc()) {
+        auto& g = t.ensure_fields(k);
+        for (int i = 0; i < amr::INX; ++i)
+            for (int j = 0; j < amr::INX; ++j)
+                for (int kk = 0; kk < amr::INX; ++kk) {
+                    const dvec3 r = g.geom.cell_center(i, j, kk);
+                    const dvec3 c1{-0.18, 0.02, 0.01};
+                    const dvec3 c2{0.22, -0.03, -0.02};
+                    const double rho = std::exp(-norm2(r - c1) / 0.01) +
+                                       0.3 * std::exp(-norm2(r - c2) / 0.006);
+                    g.interior(amr::f_rho, i, j, kk) = rho;
+                }
+    }
+}
+
+TEST(Aggregator, AggregatedFmmSolveBitIdenticalToScalarCpu) {
+    // The executor's kernels are the scalar double kernel templates — the
+    // same code the scalar CPU path runs, in the same per-node order — so
+    // the aggregated solve must be BIT-identical to the scalar CPU solve
+    // (not merely close): EXPECT_EQ on every output, no tolerance.
+    amr::tree t(unit_root());
+    t.refine(amr::root_key);
+    fill_blobs(t);
+
+    gpu::device_group group(gpu::p100(), 2, 2);
+    gpu::aggregator agg(group, {.max_batch = 8, .flush_after_us = 100.0});
+    fmm::solver gs({.conserve = fmm::am_mode::spin_deposit,
+                    .aggregator = &agg});
+    gs.solve(t);
+    fmm::solver cs({.conserve = fmm::am_mode::spin_deposit,
+                    .vectorized = false});
+    cs.solve(t);
+
+    for (const auto k : t.leaves_sfc()) {
+        const auto& a = gs.gravity(k);
+        const auto& b = cs.gravity(k);
+        for (int c = 0; c < amr::INX3; ++c) {
+            EXPECT_EQ(a.gx[c], b.gx[c]) << "node " << k << " cell " << c;
+            EXPECT_EQ(a.gy[c], b.gy[c]);
+            EXPECT_EQ(a.gz[c], b.gz[c]);
+            EXPECT_EQ(a.phi[c], b.phi[c]);
+        }
+    }
+    // The solve genuinely went through fused launches, spread over devices.
+    const auto s = agg.stats();
+    EXPECT_GT(s.fused_launches, 0u);
+    EXPECT_GT(s.max_batch_seen, 1u);
+    EXPECT_EQ(s.rejected, 0u);
+    std::uint64_t on_device = 0;
+    for (std::size_t d = 0; d < group.size(); ++d) {
+        on_device += group.at(d).kernels_executed();
+    }
+    EXPECT_GT(on_device, 0u);
+}
+
+TEST(Aggregator, FmmSolveFallsBackUnderInjectedFaults) {
+    // With every stream acquire failing, the solver must complete entirely
+    // on the CPU — same results, zero device kernels.
+    amr::tree t(unit_root());
+    fill_blobs(t);
+
+    support::fault_config cfg;
+    cfg.seed = 11;
+    cfg.gpu_stream_fail_prob = 1.0;
+    support::fault_injector inj(cfg);
+    gpu::device dev(gpu::p100(), 2);
+
+    fmm::solver cs({.conserve = fmm::am_mode::spin_deposit,
+                    .vectorized = false});
+    cs.solve(t);
+
+    fmm::solver gs({.conserve = fmm::am_mode::spin_deposit,
+                    .vectorized = false,
+                    .device = &dev});
+    {
+        support::scoped_gpu_faults guard(inj);
+        gs.solve(t);
+    }
+    EXPECT_GT(inj.stats().gpu_stream_failures, 0u);
+    EXPECT_EQ(dev.kernels_executed(), 0u);
+    const auto& a = gs.gravity(amr::root_key);
+    const auto& b = cs.gravity(amr::root_key);
+    for (int c = 0; c < amr::INX3; ++c) {
+        EXPECT_EQ(a.gx[c], b.gx[c]);
+        EXPECT_EQ(a.phi[c], b.phi[c]);
+    }
 }
 
 } // namespace

@@ -25,6 +25,14 @@ Source-level concurrency checks the compiler cannot express:
                     [[nodiscard]] so dropped futures are also caught at
                     compile time.
 
+  direct-stream-acquire
+                    device::try_acquire_stream() called outside src/gpu.
+                    All offload goes through the aggregation executor
+                    (gpu::aggregator::submit) so kernels batch into fused
+                    launches and the CPU-fallback/fault policy lives in one
+                    place; a direct per-kernel stream grab reintroduces the
+                    §5.1 starvation path the executor exists to remove.
+
 Suppress a finding with a trailing comment on the same line or the line
 above:   // lint: allow(<rule-name>)  -- include a reason.
 
@@ -139,6 +147,7 @@ RAW_ALLOC = re.compile(
 RELAXED_PUBLISH = re.compile(
     r"\.\s*(?:store|exchange)\s*\([^;]*memory_order_relaxed"
 )
+DIRECT_STREAM_ACQUIRE = re.compile(r"\btry_acquire_stream\s*\(")
 
 
 def check_dropped_futures(path, lines, clean, findings):
@@ -196,6 +205,20 @@ def check_relaxed_publish(path, lines, clean, findings):
             )
 
 
+def check_direct_stream_acquire(path, lines, clean, findings):
+    for idx, line in enumerate(clean.splitlines(), start=1):
+        if DIRECT_STREAM_ACQUIRE.search(line):
+            if suppressed(lines, idx, "direct-stream-acquire"):
+                continue
+            findings.append(
+                (path, idx, "direct-stream-acquire",
+                 "direct device::try_acquire_stream() outside src/gpu; "
+                 "submit a gpu::work_item through gpu::aggregator instead "
+                 "(one launch point, batched occupancy, shared fallback "
+                 "policy)")
+            )
+
+
 NODISCARD_REQUIRED = [
     ("src/runtime/future.hpp", r"class\s+\[\[nodiscard\]\]\s+future",
      "class future must be declared class [[nodiscard]] future"),
@@ -248,6 +271,8 @@ def main():
             check_raw_allocs(rel, lines, clean, findings)
         if rel.startswith("src" + os.sep) or rel.startswith("src/"):
             check_relaxed_publish(rel, lines, clean, findings)
+        if not rel.replace(os.sep, "/").startswith("src/gpu"):
+            check_direct_stream_acquire(rel, lines, clean, findings)
 
     check_nodiscard(root, findings)
 
