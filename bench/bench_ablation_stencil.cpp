@@ -9,6 +9,8 @@
 
 #include "fmm/kernels.hpp"
 #include "fmm/legacy_ilist.hpp"
+#include "fmm/stencil.hpp"
+#include "kernel/fmm.hpp"
 #include "support/rng.hpp"
 
 using namespace octo;
@@ -46,8 +48,10 @@ void bench_stencil_soa_vectorized(benchmark::State& state) {
     const auto buf = make_buffer();
     node_gravity out;
     kernel_options opt;
+    opt.stencil = &interaction_stencil();
     for (auto _ : state) {
-        monopole_kernel<simd::dpack>(mom, buf, opt, out);
+        kernel::fmm_monopole<kernel::exec::simd<simd::default_width>>(mom, buf,
+                                                                      opt, 0, out);
         benchmark::DoNotOptimize(out.L[0][0]);
     }
     state.SetItemsProcessed(state.iterations() *
@@ -60,8 +64,9 @@ void bench_stencil_soa_scalar(benchmark::State& state) {
     const auto buf = make_buffer();
     node_gravity out;
     kernel_options opt;
+    opt.stencil = &interaction_stencil();
     for (auto _ : state) {
-        monopole_kernel<double>(mom, buf, opt, out);
+        kernel::fmm_monopole<kernel::exec::scalar>(mom, buf, opt, 0, out);
         benchmark::DoNotOptimize(out.L[0][0]);
     }
     state.SetItemsProcessed(state.iterations() *

@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
         rec.set_enabled(true);
     }
 
-    { // This PR's configuration: SoA/SIMD kernels, per-leaf pipeline.
+    { // Fixed-default configuration: SoA/SIMD kernels, per-leaf pipeline.
         auto t = make_scene(max_level);
         rec.clear();
         std::printf("\n--- vectorized (SoA pencils x%d lanes, futurized) ---\n",
@@ -139,6 +139,19 @@ int main(int argc, char** argv) {
         hydro::step_options opt;
         opt.eos = phys::ideal_gas_eos(5.0 / 3.0);
         vec = run(t, opt, steps, true);
+    }
+
+    run_result tuned;
+    { // Autotuned width/tile (kernel/autotune.hpp): the first step sweeps the
+      // candidate geometries on a synthetic leaf (or warm-hits the cache
+      // bench_kernels seeded) and the remaining steps run the winner.
+        auto t = make_scene(max_level);
+        rec.clear();
+        std::printf("\n--- autotuned (width/tile from the autotune cache) ---\n");
+        hydro::step_options opt;
+        opt.eos = phys::ideal_gas_eos(5.0 / 3.0);
+        opt.autotune = true;
+        tuned = run(t, opt, steps, true);
     }
 
     const auto& apex = rt::apex_registry::instance();
@@ -158,10 +171,23 @@ int main(int argc, char** argv) {
                 seed.first_ms, seed.steady_ms);
     std::printf("%-42s %12.3f %12.3f\n", "SoA/SIMD + futurized pipeline",
                 vec.first_ms, vec.steady_ms);
-    if (steps > 1)
-        std::printf("\nsteady-state speedup: %.2fx\n",
-                    seed.steady_ms / vec.steady_ms);
-    else
+    std::printf("%-42s %12.3f %12.3f\n", "autotuned width/tile", tuned.first_ms,
+                tuned.steady_ms);
+    if (steps > 1) {
+        std::printf("\nsteady-state speedup: %.2fx (vectorized), %.2fx "
+                    "(autotuned)\n",
+                    seed.steady_ms / vec.steady_ms,
+                    seed.steady_ms / tuned.steady_ms);
+        // The tuned geometry can never MEASURE worse than the default during
+        // the sweep (the default is the first candidate); full-step wall time
+        // is noisier, so allow 15% before calling it a regression.
+        if (tuned.steady_ms > vec.steady_ms * 1.15) {
+            std::printf("FAIL: autotuned steady step slower than the fixed "
+                        "default\n");
+            return 1;
+        }
+    } else {
         std::printf("\nsteady-state speedup: n/a (need >= 2 steps)\n");
+    }
     return 0;
 }

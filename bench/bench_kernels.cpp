@@ -1,20 +1,42 @@
-// Microbenchmarks of the hot kernels on THIS host (real measurements):
-// the FMM same-level kernels (vectorized vs scalar — the Vc/CUDA template
-// trick of §5.1), the Green's-function evaluation, PPM reconstruction and
-// the KT flux. GFLOP/s are derived from the hand-counted per-interaction
-// FLOP constants (fmm/kernels.hpp).
+// Autotune sweep driver for the portable kernel layer (ISSUE 7): measures
+// every candidate launch geometry of the hot kernels on THIS host — the FMM
+// same-level monopole/multipole kernels and the hydro flux sweep, each the
+// ONE templated body of src/kernel instantiated per execution-space policy —
+// plus the aggregation-batch sweep on the simulated Table 2/3 machine
+// models. Winners are stored in the persistent autotune cache
+// (kernel/autotune.hpp), so production runs with `autotune = true` start at
+// the tuned geometry; per-(kernel, backend, width/tile) GFLOP/s land in
+// BENCH_kernels.json. Exits nonzero if any tuned configuration loses to the
+// fixed default it replaces.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "cluster/event_sim.hpp"
+#include "cluster/scenario_tree.hpp"
 #include "fmm/kernels.hpp"
-#include "hydro/flux.hpp"
-#include "hydro/reconstruct.hpp"
+#include "fmm/node_data.hpp"
+#include "fmm/stencil.hpp"
+#include "hydro/pencil.hpp"
+#include "kernel/autotune.hpp"
+#include "kernel/fmm.hpp"
+#include "kernel/hydro.hpp"
+#include "physics/eos.hpp"
+#include "support/bench_json.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 using namespace octo;
 using namespace octo::fmm;
+using octo::support::json_value;
 
 namespace {
+
+// ---- fixtures (same recipe the kernel agreement tests use) -----------------
 
 node_moments make_moments(bool with_quadrupoles) {
     node_moments m;
@@ -47,85 +69,306 @@ partner_buffer make_buffer(bool with_quadrupoles) {
     return buf;
 }
 
-template <class T>
-void bench_monopole(benchmark::State& state) {
-    const auto mom = make_moments(false);
-    const auto buf = make_buffer(false);
-    node_gravity out;
-    kernel_options opt;
-    for (auto _ : state) {
-        monopole_kernel<T>(mom, buf, opt, out);
-        benchmark::DoNotOptimize(out.L[0][0]);
-    }
-    state.counters["GFLOP/s"] = benchmark::Counter(
-        static_cast<double>(state.iterations() * mono_kernel_flops()),
-        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+/// Synthetic fully-filled leaf for the hydro sweep (every cell physical, so
+/// no kernel branch sees garbage) — the same shape hydro::step tunes on.
+const amr::subgrid& tuning_leaf() {
+    using namespace octo::amr;
+    static const subgrid leaf = [] {
+        subgrid g;
+        g.geom.origin = {-1.0, -1.0, -1.0};
+        g.geom.dx = 2.0 / INX;
+        const phys::ideal_gas_eos eos;
+        const double gamma = eos.gamma();
+        for (int i = 0; i < NX; ++i)
+            for (int j = 0; j < NX; ++j)
+                for (int kk = 0; kk < NX; ++kk) {
+                    const double x = (i - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double y = (j - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double z = (kk - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double r2 = x * x + y * y + z * z;
+                    const double rho = 1.0 + 0.5 * std::exp(-r2);
+                    const dvec3 v{0.1 * y, -0.1 * x, 0.05 * z};
+                    const double p = 1.0 + 0.25 * std::exp(-r2);
+                    const double internal = p / (gamma - 1.0);
+                    g.at(f_rho, i, j, kk) = rho;
+                    g.at(f_sx, i, j, kk) = rho * v.x;
+                    g.at(f_sy, i, j, kk) = rho * v.y;
+                    g.at(f_sz, i, j, kk) = rho * v.z;
+                    g.at(f_egas, i, j, kk) = internal + 0.5 * rho * norm2(v);
+                    g.at(f_tau, i, j, kk) = eos.tau_from_internal(internal);
+                    for (int s = 0; s < n_passive; ++s) {
+                        g.at(first_passive + s, i, j, kk) = rho / n_passive;
+                    }
+                    g.at(f_lx, i, j, kk) = 0.01 * rho;
+                    g.at(f_ly, i, j, kk) = -0.01 * rho;
+                    g.at(f_lz, i, j, kk) = 0.02 * rho;
+                }
+        return g;
+    }();
+    return leaf;
 }
-BENCHMARK(bench_monopole<double>)->Name("fmm_monopole_scalar");
-BENCHMARK(bench_monopole<simd::dpack>)->Name("fmm_monopole_simd");
 
-template <class T>
-void bench_multipole(benchmark::State& state) {
-    const auto mom = make_moments(true);
-    aligned_vector<double> invm(INX3);
-    for (int i = 0; i < INX3; ++i) invm[i] = 1.0 / mom.m[i];
-    const auto buf = make_buffer(true);
-    node_gravity out;
-    kernel_options opt;
-    opt.use_inner_mask = true;
-    for (auto _ : state) {
-        multipole_kernel<T>(mom, invm, buf, opt, out);
-        benchmark::DoNotOptimize(out.L[0][0]);
-    }
-    state.counters["GFLOP/s"] = benchmark::Counter(
-        static_cast<double>(state.iterations() * multi_kernel_flops(true)),
-        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
-}
-BENCHMARK(bench_multipole<double>)->Name("fmm_multipole_scalar");
-BENCHMARK(bench_multipole<simd::dpack>)->Name("fmm_multipole_simd");
+// ---- measurement -----------------------------------------------------------
 
-void bench_greens(benchmark::State& state) {
-    xoshiro256 rng(3);
-    double x[3] = {rng.uniform(0.5, 2), rng.uniform(0.5, 2), rng.uniform(0.5, 2)};
-    expansion<double> D;
-    for (auto _ : state) {
-        const double r2 = x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
-        greens_d3(x, r2, D);
-        benchmark::DoNotOptimize(D[0]);
-        x[0] += 1e-9; // defeat CSE
-    }
+/// GFLOP/s of `body` (one call = `flops_per_call`): one warm-up call, then
+/// enough timed reps to cover ~20 ms so the figure is stable across
+/// candidates — which is all the argmax needs.
+double measure_gflops(double flops_per_call, const std::function<void()>& body) {
+    body(); // warm-up: first touch + icache
+    octo::stopwatch sw;
+    body();
+    const double once = std::max(sw.seconds(), 1e-7);
+    const int reps = std::clamp(static_cast<int>(0.02 / once), 2, 2000);
+    sw.reset();
+    for (int r = 0; r < reps; ++r) body();
+    const double secs = std::max(sw.seconds(), 1e-9);
+    return static_cast<double>(reps) * flops_per_call / secs / 1e9;
 }
-BENCHMARK(bench_greens);
 
-void bench_ppm(benchmark::State& state) {
-    double q[64 + 4];
-    xoshiro256 rng(5);
-    for (auto& v : q) v = rng.uniform(0, 1);
-    double lo[64], hi[64];
-    for (auto _ : state) {
-        hydro::ppm_reconstruct(q + 2, 64, lo, hi);
-        benchmark::DoNotOptimize(lo[0]);
-    }
-    state.SetItemsProcessed(state.iterations() * 64);
-}
-BENCHMARK(bench_ppm);
+struct sweep_outcome {
+    kernel::tuned_config best;
+    double default_gflops = 0.0;
+};
 
-void bench_kt_flux(benchmark::State& state) {
-    phys::ideal_gas_eos eos(1.4);
-    hydro::state uL{}, uR{};
-    uL[amr::f_rho] = 1.0;
-    uL[amr::f_sx] = 0.3;
-    uL[amr::f_egas] = 2.0;
-    uL[amr::f_tau] = 1.0;
-    uR = uL;
-    uR[amr::f_rho] = 0.5;
-    for (auto _ : state) {
-        const auto f = hydro::kt_flux(uL, uR, 0, eos);
-        benchmark::DoNotOptimize(f[0]);
+/// Sweep width x tile for one CPU kernel, print/emit every candidate, store
+/// the winner in the cache under (machine="host", key, simd). The fixed
+/// default (full pack width, untiled) is measured FIRST and ties keep the
+/// earlier candidate, so tuned >= default by construction; a gpu-backend row
+/// (the same double body the scalar policy runs) is reported for the table
+/// but not tuned.
+sweep_outcome host_sweep(const std::string& key, double flops_per_call,
+                         const std::vector<int>& tiles, json_value& rows,
+                         const std::function<void(const kernel::exec_config&)>& run) {
+    const int def_w = static_cast<int>(simd::default_width);
+    std::vector<kernel::tuned_config> cands;
+    for (const int w : {def_w, 4, 2, 1}) {
+        for (const int tile : tiles) {
+            kernel::tuned_config c;
+            c.width = w;
+            c.tile = tile;
+            cands.push_back(c);
+        }
     }
+    sweep_outcome out;
+    bool have_best = false;
+    for (auto& c : cands) {
+        const kernel::exec_config cfg = c.exec();
+        c.gflops = measure_gflops(flops_per_call, [&] { run(cfg); });
+        const bool is_default = c.width == def_w && c.tile == 0;
+        if (is_default) out.default_gflops = c.gflops;
+        if (!have_best || c.gflops > out.best.gflops) {
+            out.best = c;
+            have_best = true;
+        }
+        std::printf("  %-18s %-7s w=%d tile=%-3d %9.2f GFLOP/s%s\n", key.c_str(),
+                    "simd", c.width, c.tile, c.gflops, is_default ? "  (default)" : "");
+        rows.push(json_value::object()
+                      .add("kernel", key)
+                      .add("backend", "simd")
+                      .add("width", c.width)
+                      .add("tile", c.tile)
+                      .add("gflops", c.gflops)
+                      .add("is_default", is_default));
+    }
+    // The modeled-gpu policy executes the same double instantiation as
+    // exec::scalar — report it so the table shows all three backends.
+    kernel::tuned_config gc;
+    gc.backend = kernel::backend_kind::gpu;
+    gc.width = 1;
+    gc.tile = 0;
+    gc.gflops = measure_gflops(flops_per_call, [&] { run(gc.exec()); });
+    std::printf("  %-18s %-7s w=%d tile=%-3d %9.2f GFLOP/s\n", key.c_str(), "gpu",
+                gc.width, gc.tile, gc.gflops);
+    rows.push(json_value::object()
+                  .add("kernel", key)
+                  .add("backend", "gpu")
+                  .add("width", gc.width)
+                  .add("tile", gc.tile)
+                  .add("gflops", gc.gflops)
+                  .add("is_default", false));
+
+    kernel::global_autotune().store("host", key, kernel::backend_kind::simd,
+                                    out.best);
+    std::printf("  -> tuned: w=%d tile=%d (%.2f GFLOP/s vs %.2f default, %+.1f%%)\n\n",
+                out.best.width, out.best.tile, out.best.gflops, out.default_gflops,
+                100.0 * (out.best.gflops / out.default_gflops - 1.0));
+    return out;
 }
-BENCHMARK(bench_kt_flux);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+    std::printf("=== portable-kernel autotune sweep (ISSUE 7) ===\n\n");
+    std::printf("cache: %s\n\n", kernel::global_autotune().path().c_str());
+
+    json_value rows = json_value::array();
+    json_value tuned = json_value::array();
+    bool ok = true;
+
+    // ---- host sweeps: FMM same-level kernels --------------------------------
+    const auto mono_mom = make_moments(false);
+    const auto mono_buf = make_buffer(false);
+    const auto multi_mom = make_moments(true);
+    const auto multi_buf = make_buffer(true);
+    aligned_vector<double> invm(INX3);
+    for (int i = 0; i < INX3; ++i) invm[i] = 1.0 / multi_mom.m[i];
+    node_gravity out;
+    kernel_options opt;
+    opt.stencil = &interaction_stencil();
+
+    std::printf("host: FMM monopole (receiver-row tiles)\n");
+    const auto mono = host_sweep(
+        "fmm.monopole", static_cast<double>(mono_kernel_flops()), {0, 8, 16, 32},
+        rows, [&](const kernel::exec_config& cfg) {
+            kernel::run_fmm_monopole(cfg, mono_mom, mono_buf, opt, out);
+        });
+
+    std::printf("host: FMM multipole\n");
+    kernel_options mopt = opt;
+    mopt.use_inner_mask = true;
+    const auto multi = host_sweep(
+        "fmm.multipole", static_cast<double>(multi_kernel_flops(true)),
+        {0, 8, 16, 32}, rows, [&](const kernel::exec_config& cfg) {
+            kernel::run_fmm_multipole(cfg, multi_mom, invm, multi_buf, mopt, out);
+        });
+
+    // ---- host sweep: hydro flux sweep (transverse-lane tiles) ---------------
+    std::printf("host: hydro flux sweep (transverse-lane tiles)\n");
+    const phys::ideal_gas_eos eos;
+    hydro::pencil_workspace ws;
+    hydro::leaf_flux_soa lf;
+    lf.reset();
+    double ms = 0.0;
+    const double sweep_flops = 3.0 * amr::INX3 * 400.0; // modeled, per 3-axis pass
+    const auto hyd = host_sweep(
+        "hydro.leaf_fluxes", sweep_flops, {0, 16, 32}, rows,
+        [&](const kernel::exec_config& cfg) {
+            for (int axis = 0; axis < 3; ++axis) {
+                kernel::run_leaf_fluxes(cfg, tuning_leaf(), axis, eos, true, ws,
+                                        lf, &ms);
+            }
+        });
+
+    struct named_outcome {
+        const char* key;
+        const sweep_outcome* o;
+    };
+    for (const auto& [key, o] : {named_outcome{"fmm.monopole", &mono},
+                                 named_outcome{"fmm.multipole", &multi},
+                                 named_outcome{"hydro.leaf_fluxes", &hyd}}) {
+        tuned.push(json_value::object()
+                       .add("kernel", key)
+                       .add("machine", "host")
+                       .add("backend", "simd")
+                       .add("width", o->best.width)
+                       .add("tile", o->best.tile)
+                       .add("gflops", o->best.gflops)
+                       .add("default_gflops", o->default_gflops)
+                       .add("speedup", o->best.gflops / o->default_gflops));
+        if (o->best.gflops < o->default_gflops) {
+            std::printf("FAIL: tuned %s loses to the fixed default\n", key);
+            ok = false;
+        }
+    }
+
+    // ---- per-machine-model aggregation-batch sweep --------------------------
+    // The gpu_batch knob feeds the PR-6 aggregation executor; on the modeled
+    // nodes it is swept through the discrete-event simulator (the same model
+    // behind BENCH_gpu_streams.json), on the FMM-only burst that isolates the
+    // kernel path aggregation changes (the full step's overlapped CPU work
+    // otherwise hides the batch geometry entirely). Default batch 16 is
+    // measured first and kept on ties.
+    std::printf("machine models: fmm.same_level aggregation batch (FMM burst)\n");
+    const auto st = cluster::build_v1309_tree(14);
+    auto work = cluster::v1309_workload();
+    work.other_flops_per_leaf = 0.0;
+    struct machine_case {
+        cluster::node_spec node;
+        std::string key; ///< autotune machine key = base model name
+    };
+    const std::vector<machine_case> machines = {
+        {cluster::with_v100(cluster::xeon_e5_2660v3(10), 1),
+         cluster::xeon_e5_2660v3(10).name},
+        {cluster::with_v100(cluster::xeon_e5_2660v3(20), 1),
+         cluster::xeon_e5_2660v3(20).name},
+        {cluster::with_p100(cluster::piz_daint_node()),
+         cluster::piz_daint_node().name},
+    };
+    json_value jmachines = json_value::array();
+    for (const auto& mc : machines) {
+        json_value jrows = json_value::array();
+        double best_gf = 0.0, def_gf = 0.0, def_mk = 0.0, best_mk = 0.0;
+        unsigned best_batch = 16;
+        bool first = true;
+        for (const unsigned batch : {16u, 1u, 2u, 4u, 8u, 32u, 64u, 128u}) {
+            cluster::node_sim_config cfg;
+            cfg.node = mc.node;
+            cfg.work = work;
+            cfg.leaves = st.leaves;
+            cfg.refined = st.subgrids - st.leaves;
+            cfg.aggregate = true;
+            cfg.aggregation_batch = batch;
+            const auto r = cluster::simulate_node_step(cfg);
+            const double gf =
+                static_cast<double>(r.fmm_flops) / r.makespan_s / 1e9;
+            if (batch == 16u) {
+                def_gf = gf;
+                def_mk = r.makespan_s;
+            }
+            if (first || gf > best_gf) {
+                best_gf = gf;
+                best_mk = r.makespan_s;
+                best_batch = batch;
+                first = false;
+            }
+            std::printf("  %-44s batch=%-4u %8.3fs makespan %9.1f GFLOP/s%s\n",
+                        mc.node.name.c_str(), batch, r.makespan_s, gf,
+                        batch == 16u ? "  (default)" : "");
+            jrows.push(json_value::object()
+                           .add("batch", static_cast<int>(batch))
+                           .add("makespan_s", r.makespan_s)
+                           .add("gflops", gf)
+                           .add("is_default", batch == 16u));
+        }
+        kernel::tuned_config tc;
+        tc.backend = kernel::backend_kind::gpu;
+        tc.width = 1;
+        tc.tile = 0;
+        tc.gpu_batch = best_batch;
+        tc.gflops = best_gf;
+        kernel::global_autotune().store(mc.key, "fmm.same_level",
+                                        kernel::backend_kind::gpu, tc);
+        std::printf("  -> tuned: batch=%u (%.1f GFLOP/s vs %.1f default, %+.1f%%)\n\n",
+                    best_batch, best_gf, def_gf, 100.0 * (best_gf / def_gf - 1.0));
+        jmachines.push(json_value::object()
+                           .add("machine", mc.key)
+                           .add("node", mc.node.name)
+                           .add("kernel", "fmm.same_level")
+                           .add("backend", "gpu")
+                           .add("tuned_batch", static_cast<int>(best_batch))
+                           .add("default_batch", 16)
+                           .add("makespan_tuned_s", best_mk)
+                           .add("makespan_default_s", def_mk)
+                           .add("gflops", best_gf)
+                           .add("default_gflops", def_gf)
+                           .add("speedup", best_gf / def_gf)
+                           .add("sweep", jrows));
+        if (best_gf < def_gf) {
+            std::printf("FAIL: tuned batch loses to the default on %s\n",
+                        mc.key.c_str());
+            ok = false;
+        }
+    }
+
+    json_value root = json_value::object();
+    root.add("bench", "kernels")
+        .add("cache", kernel::global_autotune().path())
+        .add("host_sweep", rows)
+        .add("tuned", tuned)
+        .add("machines", jmachines)
+        .add("tuned_beats_default", ok);
+    octo::support::write_bench_json("BENCH_kernels.json", root);
+    std::printf("wrote BENCH_kernels.json (autotune cache: %s)\n",
+                kernel::global_autotune().path().c_str());
+    return ok ? 0 : 1;
+}

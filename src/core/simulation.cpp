@@ -5,11 +5,30 @@
 
 #include "amr/prolong.hpp"
 #include "io/checkpoint.hpp"
+#include "kernel/autotune.hpp"
 #include "support/assert.hpp"
 
 namespace octo::core {
 
 using namespace octo::amr;
+
+namespace {
+
+/// Fused-launch batch for the simulation-owned aggregator: the fixed default
+/// (16), or the tuned fmm.same_level batch when autotuning and the cache has
+/// an entry for this machine.
+unsigned sim_max_batch(const sim_options& opt) {
+    if (!opt.aggregate) return 1u;
+    if (opt.autotune) {
+        if (auto tc = kernel::global_autotune().lookup(
+                opt.machine, "fmm.same_level", kernel::backend_kind::gpu)) {
+            return std::max(1u, tc->gpu_batch);
+        }
+    }
+    return 16u;
+}
+
+} // namespace
 
 simulation::simulation(tree t, sim_options opt)
     : tree_(std::move(t)),
@@ -17,15 +36,16 @@ simulation::simulation(tree t, sim_options opt)
       own_agg_(opt.aggregator == nullptr && opt.device != nullptr
                    ? std::make_unique<gpu::aggregator>(
                          *opt.device,
-                         gpu::aggregator_options{
-                             .max_batch = opt.aggregate ? 16u : 1u})
+                         gpu::aggregator_options{.max_batch = sim_max_batch(opt)})
                    : nullptr),
       agg_(opt.aggregator != nullptr ? opt.aggregator : own_agg_.get()),
       gravity_({.conserve = opt.conserve,
                 .vectorized = opt.vectorized,
                 .device = opt.device,
                 .pool = opt.pool,
-                .aggregator = agg_}) {}
+                .aggregator = agg_,
+                .autotune = opt.autotune,
+                .machine = opt.machine}) {}
 
 simulation simulation::restart(const std::string& checkpoint_path,
                                sim_options opt) {
@@ -44,6 +64,8 @@ double simulation::advance() {
     h.omega = opt_.omega;
     h.pool = opt_.pool;
     h.aggregator = agg_;
+    h.autotune = opt_.autotune;
+    h.machine = opt_.machine;
     if (opt_.self_gravity) {
         // Gravity is (re)solved before EVERY RK stage so the source terms
         // act on exactly the density the FMM saw — this is what closes the

@@ -35,6 +35,11 @@ struct sim_options {
     dvec3 omega{0, 0, 0};          ///< rotating-frame angular velocity
     bool vectorized = true;
     rt::thread_pool* pool = nullptr;
+    /// Autotuned launch geometry (kernel/autotune.hpp): hydro sweeps its
+    /// width/tile at first use; FMM and the aggregation batch are lookup-only
+    /// (seeded by bench_kernels). Off = the fixed defaults everywhere.
+    bool autotune = false;
+    std::string machine = "host";  ///< autotune cache machine key
 };
 
 /// Per-step energy/conservation report.

@@ -1,130 +1,8 @@
 #include "fmm/kernels.hpp"
 
-#include "support/assert.hpp"
+#include "fmm/stencil.hpp"
 
 namespace octo::fmm {
-namespace {
-
-template <class T>
-struct lane_count {
-    static constexpr int value = 1;
-};
-template <class U, std::size_t W>
-struct lane_count<simd::pack<U, W>> {
-    static constexpr int value = static_cast<int>(W);
-};
-
-template <class T>
-T load_v(const double* p) {
-    if constexpr (lane_count<T>::value == 1) {
-        return *p;
-    } else {
-        return T::load(p);
-    }
-}
-
-/// Per-lane inclusion factor (1.0 or 0.0) from a stencil element's
-/// receiver-parity mask, for receiver parities (ix, iy) and a lane block
-/// starting at interior k-index k0.
-template <class T>
-T parity_factor(std::uint8_t mask, int ix, int iy, int k0) {
-    if constexpr (lane_count<T>::value == 1) {
-        const int bit = (ix & 1) | ((iy & 1) << 1) | ((k0 & 1) << 2);
-        return ((mask >> bit) & 1) != 0 ? 1.0 : 0.0;
-    } else {
-        T f;
-        for (std::size_t l = 0; l < T::size(); ++l) {
-            const int bit =
-                (ix & 1) | ((iy & 1) << 1) | (((k0 + static_cast<int>(l)) & 1) << 2);
-            f.set(l, ((mask >> bit) & 1) != 0 ? 1.0 : 0.0);
-        }
-        return f;
-    }
-}
-
-template <class T>
-void store_add(double* p, const T& v) {
-    if constexpr (lane_count<T>::value == 1) {
-        *p += v;
-    } else {
-        (load_v<T>(p) + v).store(p);
-    }
-}
-
-template <class T>
-bool any_lane_nonzero(const T& f) {
-    if constexpr (lane_count<T>::value == 1) {
-        return f != 0.0;
-    } else {
-        for (std::size_t l = 0; l < T::size(); ++l) {
-            if (f[l] != 0.0) return true;
-        }
-        return false;
-    }
-}
-
-/// Stencil elements preprocessed per receiver-parity class.
-///
-/// The kernels' inner loop historically paid, per (cell block, element):
-/// building the parity factor lane by lane, the padded-index arithmetic, and
-/// a full interaction even when the factor was zero in every lane. All three
-/// only depend on the element and the receiver parity (i&1, j&1, k0&1) — so
-/// they are hoisted here into per-parity lists of {flat offset, factor
-/// vector}, and elements whose factor is zero in every lane are dropped from
-/// the class entirely. Dropping them is bit-identical: a zero factor zeroes
-/// the partner's m and q, making every accumulated term exactly +-0.0.
-///
-/// Two prepasses run first and are also exact: the inner-mask filter, and
-/// the mass-bounds filter (elements whose shifted window [d, d+INX-1] misses
-/// the buffer's nonzero-mass bounding box contribute +0.0 for every cell —
-/// all terms scale with the partner's m and q, and r2 > 0 by construction).
-///
-/// Thread-local scratch: no allocation in steady state.
-template <class T>
-struct parity_lists {
-    struct item {
-        std::int32_t offset; ///< flat partner-buffer offset of the element
-        T factor;            ///< per-lane parity inclusion factor
-    };
-    std::vector<item> lists[8]; ///< indexed by (i&1) | ((j&1)<<1) | ((k0&1)<<2)
-};
-
-template <class T>
-const parity_lists<T>& active_parity_lists(const std::vector<stencil_element>& st,
-                                           const partner_buffer& partners,
-                                           bool use_inner_mask) {
-    constexpr int W = lane_count<T>::value;
-    constexpr int P = partner_buffer::P;
-    thread_local parity_lists<T> pl;
-    for (auto& l : pl.lists) l.clear();
-    // Cell blocks start at k0 = 0, W, 2W, ...: with W even only k0&1 == 0
-    // occurs; the scalar kernel visits both k parities.
-    const int npk = (W % 2 == 0) ? 1 : 2;
-    for (const auto& e : st) {
-        if (use_inner_mask && e.inner) continue;
-        const int d[3] = {e.dx, e.dy, e.dz};
-        bool overlaps = true;
-        for (int a = 0; a < 3; ++a) {
-            if (d[a] + INX - 1 < partners.mlo[a] || d[a] > partners.mhi[a]) {
-                overlaps = false;
-                break;
-            }
-        }
-        if (!overlaps) continue;
-        const auto offset =
-            static_cast<std::int32_t>((e.dx * P + e.dy) * P + e.dz);
-        for (int pk = 0; pk < npk; ++pk)
-            for (int pj = 0; pj < 2; ++pj)
-                for (int pi = 0; pi < 2; ++pi) {
-                    const T f = parity_factor<T>(e.parity_mask, pi, pj, pk);
-                    if (!any_lane_nonzero(f)) continue;
-                    pl.lists[pi | (pj << 1) | (pk << 2)].push_back({offset, f});
-                }
-    }
-    return pl;
-}
-
-} // namespace
 
 std::uint64_t interactions_per_launch(bool inner_masked) {
     const auto n = static_cast<std::uint64_t>(interaction_stencil().size()) -
@@ -139,201 +17,5 @@ std::uint64_t mono_kernel_flops() {
 std::uint64_t multi_kernel_flops(bool inner_masked) {
     return interactions_per_launch(inner_masked) * multi_flops_per_interaction;
 }
-
-template <class T>
-void monopole_kernel(const node_moments& self, const partner_buffer& partners,
-                     const kernel_options& opt, node_gravity& out) {
-    constexpr int W = lane_count<T>::value;
-    static_assert(INX % W == 0 || W == 1);
-    const auto& pl = active_parity_lists<T>(
-        opt.stencil != nullptr ? *opt.stencil : interaction_stencil(), partners,
-        false);
-
-    for (int i = 0; i < INX; ++i) {
-        for (int j = 0; j < INX; ++j) {
-            for (int k0 = 0; k0 < INX; k0 += W) {
-                const int c = cell_index(i, j, k0);
-                const int base = partner_buffer::index(i, j, k0);
-                const auto& st =
-                    pl.lists[(i & 1) | ((j & 1) << 1) | ((k0 & 1) << 2)];
-                const T ax = load_v<T>(&self.com[0][c]);
-                const T ay = load_v<T>(&self.com[1][c]);
-                const T az = load_v<T>(&self.com[2][c]);
-
-                T phi(0.0), l1x(0.0), l1y(0.0), l1z(0.0);
-
-                for (const auto& e : st) {
-                    const int p = base + e.offset;
-                    const T mB = load_v<T>(&partners.m[p]) * e.factor;
-                    const T dx = ax - load_v<T>(&partners.x[p]);
-                    const T dy = ay - load_v<T>(&partners.y[p]);
-                    const T dz = az - load_v<T>(&partners.z[p]);
-                    const T r2 = dx * dx + dy * dy + dz * dz;
-                    const T rinv = simd::rsqrt(r2);
-                    const T mrinv = mB * rinv;
-                    const T mrinv3 = mrinv * rinv * rinv;
-                    // phi = -m/r ; dphi/dx_i = +m x_i / r^3 (g = -L1 later)
-                    phi = phi - mrinv;
-                    l1x = l1x + dx * mrinv3;
-                    l1y = l1y + dy * mrinv3;
-                    l1z = l1z + dz * mrinv3;
-                }
-                store_add(&out.L[0][c], phi);
-                store_add(&out.L[1][c], l1x);
-                store_add(&out.L[2][c], l1y);
-                store_add(&out.L[3][c], l1z);
-            }
-        }
-    }
-}
-
-template <class T>
-void multipole_kernel(const node_moments& self, const aligned_vector<double>& self_invm,
-                      const partner_buffer& partners, const kernel_options& opt,
-                      node_gravity& out) {
-    constexpr int W = lane_count<T>::value;
-    static_assert(INX % W == 0 || W == 1);
-    const auto& pl = active_parity_lists<T>(
-        opt.stencil != nullptr ? *opt.stencil : interaction_stencil(), partners,
-        opt.use_inner_mask);
-
-    for (int i = 0; i < INX; ++i) {
-        for (int j = 0; j < INX; ++j) {
-            for (int k0 = 0; k0 < INX; k0 += W) {
-                const int c = cell_index(i, j, k0);
-                const int base = partner_buffer::index(i, j, k0);
-                const auto& st =
-                    pl.lists[(i & 1) | ((j & 1) << 1) | ((k0 & 1) << 2)];
-                const T ax = load_v<T>(&self.com[0][c]);
-                const T ay = load_v<T>(&self.com[1][c]);
-                const T az = load_v<T>(&self.com[2][c]);
-                const T mA = load_v<T>(&self.m[c]);
-                const T invmA = load_v<T>(&self_invm[c]);
-                T qa[6];
-                for (int t = 0; t < 6; ++t) qa[t] = load_v<T>(&self.q[t][c]);
-
-                expansion<T> acc;
-                for (auto& a : acc) a = T(0.0);
-                T tq_acc[3] = {T(0.0), T(0.0), T(0.0)};
-
-                for (const auto& e : st) {
-                    const int p = base + e.offset;
-                    const T& f = e.factor;
-                    const T mB = load_v<T>(&partners.m[p]) * f;
-                    T qb[6];
-                    for (int t = 0; t < 6; ++t) qb[t] = load_v<T>(&partners.q[t][p]) * f;
-
-                    T x[3];
-                    x[0] = ax - load_v<T>(&partners.x[p]);
-                    x[1] = ay - load_v<T>(&partners.y[p]);
-                    x[2] = az - load_v<T>(&partners.z[p]);
-                    const T r2 = x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
-
-                    expansion<T> D;
-                    greens_d3(x, r2, D);
-
-                    // Potential: phi = -(mB D0 + 1/2 QB : D2).
-                    T qd2(0.0);
-                    {
-                        int t = 0;
-                        for (int a = 0; a < 3; ++a)
-                            for (int b = a; b < 3; ++b, ++t) {
-                                qd2 = qd2 + T(mult2(a, b)) * qb[t] * D[idx2(a, b)];
-                            }
-                    }
-                    acc[0] = acc[0] - (mB * D[0] + T(0.5) * qd2);
-
-                    // Second-moment force terms.
-                    //
-                    // Plain / spin-deposit modes use the standard
-                    // source-quadrupole gradient t_i = QB_jk D3_ijk,
-                    // acceleration term -(1/2) t_i (most accurate; the
-                    // receiver's own quadrupole force arises from the L2L
-                    // redistribution, making the net pair force symmetric).
-                    //
-                    // Central-projection mode builds the exactly
-                    // antisymmetric pair force from the symmetrized moment
-                    // S = mA QB + mB QA and projects it onto the line of
-                    // centers, so the pair torque vanishes identically.
-                    //
-                    // Spin-deposit mode additionally computes the pair's
-                    // NET torque x cross F_net (with F_net from the
-                    // symmetrized S) and deposits half of its negation at
-                    // the receiver — both sides of the pair together cancel
-                    // the mechanical torque in the spin ledger.
-                    const bool central = opt.conserve == am_mode::central_projection;
-                    const bool deposit = opt.conserve == am_mode::spin_deposit;
-
-                    T tvec[3], tsym[3];
-                    for (int a = 0; a < 3; ++a) tvec[a] = tsym[a] = T(0.0);
-                    {
-                        int t = 0;
-                        for (int a = 0; a < 3; ++a)
-                            for (int b = a; b < 3; ++b, ++t) {
-                                const T s_plain = qb[t];
-                                const T s_sym = mA * qb[t] + mB * qa[t];
-                                const T s = central ? s_sym : s_plain;
-                                for (int d = 0; d < 3; ++d) {
-                                    int u = d, v = a, w = b; // sort (u,v,w)
-                                    if (u > v) std::swap(u, v);
-                                    if (v > w) std::swap(v, w);
-                                    if (u > v) std::swap(u, v);
-                                    const T d3 = D[idx3(u, v, w)];
-                                    tvec[d] = tvec[d] + T(mult2(a, b)) * s * d3;
-                                    if (deposit) {
-                                        tsym[d] =
-                                            tsym[d] + T(mult2(a, b)) * s_sym * d3;
-                                    }
-                                }
-                            }
-                    }
-                    T half_scale = T(0.5);
-                    if (central) {
-                        // Project onto the line of centers: the pair torque
-                        // (xA - xB) x F vanishes identically.
-                        const T xt = x[0] * tvec[0] + x[1] * tvec[1] + x[2] * tvec[2];
-                        const T scale = xt / r2;
-                        for (int a = 0; a < 3; ++a) tvec[a] = x[a] * scale;
-                        half_scale = T(0.5) * invmA;
-                    }
-                    if (deposit) {
-                        // F_net = +(1/2) tsym, pair torque = x cross F_net;
-                        // each side owns half of the cancellation:
-                        // deposit = -1/4 (x cross tsym).
-                        const T q = T(-0.25);
-                        tq_acc[0] = tq_acc[0] + q * (x[1] * tsym[2] - x[2] * tsym[1]);
-                        tq_acc[1] = tq_acc[1] + q * (x[2] * tsym[0] - x[0] * tsym[2]);
-                        tq_acc[2] = tq_acc[2] + q * (x[0] * tsym[1] - x[1] * tsym[0]);
-                    }
-
-                    // dphi/dx_i = -mB D1_i - (1/2) [invmA] t_i.
-                    for (int a = 0; a < 3; ++a) {
-                        acc[1 + a] = acc[1 + a] - mB * D[1 + a] - half_scale * tvec[a];
-                    }
-                    // Higher coefficients: monopole source only.
-                    for (int t = 4; t < n_taylor; ++t) {
-                        acc[t] = acc[t] - mB * D[t];
-                    }
-                }
-
-                for (int t = 0; t < n_taylor; ++t) store_add(&out.L[t][c], acc[t]);
-                for (int a = 0; a < 3; ++a) store_add(&out.tq[a][c], tq_acc[a]);
-            }
-        }
-    }
-}
-
-// Explicit instantiations: scalar (simulated-GPU path) and SIMD (CPU path).
-template void monopole_kernel<double>(const node_moments&, const partner_buffer&,
-                                      const kernel_options&, node_gravity&);
-template void monopole_kernel<simd::dpack>(const node_moments&, const partner_buffer&,
-                                           const kernel_options&, node_gravity&);
-template void multipole_kernel<double>(const node_moments&, const aligned_vector<double>&,
-                                       const partner_buffer&, const kernel_options&,
-                                       node_gravity&);
-template void multipole_kernel<simd::dpack>(const node_moments&,
-                                            const aligned_vector<double>&,
-                                            const partner_buffer&, const kernel_options&,
-                                            node_gravity&);
 
 } // namespace octo::fmm

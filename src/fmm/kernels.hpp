@@ -67,20 +67,10 @@ struct kernel_options {
     const std::vector<stencil_element>* stencil = nullptr;
 };
 
-/// Monopole-monopole: accumulate potential (L[0]) and acceleration
-/// (L[1..3], as raw derivative coefficients: g = -grad phi = -L1) for every
-/// receiver cell against the partner buffer through the stencil.
-template <class T>
-void monopole_kernel(const node_moments& self, const partner_buffer& partners,
-                     const kernel_options& opt, node_gravity& out);
-
-/// Combined multipole kernel (multipole-multipole, multipole-monopole and
-/// monopole-multipole cases). `self_invm` must hold 1/m per receiver cell
-/// (0 where massless).
-template <class T>
-void multipole_kernel(const node_moments& self, const aligned_vector<double>& self_invm,
-                      const partner_buffer& partners, const kernel_options& opt,
-                      node_gravity& out);
+// The kernel bodies themselves live in src/kernel/fmm.{hpp,cpp} (ISSUE 7):
+// one templated body per kernel, instantiated per execution-space policy.
+// This header keeps the shared option/metadata types and the paper-style
+// flop accounting.
 
 /// Number of stencil interactions one kernel launch performs
 /// (512 cells x 1074 stencil elements = 549'888; paper §4.3).
@@ -89,8 +79,5 @@ std::uint64_t interactions_per_launch(bool inner_masked);
 /// Total FLOPs of one kernel launch (for the paper-style accounting).
 std::uint64_t mono_kernel_flops();
 std::uint64_t multi_kernel_flops(bool inner_masked);
-
-// Explicitly instantiated for T = double (scalar / simulated-GPU path) and
-// T = simd::pack<double, simd::default_width> (vectorized CPU path).
 
 } // namespace octo::fmm

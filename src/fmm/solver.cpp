@@ -5,6 +5,8 @@
 #include <mutex>
 #include <utility>
 
+#include "kernel/autotune.hpp"
+#include "kernel/fmm.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
 #include "sanitize/hooks.hpp"
@@ -22,6 +24,32 @@ using amr::tree;
 
 solver::solver(options o)
     : opt_(o), pool_(o.pool != nullptr ? o.pool : &rt::thread_pool::global()) {
+    // CPU launch geometry for the same-level kernels. Lookup-only autotuning:
+    // a tuned entry (seeded by bench_kernels or a prior run) overrides the
+    // default width/tile; a cache miss keeps the defaults.
+    const auto base = opt_.vectorized
+                          ? kernel::exec_config{}
+                          : kernel::exec_config{kernel::backend_kind::scalar, 1, 0};
+    mono_cfg_ = base;
+    multi_cfg_ = base;
+    unsigned tuned_batch = opt_.gpu_batch;
+    if (opt_.autotune) {
+        auto& cache = kernel::global_autotune();
+        if (opt_.vectorized) {
+            if (auto tc = cache.lookup(opt_.machine, "fmm.monopole",
+                                       kernel::backend_kind::simd)) {
+                mono_cfg_ = tc->exec();
+            }
+            if (auto tc = cache.lookup(opt_.machine, "fmm.multipole",
+                                       kernel::backend_kind::simd)) {
+                multi_cfg_ = tc->exec();
+            }
+        }
+        if (auto tc = cache.lookup(opt_.machine, "fmm.same_level",
+                                   kernel::backend_kind::gpu)) {
+            tuned_batch = tc->gpu_batch;
+        }
+    }
     // One launch point for all offload (the Kokkos/HPX lesson of
     // arXiv:2210.06439): an externally provided executor wins; otherwise a
     // device implies a private single-device executor. aggregate=false keeps
@@ -31,7 +59,7 @@ solver::solver(options o)
         agg_ = opt_.aggregator;
     } else if (opt_.device != nullptr) {
         gpu::aggregator_options ao;
-        ao.max_batch = opt_.aggregate ? std::max(1u, opt_.gpu_batch) : 1u;
+        ao.max_batch = opt_.aggregate ? std::max(1u, tuned_batch) : 1u;
         own_agg_ = std::make_unique<gpu::aggregator>(*opt_.device, ao);
         agg_ = own_agg_.get();
     }
@@ -84,57 +112,14 @@ void solver::m2m(tree& t, node_key k) {
     const box_geometry geom = t.geometry(k);
     sanitize::region_write(&mom, "fmm.moments");
 
+    const node_moments* children[8];
     for (int c = 0; c < 8; ++c) {
-        const node_key ck = key_child(k, c);
-        const auto& cm = moments_.at(ck);
+        const auto& cm = moments_.at(key_child(k, c));
         sanitize::region_read(&cm, "fmm.moments");
-        const int ox = ((c >> 0) & 1) * (INX / 2);
-        const int oy = ((c >> 1) & 1) * (INX / 2);
-        const int oz = ((c >> 2) & 1) * (INX / 2);
-
-        for (int pi = 0; pi < INX / 2; ++pi)
-            for (int pj = 0; pj < INX / 2; ++pj)
-                for (int pk = 0; pk < INX / 2; ++pk) {
-                    const int pc = cell_index(ox + pi, oy + pj, oz + pk);
-                    double m = 0.0;
-                    dvec3 com{0, 0, 0};
-                    for (int ci = 0; ci < 2; ++ci)
-                        for (int cj = 0; cj < 2; ++cj)
-                            for (int ck2 = 0; ck2 < 2; ++ck2) {
-                                const int cc = cell_index(2 * pi + ci, 2 * pj + cj,
-                                                          2 * pk + ck2);
-                                m += cm.m[cc];
-                                com += cm.m[cc] * dvec3{cm.com[0][cc], cm.com[1][cc],
-                                                        cm.com[2][cc]};
-                            }
-                    if (m > 0.0) {
-                        com /= m;
-                    } else {
-                        com = geom.cell_center(ox + pi, oy + pj, oz + pk);
-                    }
-                    double q[6] = {0, 0, 0, 0, 0, 0};
-                    for (int ci = 0; ci < 2; ++ci)
-                        for (int cj = 0; cj < 2; ++cj)
-                            for (int ck2 = 0; ck2 < 2; ++ck2) {
-                                const int cc = cell_index(2 * pi + ci, 2 * pj + cj,
-                                                          2 * pk + ck2);
-                                const dvec3 d = dvec3{cm.com[0][cc], cm.com[1][cc],
-                                                      cm.com[2][cc]} -
-                                                com;
-                                int s = 0;
-                                for (int a = 0; a < 3; ++a)
-                                    for (int b = a; b < 3; ++b, ++s) {
-                                        q[s] += cm.q[s][cc] + cm.m[cc] * d[a] * d[b];
-                                    }
-                            }
-                    mom.m[pc] = m;
-                    mom.com[0][pc] = com.x;
-                    mom.com[1][pc] = com.y;
-                    mom.com[2][pc] = com.z;
-                    for (int s = 0; s < 6; ++s) mom.q[s][pc] = q[s];
-                    invm[pc] = m > 0.0 ? 1.0 / m : 0.0;
-                }
+        children[c] = &cm;
     }
+    kernel::run_fmm_m2m(kernel::exec_config{kernel::backend_kind::scalar, 1, 0},
+                        children, geom, mom, invm);
 }
 
 void solver::fill_buffer_region(tree& t, node_key nb, const ivec3& off,
@@ -311,12 +296,13 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
         auto batch =
             std::make_shared<std::vector<launch_spec>>(std::move(launches));
         item.kernel = [&self_mom, &self_invm, &out, batch](const double*) {
+            const kernel::exec_config gcfg{kernel::backend_kind::gpu, 1, 0};
             for (const auto& s : *batch) {
                 if (s.monopole_math) {
-                    monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
+                    kernel::run_fmm_monopole(gcfg, self_mom, *s.buf, s.opt, out);
                 } else {
-                    multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt,
-                                             out);
+                    kernel::run_fmm_multipole(gcfg, self_mom, self_invm, *s.buf,
+                                              s.opt, out);
                 }
             }
         };
@@ -327,58 +313,19 @@ void solver::same_level(tree& t, node_key k, std::vector<rt::future<void>>& pend
         launches = std::move(*batch); // rejected: run them on the CPU
     }
 
-    // CPU path (vectorized).
+    // CPU path: the same kernel bodies through the solver's resolved launch
+    // geometry (scalar/SIMD width + receiver-row tile, possibly autotuned).
     for (auto& s : launches) {
         count_launch(s.kc, exec_site::cpu);
-        if (opt_.vectorized) {
-            if (s.monopole_math) {
-                monopole_kernel<simd::dpack>(self_mom, *s.buf, s.opt, out);
-            } else {
-                multipole_kernel<simd::dpack>(self_mom, self_invm, *s.buf, s.opt,
-                                              out);
-            }
+        if (s.monopole_math) {
+            kernel::run_fmm_monopole(mono_cfg_, self_mom, *s.buf, s.opt, out);
         } else {
-            if (s.monopole_math) {
-                monopole_kernel<double>(self_mom, *s.buf, s.opt, out);
-            } else {
-                multipole_kernel<double>(self_mom, self_invm, *s.buf, s.opt, out);
-            }
+            kernel::run_fmm_multipole(multi_cfg_, self_mom, self_invm, *s.buf,
+                                      s.opt, out);
         }
         count_flops(s.kc, exec_site::cpu, s.flops);
     }
 }
-
-namespace {
-
-/// Solve the 3x3 system K w = b (K symmetric) with light Tikhonov
-/// regularization for near-singular K (collinear mass distributions).
-dvec3 solve3x3_sym(double K[3][3], const dvec3& b) {
-    const double tr = K[0][0] + K[1][1] + K[2][2];
-    if (tr <= 0.0) return {0, 0, 0};
-    const double eps = 1e-12 * tr;
-    double A[3][4] = {{K[0][0] + eps, K[0][1], K[0][2], b.x},
-                      {K[1][0], K[1][1] + eps, K[1][2], b.y},
-                      {K[2][0], K[2][1], K[2][2] + eps, b.z}};
-    // Gaussian elimination with partial pivoting.
-    for (int col = 0; col < 3; ++col) {
-        int piv = col;
-        for (int r = col + 1; r < 3; ++r) {
-            if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
-        }
-        if (std::abs(A[piv][col]) < 1e-300) return {0, 0, 0};
-        if (piv != col) {
-            for (int cc = 0; cc < 4; ++cc) std::swap(A[piv][cc], A[col][cc]);
-        }
-        for (int r = 0; r < 3; ++r) {
-            if (r == col) continue;
-            const double f = A[r][col] / A[col][col];
-            for (int cc = col; cc < 4; ++cc) A[r][cc] -= f * A[col][cc];
-        }
-    }
-    return {A[0][3] / A[0][0], A[1][3] / A[1][1], A[2][3] / A[2][2]};
-}
-
-} // namespace
 
 void solver::l2l(tree& t, node_key k) {
     (void)t;
@@ -398,166 +345,10 @@ void solver::l2l(tree& t, node_key k) {
         sanitize::region_read(childM[c], "fmm.moments");
     }
 
-    // Per PARENT cell: translate the expansion to its 8 child cells.
-    for (int pi = 0; pi < INX; ++pi)
-        for (int pj = 0; pj < INX; ++pj)
-            for (int pk = 0; pk < INX; ++pk) {
-                const int pc = cell_index(pi, pj, pk);
-                expansion<double> src;
-                for (int s = 0; s < n_taylor; ++s) src[s] = parentL.L[s][pc];
-
-                // Locate the owning child node and the 2x2x2 child cells.
-                const int oc = (pi / (INX / 2)) | ((pj / (INX / 2)) << 1) |
-                               ((pk / (INX / 2)) << 2);
-                const int bi = (pi % (INX / 2)) * 2;
-                const int bj = (pj % (INX / 2)) * 2;
-                const int bk = (pk % (INX / 2)) * 2;
-
-                struct child_ref {
-                    int cell;
-                    double m;
-                    dvec3 delta;
-                    dvec3 da; // acceleration redistribution (from -L1 shift)
-                    double dphi;
-                    double dL2[6];
-                };
-                child_ref ch[8];
-                int nch = 0;
-                for (int ci = 0; ci < 2; ++ci)
-                    for (int cj = 0; cj < 2; ++cj)
-                        for (int ck2 = 0; ck2 < 2; ++ck2) {
-                            auto& r = ch[nch++];
-                            r.cell = cell_index(bi + ci, bj + cj, bk + ck2);
-                            const auto& cm = *childM[oc];
-                            r.m = cm.m[r.cell];
-                            r.delta = {cm.com[0][r.cell] - pm.com[0][pc],
-                                       cm.com[1][r.cell] - pm.com[1][pc],
-                                       cm.com[2][r.cell] - pm.com[2][pc]};
-                            const double d[3] = {r.delta.x, r.delta.y, r.delta.z};
-                            // Potential shift (no conservation constraint).
-                            r.dphi = evaluate(src, d) - src[0];
-                            // Gradient shift = redistribution of the force.
-                            double grad[3];
-                            evaluate_gradient(src, d, grad);
-                            r.da = {-(grad[0] - src[1]), -(grad[1] - src[2]),
-                                    -(grad[2] - src[3])};
-                            // L2 shift (feeds the next L2L level).
-                            int s2 = 0;
-                            for (int a = 0; a < 3; ++a)
-                                for (int b = a; b < 3; ++b, ++s2) {
-                                    double v = 0;
-                                    for (int e = 0; e < 3; ++e) {
-                                        int u = a, v2 = b, w = e;
-                                        if (u > v2) std::swap(u, v2);
-                                        if (v2 > w) std::swap(v2, w);
-                                        if (u > v2) std::swap(u, v2);
-                                        v += src[idx3(u, v2, w)] * d[e];
-                                    }
-                                    r.dL2[s2] = v;
-                                }
-                        }
-
-                if (opt_.conserve == am_mode::central_projection) {
-                    // (i) Remove the net force the redistribution would
-                    // inject (it is already carried by the pair forces).
-                    double mtot = 0;
-                    dvec3 fsum{0, 0, 0};
-                    for (int c = 0; c < 8; ++c) {
-                        mtot += ch[c].m;
-                        fsum += ch[c].m * ch[c].da;
-                    }
-                    if (mtot > 0.0) {
-                        const dvec3 mean = fsum / mtot;
-                        for (int c = 0; c < 8; ++c) ch[c].da -= mean;
-
-                        // (ii) Absorb the internal torque into a rigid
-                        // rotation field w x delta (the same trick the
-                        // hydro reconstruction uses for spin):
-                        // solve (tr(Q) I - Q) w = -T.
-                        dvec3 T{0, 0, 0};
-                        double Q[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
-                        for (int c = 0; c < 8; ++c) {
-                            T += ch[c].m * cross(ch[c].delta, ch[c].da);
-                            for (int a = 0; a < 3; ++a)
-                                for (int b = 0; b < 3; ++b) {
-                                    Q[a][b] += ch[c].m * ch[c].delta[a] *
-                                               ch[c].delta[b];
-                                }
-                        }
-                        double K[3][3];
-                        const double trQ = Q[0][0] + Q[1][1] + Q[2][2];
-                        for (int a = 0; a < 3; ++a)
-                            for (int b = 0; b < 3; ++b) {
-                                K[a][b] = (a == b ? trQ : 0.0) - Q[a][b];
-                            }
-                        const dvec3 w = solve3x3_sym(K, -T);
-                        for (int c = 0; c < 8; ++c) {
-                            ch[c].da += cross(w, ch[c].delta);
-                        }
-                    }
-                }
-
-                // Spin-torque ledger: pass the parent cell's deposits down
-                // (mass-weighted) and, in spin_deposit mode, also deposit the
-                // negation of the internal torque this redistribution adds.
-                dvec3 ledger{parentL.tq[0][pc], parentL.tq[1][pc],
-                             parentL.tq[2][pc]};
-                double mtot = 0;
-                for (int c = 0; c < 8; ++c) mtot += ch[c].m;
-                if (opt_.conserve == am_mode::spin_deposit) {
-                    dvec3 T_int{0, 0, 0};
-                    for (int c = 0; c < 8; ++c) {
-                        T_int += ch[c].m * cross(ch[c].delta, ch[c].da);
-                    }
-                    // Deeper L2L levels will emit additional net forces from
-                    // redistributing this L3 against each child's INTERNAL
-                    // quadrupole q_c (the telescoped sum of its sub-tree's
-                    // point moments), applied at the child's COM rather than
-                    // here: account for the displaced torque now, so the
-                    // ledger closes across arbitrarily deep trees.
-                    dvec3 T_deep{0, 0, 0};
-                    const auto& cm = *childM[oc];
-                    for (int c = 0; c < 8; ++c) {
-                        const int cc = ch[c].cell;
-                        dvec3 tv{0, 0, 0};
-                        int s2 = 0;
-                        for (int a = 0; a < 3; ++a)
-                            for (int b = a; b < 3; ++b, ++s2) {
-                                const double qv = cm.q[s2][cc];
-                                for (int d = 0; d < 3; ++d) {
-                                    int u = d, v = a, w = b;
-                                    if (u > v) std::swap(u, v);
-                                    if (v > w) std::swap(v, w);
-                                    if (u > v) std::swap(u, v);
-                                    tv[d] += mult2(a, b) * qv *
-                                             src[idx3(u, v, w)];
-                                }
-                            }
-                        const dvec3 F_deep = -0.5 * tv;
-                        T_deep += cross(ch[c].delta, F_deep);
-                    }
-                    ledger -= T_int + T_deep;
-                }
-
-                // Accumulate into the children.
-                for (int c = 0; c < 8; ++c) {
-                    auto& out = *childLw[oc];
-                    const int cc = ch[c].cell;
-                    out.L[0][cc] += src[0] + ch[c].dphi;
-                    out.L[1][cc] += src[1] - ch[c].da.x;
-                    out.L[2][cc] += src[2] - ch[c].da.y;
-                    out.L[3][cc] += src[3] - ch[c].da.z;
-                    for (int s2 = 0; s2 < 6; ++s2) {
-                        out.L[4 + s2][cc] += src[4 + s2] + ch[c].dL2[s2];
-                    }
-                    for (int s = 10; s < n_taylor; ++s) out.L[s][cc] += src[s];
-                    const double share = mtot > 0.0 ? ch[c].m / mtot : 0.125;
-                    out.tq[0][cc] += share * ledger.x;
-                    out.tq[1][cc] += share * ledger.y;
-                    out.tq[2][cc] += share * ledger.z;
-                }
-            }
+    kernel::run_fmm_l2l(kernel::exec_config{kernel::backend_kind::scalar, 1, 0},
+                        parentL, pm, childM, childLw, opt_.conserve);
 }
+
 
 void solver::evaluate_node(node_key k) {
     auto& g = gravity_.at(k);

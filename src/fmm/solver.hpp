@@ -14,12 +14,14 @@
 // to rounding — Octo-Tiger's headline property (§4.2).
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "amr/tree.hpp"
 #include "fmm/kernels.hpp"
 #include "gpu/aggregator.hpp"
 #include "gpu/device.hpp"
+#include "kernel/exec.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace octo::fmm {
@@ -47,6 +49,12 @@ struct solver_options {
     /// the paper's original one-stream-per-node policy for A/B runs.
     bool aggregate = true;
     unsigned gpu_batch = 16;          ///< fused-launch size threshold
+    /// Consult the autotune cache (kernel/autotune.hpp) for tuned launch
+    /// geometry — SIMD width/tile for the CPU kernels, fused-batch size for
+    /// the GPU path — under the given machine key. Lookup-only: the solver
+    /// never sweeps; benches/apps seed the cache. A miss keeps the defaults.
+    bool autotune = false;
+    std::string machine = "host";     ///< autotune cache machine key
 };
 
 class solver {
@@ -102,6 +110,10 @@ class solver {
 
     options opt_;
     rt::thread_pool* pool_;
+    /// CPU launch geometry for the two same-level kernels (resolved once in
+    /// the constructor from opt_.vectorized and, when autotuning, the cache).
+    kernel::exec_config mono_cfg_;
+    kernel::exec_config multi_cfg_;
     gpu::aggregator* agg_ = nullptr; ///< offload launch point (null = CPU only)
     std::unordered_map<amr::node_key, node_moments> moments_;
     std::unordered_map<amr::node_key, node_gravity> gravity_;

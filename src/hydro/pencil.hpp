@@ -83,18 +83,8 @@ struct pencil_workspace {
     aligned_vector<double> fhi;   ///< [n_recon_vars][recon_cells][lanes]
 };
 
-/// Vectorized flux sweep along `axis` of one leaf: gather the sub-grid into
-/// the SoA pencil bundle, reconstruct (PPM or PCM), assemble face states and
-/// write the Kurganov–Tadmor fluxes into `out`'s axis planes. Accumulates
-/// the maximum signal speed into *max_speed.
-void compute_leaf_fluxes_simd(const amr::subgrid& g, int axis,
-                              const phys::ideal_gas_eos& eos, bool use_ppm,
-                              pencil_workspace& ws, leaf_flux_soa& out,
-                              double* max_speed);
-
-/// Vectorized max signal speed over the interior of one leaf (the per-leaf
-/// CFL reduction). Matches the scalar reduction exactly (max is exact).
-double leaf_max_wave_speed_simd(const amr::subgrid& g,
-                                const phys::ideal_gas_eos& eos);
+// The flux-sweep kernels over this layout live in src/kernel/hydro.{hpp,cpp}
+// (ISSUE 7): one templated body per kernel, instantiated per execution-space
+// policy — the scalar path is the width-1 instantiation of the same source.
 
 } // namespace octo::hydro

@@ -11,19 +11,18 @@
 #include <vector>
 
 #include "gpu/aggregator.hpp"
-#include "hydro/flux.hpp"
 #include "hydro/pencil.hpp"
-#include "hydro/reconstruct.hpp"
+#include "kernel/autotune.hpp"
+#include "kernel/hydro.hpp"
 #include "runtime/apex.hpp"
 #include "runtime/future.hpp"
 #include "support/aligned.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace octo::hydro {
 
 using namespace octo::amr;
-using simd::dpack;
-using dmask = simd::mask<double, simd::default_width>;
 
 namespace {
 
@@ -33,7 +32,6 @@ constexpr std::uint64_t flux_sweep_flops =
     static_cast<std::uint64_t>(amr::INX3) * 400;
 
 constexpr int W = static_cast<int>(simd::default_width);
-constexpr int n_face_lanes = leaf_flux_soa::plane_size / n_faces; // = INX*INX
 
 /// Cell (i,j,k) from axis-ordered (p, b, c).
 void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
@@ -44,156 +42,25 @@ void axis_cell(int axis, int p, int b, int c, int& i, int& j, int& k) {
     }
 }
 
-// ---- scalar (AoS) flux sweep ----------------------------------------------
-// The original per-pencil kernels, kept selectable via step_options::use_simd
-// for A/B benchmarking and as the reference of the equivalence tests. Only
-// the flux *storage* changed (struct-of-arrays planes shared with the SIMD
-// path); the arithmetic is untouched.
-
-/// Gather the pencil of conserved states along `axis` through transverse
-/// position (b, c), from cell index -H_BW to INX-1+H_BW (ghosts included).
-void gather_pencil(const subgrid& g, int axis, int b, int c,
-                   aligned_vector<state>& pencil) {
-    pencil.resize(INX + 2 * H_BW);
-    for (int p = -H_BW; p < INX + H_BW; ++p) {
-        int i, j, k;
-        axis_cell(axis, p, b, c, i, j, k);
-        auto& u = pencil[static_cast<std::size_t>(p + H_BW)];
-        for (int q = 0; q < n_fields; ++q) {
-            u[static_cast<std::size_t>(q)] = g.at(q, i + H_BW, j + H_BW, k + H_BW);
-        }
-    }
+/// Launch geometry of the portable hydro kernels (src/kernel) for these
+/// options: explicit simd_width wins, else use_simd selects the default
+/// pack width, else the width-1 (scalar) instantiation.
+kernel::exec_config exec_cfg(const step_options& opt) {
+    const int w = opt.simd_width > 0 ? opt.simd_width : (opt.use_simd ? W : 1);
+    return {w > 1 ? kernel::backend_kind::simd : kernel::backend_kind::scalar, w,
+            opt.lane_tile};
 }
 
-/// Reconstruct primitive-like variables along a pencil and return per-cell
-/// lower/upper face conserved states for cells [-1, INX] (we need face
-/// states one cell beyond the interior to form the boundary fluxes).
-struct face_states {
-    // Index 0 corresponds to cell -1; size INX + 2.
-    aligned_vector<state> lo, hi;
-};
-
-/// Per-pencil reconstruction scratch, allocated once per leaf sweep (every
-/// array below is fully overwritten each pencil, so plain resize is enough).
-struct pencil_scratch {
-    aligned_vector<state> pencil;
-    aligned_vector<double> q, flo, fhi;
-    face_states fs;
-};
-
-void reconstruct_pencil(const aligned_vector<state>& pencil, bool use_ppm,
-                        const phys::ideal_gas_eos& eos, pencil_scratch& sc,
-                        face_states& out) {
-    const int n = INX + 2; // cells -1 .. INX
-    out.lo.assign(n, state{});
-    out.hi.assign(n, state{});
-
-    // Variables reconstructed: rho, v, p as primitives; tau, passives and
-    // spin as mass fractions (q/rho); the face conserved states are then
-    // assembled from the face primitives.
-    constexpr int nv = 6 + 1 + n_passive + 3; // rho,v3,p + tau_f + pass_f + l_f
-    static_assert(nv <= 16);
-    aligned_vector<double>& q = sc.q;
-    q.resize(static_cast<std::size_t>(nv) * (INX + 2 * H_BW));
-    const int stride = INX + 2 * H_BW;
-    for (int p = 0; p < stride; ++p) {
-        const auto& u = pencil[static_cast<std::size_t>(p)];
-        const primitives pr = to_primitives(u, eos);
-        double* col = q.data();
-        col[0 * stride + p] = pr.rho;
-        col[1 * stride + p] = pr.v.x;
-        col[2 * stride + p] = pr.v.y;
-        col[3 * stride + p] = pr.v.z;
-        col[4 * stride + p] = pr.p;
-        col[5 * stride + p] = u[f_tau] / pr.rho;
-        for (int s = 0; s < n_passive; ++s) {
-            col[(6 + s) * stride + p] = u[first_passive + s] / pr.rho;
-        }
-        col[(6 + n_passive) * stride + p] = u[f_lx] / pr.rho;
-        col[(7 + n_passive) * stride + p] = u[f_ly] / pr.rho;
-        col[(8 + n_passive) * stride + p] = u[f_lz] / pr.rho;
-    }
-
-    // Reconstruct each variable over cells [-1, INX] (n cells), which needs
-    // ghosts at -3..-2 and INX+1..INX+2: available with H_BW = 3.
-    aligned_vector<double>& flo = sc.flo;
-    aligned_vector<double>& fhi = sc.fhi;
-    flo.resize(static_cast<std::size_t>(nv) * n);
-    fhi.resize(static_cast<std::size_t>(nv) * n);
-    for (int v = 0; v < nv; ++v) {
-        const double* base = q.data() + v * stride + (H_BW - 1); // cell -1
-        if (use_ppm) {
-            ppm_reconstruct(base, n, flo.data() + v * n, fhi.data() + v * n);
-        } else {
-            pcm_reconstruct(base, n, flo.data() + v * n, fhi.data() + v * n);
-        }
-    }
-
-    // Assemble conserved face states.
-    const double gamma = eos.gamma();
-    for (int cidx = 0; cidx < n; ++cidx) {
-        for (int side = 0; side < 2; ++side) {
-            const double* f = (side == 0 ? flo.data() : fhi.data());
-            state& u = (side == 0 ? out.lo : out.hi)[static_cast<std::size_t>(cidx)];
-            const double rho = std::max(f[0 * n + cidx], rho_floor);
-            const dvec3 v{f[1 * n + cidx], f[2 * n + cidx], f[3 * n + cidx]};
-            const double p = std::max(f[4 * n + cidx], 0.0);
-            const double internal = p / (gamma - 1.0);
-            u[f_rho] = rho;
-            u[f_sx] = rho * v.x;
-            u[f_sy] = rho * v.y;
-            u[f_sz] = rho * v.z;
-            u[f_egas] = internal + 0.5 * rho * norm2(v);
-            u[f_tau] = std::max(f[5 * n + cidx], 0.0) * rho;
-            for (int s = 0; s < n_passive; ++s) {
-                u[first_passive + s] = f[(6 + s) * n + cidx] * rho;
-            }
-            u[f_lx] = f[(6 + n_passive) * n + cidx] * rho;
-            u[f_ly] = f[(7 + n_passive) * n + cidx] * rho;
-            u[f_lz] = f[(8 + n_passive) * n + cidx] * rho;
-        }
-    }
-}
-
-/// Scalar flux sweep along one axis of one leaf, writing the SoA planes.
-void compute_leaf_fluxes_scalar(const subgrid& g, int axis,
-                                const step_options& opt, pencil_scratch& sc,
-                                leaf_flux_soa& out, double* max_speed) {
-    face_states& fs = sc.fs;
-    for (int b = 0; b < INX; ++b) {
-        for (int c = 0; c < INX; ++c) {
-            gather_pencil(g, axis, b, c, sc.pencil);
-            reconstruct_pencil(sc.pencil, opt.use_ppm, opt.eos, sc, fs);
-            // Face p (between cells p-1 and p) for p in [0, INX]:
-            // left state = hi of cell p-1, right state = lo of cell p.
-            for (int p = 0; p <= INX; ++p) {
-                const state& uL = fs.hi[static_cast<std::size_t>(p)];     // cell p-1
-                const state& uR = fs.lo[static_cast<std::size_t>(p + 1)]; // cell p
-                const state f = kt_flux(uL, uR, axis, opt.eos, max_speed);
-                const int fi = leaf_flux_soa::findex(axis, p, b, c);
-                // Radiation moments are advanced by the radiation solver,
-                // not transported here (same contract as the SIMD sweep).
-                for (int q = 0; q < n_hydro_fields; ++q) {
-                    out.plane(axis, q)[fi] = f[static_cast<std::size_t>(q)];
-                }
-            }
-        }
-    }
-}
-
-/// One leaf's flux sweep along `axis`, dispatched per step_options::use_simd.
-/// Returns the max signal speed seen (diagnostic; dt comes from the CFL
-/// reduction).
+/// One leaf's flux sweep along `axis` through the portable kernel layer
+/// (gather + primitives + reconstruction + KT flux, at the width/tile the
+/// options select). Returns the max signal speed seen (diagnostic; dt comes
+/// from the CFL reduction).
 double compute_axis_fluxes(const subgrid& g, int axis, const step_options& opt,
                            leaf_flux_soa& out) {
     double ms = 0.0;
-    if (opt.use_simd) {
-        pencil_workspace ws; // recycled
-        compute_leaf_fluxes_simd(g, axis, opt.eos, opt.use_ppm, ws, out, &ms);
-    } else {
-        pencil_scratch sc; // recycled
-        compute_leaf_fluxes_scalar(g, axis, opt, sc, out, &ms);
-    }
+    pencil_workspace ws; // recycled
+    kernel::run_leaf_fluxes(exec_cfg(opt), g, axis, opt.eos, opt.use_ppm, ws,
+                            out, &ms);
     return ms;
 }
 
@@ -331,132 +198,6 @@ void snapshot_sources(const subgrid& g, aligned_vector<double>& old_rho,
             }
 }
 
-/// Scalar flux divergence + Després–Labourasse spin absorption.
-void flux_divergence_scalar(subgrid& g, const leaf_flux_soa& lf, double dt) {
-    const double lambda = dt / g.geom.dx;
-    for (int i = 0; i < INX; ++i)
-        for (int j = 0; j < INX; ++j)
-            for (int kk = 0; kk < INX; ++kk) {
-                state du{};
-                dvec3 dl{0, 0, 0}; // spin ledger
-                for (int axis = 0; axis < 3; ++axis) {
-                    int p, b, c;
-                    switch (axis) {
-                        case 0: p = i; b = j; c = kk; break;
-                        case 1: p = j; b = i; c = kk; break;
-                        default: p = kk; b = i; c = j; break;
-                    }
-                    const int flo = leaf_flux_soa::findex(axis, p, b, c);
-                    const int fhi = leaf_flux_soa::findex(axis, p + 1, b, c);
-                    state fl, fh;
-                    for (int q = 0; q < n_fields; ++q) {
-                        fl[static_cast<std::size_t>(q)] = lf.plane(axis, q)[flo];
-                        fh[static_cast<std::size_t>(q)] = lf.plane(axis, q)[fhi];
-                    }
-                    for (int q = 0; q < n_fields; ++q) {
-                        du[static_cast<std::size_t>(q)] -=
-                            lambda * (fh[static_cast<std::size_t>(q)] -
-                                      fl[static_cast<std::size_t>(q)]);
-                    }
-                    // Angular-momentum ledger: each face's momentum
-                    // transport carries L about the face center; the
-                    // cell-centered update loses (dx e_a) x F per face pair.
-                    // Each adjacent cell absorbs -1/2 dt e_a x F into spin.
-                    dvec3 ea{0, 0, 0};
-                    ea[axis] = 1.0;
-                    const dvec3 Fl{fl[f_sx], fl[f_sy], fl[f_sz]};
-                    const dvec3 Fh{fh[f_sx], fh[f_sy], fh[f_sz]};
-                    dl -= 0.5 * dt * cross(ea, Fl);
-                    dl -= 0.5 * dt * cross(ea, Fh);
-                }
-                for (int q = 0; q < n_fields; ++q) {
-                    g.interior(q, i, j, kk) += du[static_cast<std::size_t>(q)];
-                }
-                g.interior(f_lx, i, j, kk) += dl.x;
-                g.interior(f_ly, i, j, kk) += dl.y;
-                g.interior(f_lz, i, j, kk) += dl.z;
-            }
-}
-
-/// Vectorized flux divergence + spin absorption over k-packs. The per-field
-/// subtraction order mirrors the scalar loop (axis 0, 1, 2), so results
-/// agree to rounding; the axis-2 flux plane is transverse-major, making its
-/// face loads contiguous in k as well.
-void flux_divergence_simd(subgrid& g, const leaf_flux_soa& lf, double dt) {
-    const dpack lam(dt / g.geom.dx), h(0.5 * dt), zero(0.0);
-    for (int i = 0; i < INX; ++i)
-        for (int j = 0; j < INX; ++j) {
-            const int row = subgrid::interior_index(i, j, 0);
-            const int lo0 = (i * INX + j) * INX;       // axis-0 faces at plane i
-            const int hi0 = ((i + 1) * INX + j) * INX; // plane i+1
-            const int lo1 = (j * INX + i) * INX;       // axis-1 faces at plane j
-            const int hi1 = ((j + 1) * INX + i) * INX;
-            const int t2 = (i * INX + j) * n_faces;    // axis-2 face row
-            for (int kk = 0; kk < INX; kk += W) {
-                dpack dlx = zero, dly = zero, dlz = zero;
-                for (int q = 0; q < n_hydro_fields; ++q) {
-                    const double* p0 = lf.plane(0, q);
-                    const double* p1 = lf.plane(1, q);
-                    const double* p2 = lf.plane(2, q);
-                    dpack du = zero;
-                    du -= lam * (dpack::load(p0 + hi0 + kk) -
-                                 dpack::load(p0 + lo0 + kk));
-                    du -= lam * (dpack::load(p1 + hi1 + kk) -
-                                 dpack::load(p1 + lo1 + kk));
-                    du -= lam * (dpack::load(p2 + t2 + kk + 1) -
-                                 dpack::load(p2 + t2 + kk));
-                    double* cell = g.field_data(q) + row + kk;
-                    (dpack::load(cell) + du).store(cell);
-                }
-                // Spin ledger, same per-face sequence as the scalar loop:
-                // axis 0: e_x x F = (0, -Fz, Fy); axis 1: (Fz, 0, -Fx);
-                // axis 2: (-Fy, Fx, 0); low face then high face.
-                {
-                    const double* psy = lf.plane(0, f_sy);
-                    const double* psz = lf.plane(0, f_sz);
-                    const dpack Fly = dpack::load(psy + lo0 + kk);
-                    const dpack Flz = dpack::load(psz + lo0 + kk);
-                    const dpack Fhy = dpack::load(psy + hi0 + kk);
-                    const dpack Fhz = dpack::load(psz + hi0 + kk);
-                    dly -= h * (zero - Flz);
-                    dlz -= h * Fly;
-                    dly -= h * (zero - Fhz);
-                    dlz -= h * Fhy;
-                }
-                {
-                    const double* psx = lf.plane(1, f_sx);
-                    const double* psz = lf.plane(1, f_sz);
-                    const dpack Flx = dpack::load(psx + lo1 + kk);
-                    const dpack Flz = dpack::load(psz + lo1 + kk);
-                    const dpack Fhx = dpack::load(psx + hi1 + kk);
-                    const dpack Fhz = dpack::load(psz + hi1 + kk);
-                    dlx -= h * Flz;
-                    dlz -= h * (zero - Flx);
-                    dlx -= h * Fhz;
-                    dlz -= h * (zero - Fhx);
-                }
-                {
-                    const double* psx = lf.plane(2, f_sx);
-                    const double* psy = lf.plane(2, f_sy);
-                    const dpack Flx = dpack::load(psx + t2 + kk);
-                    const dpack Fly = dpack::load(psy + t2 + kk);
-                    const dpack Fhx = dpack::load(psx + t2 + kk + 1);
-                    const dpack Fhy = dpack::load(psy + t2 + kk + 1);
-                    dlx -= h * (zero - Fly);
-                    dly -= h * Flx;
-                    dlx -= h * (zero - Fhy);
-                    dly -= h * Fhx;
-                }
-                double* lx = g.field_data(f_lx) + row + kk;
-                double* ly = g.field_data(f_ly) + row + kk;
-                double* lz = g.field_data(f_lz) + row + kk;
-                (dpack::load(lx) + dlx).store(lx);
-                (dpack::load(ly) + dly).store(ly);
-                (dpack::load(lz) + dlz).store(lz);
-            }
-        }
-}
-
 /// Coarse-fine residual moments for one refluxed face of this leaf.
 void apply_reflux_moments(subgrid& g, const reflux_entry& e, double dt) {
     const double V = g.geom.cell_volume();
@@ -531,92 +272,6 @@ void save_u0(const subgrid& g, aligned_vector<double>& v) {
                 }
 }
 
-void blend_scalar(subgrid& g, const aligned_vector<double>& u0) {
-    std::size_t idx = 0;
-    for (int q = 0; q < n_fields; ++q)
-        for (int i = 0; i < INX; ++i)
-            for (int j = 0; j < INX; ++j)
-                for (int kk = 0; kk < INX; ++kk, ++idx) {
-                    double& u = g.interior(q, i, j, kk);
-                    u = 0.5 * (u0[idx] + u);
-                }
-}
-
-void blend_simd(subgrid& g, const aligned_vector<double>& u0) {
-    const dpack half(0.5);
-    std::size_t idx = 0;
-    for (int q = 0; q < n_fields; ++q)
-        for (int i = 0; i < INX; ++i)
-            for (int j = 0; j < INX; ++j) {
-                double* cell = g.field_data(q) + subgrid::interior_index(i, j, 0);
-                for (int kk = 0; kk < INX; kk += W, idx += W) {
-                    const dpack u = dpack::load(cell + kk);
-                    (half * (dpack::load(u0.data() + idx) + u)).store(cell + kk);
-                }
-            }
-}
-
-void dual_energy_scalar(subgrid& g, const phys::ideal_gas_eos& eos) {
-    for (int i = 0; i < INX; ++i)
-        for (int j = 0; j < INX; ++j)
-            for (int kk = 0; kk < INX; ++kk) {
-                double& rho = g.interior(f_rho, i, j, kk);
-                rho = std::max(rho, rho_floor);
-                const dvec3 s{g.interior(f_sx, i, j, kk),
-                              g.interior(f_sy, i, j, kk),
-                              g.interior(f_sz, i, j, kk)};
-                const double ke = 0.5 * norm2(s) / rho;
-                double& E = g.interior(f_egas, i, j, kk);
-                double& tau = g.interior(f_tau, i, j, kk);
-                tau = std::max(tau, tau_floor);
-                const double from_total = E - ke;
-                if (from_total > eos.de_switch() * E && from_total > 0.0) {
-                    // Low-Mach: total energy is reliable; sync tau.
-                    tau = eos.tau_from_internal(from_total);
-                } else {
-                    // High-Mach: rebuild E from the tracer.
-                    E = ke + eos.internal_from_tau(tau);
-                }
-            }
-}
-
-void dual_energy_simd(subgrid& g, const phys::ideal_gas_eos& eos) {
-    const double gamma = eos.gamma();
-    const dpack zero(0.0), half(0.5);
-    const dpack rfloor(rho_floor), tfloor(tau_floor), desw(eos.de_switch());
-    for (int i = 0; i < INX; ++i)
-        for (int j = 0; j < INX; ++j) {
-            const int row = subgrid::interior_index(i, j, 0);
-            for (int kk = 0; kk < INX; kk += W) {
-                double* prho = g.field_data(f_rho) + row + kk;
-                double* ptau = g.field_data(f_tau) + row + kk;
-                double* pE = g.field_data(f_egas) + row + kk;
-                const dpack rho = simd::max(dpack::load(prho), rfloor);
-                rho.store(prho);
-                const dpack sx = dpack::load(g.field_data(f_sx) + row + kk);
-                const dpack sy = dpack::load(g.field_data(f_sy) + row + kk);
-                const dpack sz = dpack::load(g.field_data(f_sz) + row + kk);
-                const dpack ke = half * (sx * sx + sy * sy + sz * sz) / rho;
-                const dpack E0 = dpack::load(pE);
-                const dpack tau0 = simd::max(dpack::load(ptau), tfloor);
-                const dpack from_total = E0 - ke;
-                const dmask use_total =
-                    (from_total > desw * E0) && (from_total > zero);
-                // The two pow() branches only run when some lane takes them.
-                dpack tau1 = tau0;
-                if (simd::any(use_total)) {
-                    tau1 = simd::pow(simd::max(from_total, zero), 1.0 / gamma);
-                }
-                dpack E1 = E0;
-                if (!simd::all(use_total)) {
-                    E1 = ke + simd::pow(simd::max(tau0, zero), gamma);
-                }
-                simd::select(use_total, tau1, tau0).store(ptau);
-                simd::select(use_total, E0, E1).store(pE);
-            }
-        }
-}
-
 /// The full per-leaf update (flux divergence, reflux moments, sources, RK
 /// blend, dual-energy bookkeeping + floors), shared verbatim by the
 /// barriered and the futurized schedules so they agree bit for bit.
@@ -630,52 +285,20 @@ void update_leaf(node_key k, subgrid& g, const leaf_flux_soa& lf, double dt,
     aligned_vector<dvec3> old_s;
     if (need_sources) snapshot_sources(g, old_rho, old_s);
 
-    if (opt.use_simd) {
-        flux_divergence_simd(g, lf, dt);
-    } else {
-        flux_divergence_scalar(g, lf, dt);
-    }
+    const kernel::exec_config cfg = exec_cfg(opt);
+    kernel::run_flux_divergence(cfg, g, lf, dt);
     for (const reflux_entry* e : refl) apply_reflux_moments(g, *e, dt);
     if (need_sources) apply_sources(g, k, opt, dt, old_rho, old_s);
-    if (u0 != nullptr) {
-        if (opt.use_simd) {
-            blend_simd(g, *u0);
-        } else {
-            blend_scalar(g, *u0);
-        }
-    }
+    if (u0 != nullptr) kernel::run_blend(cfg, g, *u0);
     // Dual-energy bookkeeping + floors after the blend so the committed
     // state is consistent.
-    if (opt.use_simd) {
-        dual_energy_simd(g, opt.eos);
-    } else {
-        dual_energy_scalar(g, opt.eos);
-    }
+    kernel::run_dual_energy(cfg, g, opt.eos);
 }
 
 // ---- CFL -------------------------------------------------------------------
 
-double leaf_max_wave_speed_scalar(const subgrid& g,
-                                  const phys::ideal_gas_eos& eos) {
-    double max_speed = 1e-30;
-    for (int i = 0; i < INX; ++i)
-        for (int j = 0; j < INX; ++j)
-            for (int kk = 0; kk < INX; ++kk) {
-                state u;
-                for (int q = 0; q < n_fields; ++q) {
-                    u[static_cast<std::size_t>(q)] = g.interior(q, i, j, kk);
-                }
-                const primitives pr = to_primitives(u, eos);
-                for (int a = 0; a < 3; ++a) {
-                    max_speed = std::max(max_speed, max_wave_speed(pr, a));
-                }
-            }
-    return max_speed;
-}
-
 double leaf_max_wave_speed(const subgrid& g, const step_options& opt) {
-    return opt.use_simd ? leaf_max_wave_speed_simd(g, opt.eos)
-                        : leaf_max_wave_speed_scalar(g, opt.eos);
+    return kernel::run_wave_speed(exec_cfg(opt), g, opt.eos);
 }
 
 } // namespace
@@ -1263,13 +886,109 @@ double step_futurized(tree& t, const step_options& opt, rt::thread_pool& pool) {
     return *dt_val;
 }
 
+// ---- autotuning ------------------------------------------------------------
+
+/// Synthetic fully-filled leaf the width/tile sweep measures on: a smooth,
+/// internal-energy-dominated blob with every cell (ghosts included) holding
+/// physical values, so no kernel branch sees garbage and no lane hits the
+/// guarded-pow slow path more than the production mix would.
+const subgrid& tuning_leaf() {
+    static const subgrid leaf = [] {
+        subgrid g;
+        g.geom.origin = {-1.0, -1.0, -1.0};
+        g.geom.dx = 2.0 / INX;
+        const phys::ideal_gas_eos eos;
+        const double gamma = eos.gamma();
+        for (int i = 0; i < NX; ++i)
+            for (int j = 0; j < NX; ++j)
+                for (int kk = 0; kk < NX; ++kk) {
+                    const double x = (i - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double y = (j - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double z = (kk - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double r2 = x * x + y * y + z * z;
+                    const double rho = 1.0 + 0.5 * std::exp(-r2);
+                    const dvec3 v{0.1 * y, -0.1 * x, 0.05 * z};
+                    const double p = 1.0 + 0.25 * std::exp(-r2);
+                    const double internal = p / (gamma - 1.0);
+                    g.at(f_rho, i, j, kk) = rho;
+                    g.at(f_sx, i, j, kk) = rho * v.x;
+                    g.at(f_sy, i, j, kk) = rho * v.y;
+                    g.at(f_sz, i, j, kk) = rho * v.z;
+                    g.at(f_egas, i, j, kk) = internal + 0.5 * rho * norm2(v);
+                    g.at(f_tau, i, j, kk) = eos.tau_from_internal(internal);
+                    for (int s = 0; s < n_passive; ++s) {
+                        g.at(first_passive + s, i, j, kk) = rho / n_passive;
+                    }
+                    g.at(f_lx, i, j, kk) = 0.01 * rho;
+                    g.at(f_ly, i, j, kk) = -0.01 * rho;
+                    g.at(f_lz, i, j, kk) = 0.02 * rho;
+                }
+        return g;
+    }();
+    return leaf;
+}
+
+/// Throughput of one candidate geometry: repeated 3-axis flux sweeps over
+/// the synthetic leaf, in modeled GFLOP/s (flux_sweep_flops per axis sweep —
+/// a consistent figure of merit across candidates, which is all argmax needs).
+double measure_leaf_fluxes(const kernel::tuned_config& c,
+                           const phys::ideal_gas_eos& eos, bool use_ppm) {
+    const subgrid& g = tuning_leaf();
+    pencil_workspace ws;
+    leaf_flux_soa out;
+    out.reset();
+    const kernel::exec_config cfg = c.exec();
+    double ms = 0.0;
+    for (int axis = 0; axis < 3; ++axis) { // warm-up: first touch + icache
+        kernel::run_leaf_fluxes(cfg, g, axis, eos, use_ppm, ws, out, &ms);
+    }
+    constexpr int reps = 6;
+    stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+        for (int axis = 0; axis < 3; ++axis) {
+            kernel::run_leaf_fluxes(cfg, g, axis, eos, use_ppm, ws, out, &ms);
+        }
+    }
+    const double secs = std::max(sw.seconds(), 1e-9);
+    return 3.0 * reps * static_cast<double>(flux_sweep_flops) / secs / 1e9;
+}
+
+/// Resolve width/tile from the autotune cache, sweeping candidates at first
+/// use. The fixed default (full pack width, untiled) is the first candidate,
+/// so the tuned pick can never measure worse than it.
+step_options resolve_autotune(const step_options& opt) {
+    std::vector<kernel::tuned_config> cands;
+    for (const int w : {W, 4, 2, 1}) {
+        for (const int tile : {0, 16, 32}) {
+            kernel::tuned_config c;
+            c.width = w;
+            c.tile = tile;
+            cands.push_back(c);
+        }
+    }
+    const kernel::tuned_config tc = kernel::global_autotune().tune(
+        opt.machine, "hydro.leaf_fluxes", kernel::backend_kind::simd, cands,
+        [&opt](const kernel::tuned_config& c) {
+            return measure_leaf_fluxes(c, opt.eos, opt.use_ppm);
+        });
+    step_options out = opt;
+    out.autotune = false;
+    out.use_simd = tc.width > 1;
+    out.simd_width = tc.width;
+    out.lane_tile = tc.tile;
+    return out;
+}
+
 } // namespace
 
 double step(tree& t, const step_options& opt) {
+    if (opt.autotune) {
+        return step(t, resolve_autotune(opt));
+    }
     rt::apex_timer timer("hydro::step");
     rt::apex_count("hydro::steps");
     rt::apex_gauge("hydro.simd_width",
-                   opt.use_simd ? simd::default_width : 1);
+                   static_cast<std::uint64_t>(exec_cfg(opt).width));
     rt::thread_pool& pool =
         opt.pool != nullptr ? *opt.pool : rt::thread_pool::global();
     return opt.futurized ? step_futurized(t, opt, pool)

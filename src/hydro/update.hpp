@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "amr/halo.hpp"
 #include "amr/tree.hpp"
@@ -41,10 +42,21 @@ struct step_options {
     amr::boundary_kind bc = amr::boundary_kind::outflow;
     double cfl = 0.4;
     bool use_ppm = true;        ///< false: piecewise-constant (ablation)
-    /// SoA pencil kernels on simd::pack (paper §4.3) vs the scalar AoS
-    /// loops. Both produce results equal to rounding; the scalar path is
-    /// kept selectable for A/B benchmarking and equivalence tests.
+    /// SoA pencil kernels on simd::pack (paper §4.3) vs the width-1
+    /// instantiation of the same portable kernel source (src/kernel). Both
+    /// produce results equal to rounding; the scalar path is kept selectable
+    /// for A/B benchmarking and equivalence tests.
     bool use_simd = true;
+    /// Explicit SIMD pack width (2/4/8); 0 defers to use_simd's default.
+    int simd_width = 0;
+    /// Transverse-lane tile of the pencil kernels (cache blocking; any value
+    /// is bit-identical). 0 = untiled; clamped to a multiple of the width.
+    int lane_tile = 0;
+    /// Resolve width/tile from the autotune cache (kernel/autotune.hpp) under
+    /// `machine`, sweeping candidate geometries on a synthetic leaf at first
+    /// use if the cache has no entry yet.
+    bool autotune = false;
+    std::string machine = "host";
     /// Per-leaf future pipeline (ghost fills, flux sweeps, refluxes and
     /// updates chained as continuations, RK stages overlapped) vs the
     /// barriered fill-then-stage schedule. Identical results by

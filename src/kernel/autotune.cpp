@@ -1,0 +1,160 @@
+#include "kernel/autotune.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "runtime/apex.hpp"
+
+namespace octo::kernel {
+
+namespace {
+
+int backend_from_name(const std::string& name) {
+    if (name == "scalar") return static_cast<int>(backend_kind::scalar);
+    if (name == "simd") return static_cast<int>(backend_kind::simd);
+    if (name == "gpu") return static_cast<int>(backend_kind::gpu);
+    return -1;
+}
+
+} // namespace
+
+autotune_cache::autotune_cache(std::string path) : path_(std::move(path)) { load(); }
+
+std::string autotune_cache::key(const std::string& machine, const std::string& kernel,
+                                backend_kind backend) {
+    return machine + "|" + kernel + "|" + backend_name(backend);
+}
+
+void autotune_cache::load() {
+    std::ifstream in(path_);
+    if (!in) {
+        return;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream ss(line);
+        std::string machine;
+        std::string kernel;
+        std::string backend;
+        std::string field;
+        if (!std::getline(ss, machine, '|') || !std::getline(ss, kernel, '|') ||
+            !std::getline(ss, backend, '|')) {
+            continue;
+        }
+        const int bk = backend_from_name(backend);
+        if (bk < 0) {
+            continue;
+        }
+        tuned_config cfg;
+        cfg.backend = static_cast<backend_kind>(bk);
+        if (!std::getline(ss, field, '|')) continue;
+        cfg.width = std::atoi(field.c_str());
+        if (!std::getline(ss, field, '|')) continue;
+        cfg.tile = std::atoi(field.c_str());
+        if (!std::getline(ss, field, '|')) continue;
+        cfg.gpu_batch = static_cast<unsigned>(std::strtoul(field.c_str(), nullptr, 10));
+        if (!std::getline(ss, field, '|')) continue;
+        cfg.gflops = std::strtod(field.c_str(), nullptr);
+        entry e;
+        e.cfg = cfg;
+        e.from_disk = true;
+        map_[machine + "|" + kernel + "|" + backend] = e;
+    }
+}
+
+void autotune_cache::persist() const {
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        return;
+    }
+    out << "# octo autotune cache: machine|kernel|backend|width|tile|gpu_batch|gflops\n";
+    for (const auto& [k, e] : map_) {
+        out << k << "|" << e.cfg.width << "|" << e.cfg.tile << "|" << e.cfg.gpu_batch
+            << "|" << e.cfg.gflops << "\n";
+    }
+}
+
+std::optional<tuned_config> autotune_cache::lookup(const std::string& machine,
+                                                   const std::string& kernel,
+                                                   backend_kind backend) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key(machine, kernel, backend));
+    if (it == map_.end()) {
+        return std::nullopt;
+    }
+    ++hits_;
+    rt::apex_count("kernel.autotune.hits");
+    if (it->second.from_disk && !it->second.disk_counted) {
+        it->second.disk_counted = true;
+        ++disk_hits_;
+        rt::apex_count("kernel.autotune.disk_hits");
+    }
+    return it->second.cfg;
+}
+
+tuned_config autotune_cache::tune(const std::string& machine, const std::string& kernel,
+                                  backend_kind backend,
+                                  const std::vector<tuned_config>& candidates,
+                                  const measure_fn& measure) {
+    if (auto cached = lookup(machine, kernel, backend)) {
+        return *cached;
+    }
+    // Sweep outside the lock: measurements can be expensive and re-entrant
+    // kernels may themselves consult the cache.
+    tuned_config best;
+    bool have_best = false;
+    for (const auto& cand : candidates) {
+        tuned_config c = cand;
+        c.backend = backend;
+        c.gflops = measure(c);
+        if (!have_best || c.gflops > best.gflops) {
+            best = c;
+            have_best = true;
+        }
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++sweeps_;
+    rt::apex_count("kernel.autotune.sweeps");
+    auto [it, inserted] = map_.emplace(key(machine, kernel, backend), entry{best, false, false});
+    if (inserted) {
+        persist();
+    }
+    return it->second.cfg;
+}
+
+void autotune_cache::store(const std::string& machine, const std::string& kernel,
+                           backend_kind backend, const tuned_config& cfg) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_[key(machine, kernel, backend)] = entry{cfg, false, false};
+    persist();
+}
+
+std::uint64_t autotune_cache::hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t autotune_cache::disk_hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return disk_hits_;
+}
+
+std::uint64_t autotune_cache::sweeps() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sweeps_;
+}
+
+autotune_cache& global_autotune() {
+    static autotune_cache cache([] {
+        const char* env = std::getenv("OCTO_AUTOTUNE_CACHE");
+        return std::string(env != nullptr ? env : "./octo_autotune.cache");
+    }());
+    return cache;
+}
+
+} // namespace octo::kernel

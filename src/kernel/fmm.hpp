@@ -1,0 +1,68 @@
+#pragma once
+// Portable FMM kernels (ISSUE 7): the same-level monopole / multipole
+// interaction kernels and the tree-transfer M2M / L2L kernels, each written
+// ONCE and instantiated per execution-space policy (exec.hpp).
+//
+// The bodies live in fmm.cpp; this header declares the policy wrappers
+// (explicitly instantiated there) plus runtime dispatchers taking an
+// exec_config — the form the solver, benches and autotuner use.
+//
+// Unlike the historical src/fmm/kernels.cpp variants, the kernel layer does
+// not silently fall back to interaction_stencil(): callers must resolve
+// kernel_options::stencil before the launch (the stencil choice is part of
+// the launch geometry the autotuner sweeps over).
+
+#include "amr/subgrid.hpp"
+#include "fmm/kernels.hpp"
+#include "fmm/node_data.hpp"
+#include "kernel/exec.hpp"
+#include "support/aligned.hpp"
+
+namespace octo::kernel {
+
+/// Same-level monopole-monopole interactions (paper §4.3). tile = receiver
+/// rows (i,j) per block, processed in row order so any tile is bit-identical
+/// to the untiled kernel; 0 = whole node.
+template <class Exec>
+void fmm_monopole(const fmm::node_moments& self, const fmm::partner_buffer& partners,
+                  const fmm::kernel_options& opt, int tile, fmm::node_gravity& out);
+
+/// Same-level multipole (and multipole-monopole) interactions.
+template <class Exec>
+void fmm_multipole(const fmm::node_moments& self, const aligned_vector<double>& self_invm,
+                   const fmm::partner_buffer& partners, const fmm::kernel_options& opt,
+                   int tile, fmm::node_gravity& out);
+
+/// M2M: reduce the 8 children's moments (indexed by octant) into the parent
+/// node. Octant-strided gather bound — scalar and gpu policies only.
+template <class Exec>
+void fmm_m2m(const fmm::node_moments* const children[8], const amr::box_geometry& geom,
+             fmm::node_moments& mom, aligned_vector<double>& invm);
+
+/// L2L: translate the parent's local expansions (and the spin-torque
+/// ledger) down to the 8 children. Scalar and gpu policies only.
+template <class Exec>
+void fmm_l2l(const fmm::node_gravity& parentL, const fmm::node_moments& pm,
+             const fmm::node_moments* const childM[8],
+             fmm::node_gravity* const childLw[8], fmm::am_mode conserve);
+
+// ---- runtime dispatch on an exec_config -----------------------------------
+
+void run_fmm_monopole(const exec_config& cfg, const fmm::node_moments& self,
+                      const fmm::partner_buffer& partners,
+                      const fmm::kernel_options& opt, fmm::node_gravity& out);
+
+void run_fmm_multipole(const exec_config& cfg, const fmm::node_moments& self,
+                       const aligned_vector<double>& self_invm,
+                       const fmm::partner_buffer& partners,
+                       const fmm::kernel_options& opt, fmm::node_gravity& out);
+
+void run_fmm_m2m(const exec_config& cfg, const fmm::node_moments* const children[8],
+                 const amr::box_geometry& geom, fmm::node_moments& mom,
+                 aligned_vector<double>& invm);
+
+void run_fmm_l2l(const exec_config& cfg, const fmm::node_gravity& parentL,
+                 const fmm::node_moments& pm, const fmm::node_moments* const childM[8],
+                 fmm::node_gravity* const childLw[8], fmm::am_mode conserve);
+
+} // namespace octo::kernel

@@ -1,0 +1,85 @@
+#pragma once
+// Portable hydro kernels (ISSUE 7): gather, primitives, PPM reconstruction,
+// Kurganov–Tadmor flux, wave-speed reduction, flux divergence, RK blend and
+// the dual-energy fixup — each written ONCE over the SoA pencil layout of
+// hydro/pencil.hpp and instantiated per execution-space policy (exec.hpp).
+// The former scalar AoS pencil path (src/hydro/update.cpp) and the SIMD
+// path (src/hydro/pencil.cpp) were collapsed into these bodies; the scalar
+// path is now simply the width-1 instantiation.
+//
+// Tiling: the pencil kernels (primitives / reconstruct / flux) take a
+// transverse-lane tile — lanes are processed in blocks of `tile` (multiple
+// of the pack width) in lane order, so any tile is bit-identical to the
+// untiled kernel and tiling is purely a cache-blocking knob the autotuner
+// sweeps.
+
+#include "amr/subgrid.hpp"
+#include "hydro/pencil.hpp"
+#include "kernel/exec.hpp"
+#include "physics/eos.hpp"
+#include "support/aligned.hpp"
+
+namespace octo::kernel {
+
+/// Transpose the sub-grid into the axis-ordered pencil bundle:
+/// u[(q*P + p)*L + (b*INX + c)] with p the (ghost-inclusive) cell index
+/// along `axis` and (b, c) the transverse interior cell in axis order.
+/// Pure data movement — one body, no per-backend math.
+void hydro_gather(const amr::subgrid& g, int axis, double* u);
+
+/// Cell primitives for reconstruction (dual-energy switch as masked select).
+template <class Exec>
+void hydro_primitives(const double* u, const phys::ideal_gas_eos& eos, int tile,
+                      double* qv);
+
+/// PPM (CW84) or PCM reconstruction of one variable plane of the bundle.
+template <class Exec>
+void hydro_reconstruct(const double* q, bool use_ppm, int tile, double* iface,
+                       double* flo, double* fhi);
+
+/// Kurganov–Tadmor flux over every face plane of the sweep; accumulates the
+/// maximum signal speed into *max_speed.
+template <class Exec>
+void hydro_flux(const double* flo, const double* fhi, int axis,
+                const phys::ideal_gas_eos& eos, int tile, hydro::leaf_flux_soa& out,
+                double* max_speed);
+
+/// Max signal speed over the interior of one leaf (per-leaf CFL reduction).
+template <class Exec>
+double hydro_wave_speed(const amr::subgrid& g, const phys::ideal_gas_eos& eos);
+
+/// Flux divergence + Després–Labourasse spin absorption.
+template <class Exec>
+void hydro_flux_divergence(amr::subgrid& g, const hydro::leaf_flux_soa& lf,
+                           double dt);
+
+/// Second RK stage blend: U <- (U0 + U) / 2.
+template <class Exec>
+void hydro_blend(amr::subgrid& g, const aligned_vector<double>& u0);
+
+/// Dual-energy bookkeeping + floors (Bryan et al. switch).
+template <class Exec>
+void hydro_dual_energy(amr::subgrid& g, const phys::ideal_gas_eos& eos);
+
+// ---- runtime dispatch on an exec_config -----------------------------------
+
+/// The full flux sweep of one leaf along `axis`: gather + primitives +
+/// per-variable reconstruction + KT flux, through the policy cfg selects.
+void run_leaf_fluxes(const exec_config& cfg, const amr::subgrid& g, int axis,
+                     const phys::ideal_gas_eos& eos, bool use_ppm,
+                     hydro::pencil_workspace& ws, hydro::leaf_flux_soa& out,
+                     double* max_speed);
+
+double run_wave_speed(const exec_config& cfg, const amr::subgrid& g,
+                      const phys::ideal_gas_eos& eos);
+
+void run_flux_divergence(const exec_config& cfg, amr::subgrid& g,
+                         const hydro::leaf_flux_soa& lf, double dt);
+
+void run_blend(const exec_config& cfg, amr::subgrid& g,
+               const aligned_vector<double>& u0);
+
+void run_dual_energy(const exec_config& cfg, amr::subgrid& g,
+                     const phys::ideal_gas_eos& eos);
+
+} // namespace octo::kernel

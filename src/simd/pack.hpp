@@ -284,6 +284,11 @@ inline bool any(bool m) { return m; }
 inline bool all(bool m) { return m; }
 inline double hmax(double a) { return a; }
 inline double hmin(double a) { return a; }
+inline double max(double a, double b) { return a > b ? a : b; }
+inline double min(double a, double b) { return a < b ? a : b; }
+inline double abs(double a) { return std::fabs(a); }
+inline double sqrt(double a) { return std::sqrt(a); }
+inline double pow(double a, double e) { return std::pow(a, e); }
 
 /// Default vector width for double precision on this build.
 inline constexpr std::size_t default_width = 8; // one AVX-512 register (or two

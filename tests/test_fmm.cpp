@@ -15,6 +15,7 @@
 #include "fmm/solver.hpp"
 #include "fmm/stencil.hpp"
 #include "fmm/taylor.hpp"
+#include "kernel/fmm.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/buffer_recycler.hpp"
 #include "support/rng.hpp"
@@ -636,8 +637,9 @@ TEST(LegacyIlist, MatchesStencilKernel) {
             }
 
     node_gravity out;
-    kernel_options opt; // regular 1074 stencil
-    monopole_kernel<double>(mom, buf, opt, out);
+    kernel_options opt;
+    opt.stencil = &interaction_stencil(); // regular 1074 stencil
+    octo::kernel::fmm_monopole<octo::kernel::exec::scalar>(mom, buf, opt, 0, out);
 
     auto receivers = to_aos_receivers(mom);
     const auto partners = to_aos_partners(buf);

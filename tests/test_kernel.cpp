@@ -1,0 +1,501 @@
+// Tests for the portable kernel layer (ISSUE 7): every hot kernel has ONE
+// templated body, so the backends must agree from that single source —
+// scalar vs SIMD to 1e-14 relative (different summation widths), scalar vs
+// the modeled-GPU policy bit for bit (both bind T = double, so they call the
+// same compiled function), and any tile bit-identical to untiled at fixed
+// width (tiling only reorders the block boundaries, never the arithmetic).
+// Plus the autotune cache: cold sweep -> persist -> warm hit -> disk hit,
+// observable through the APEX counters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fmm/kernels.hpp"
+#include "fmm/node_data.hpp"
+#include "fmm/stencil.hpp"
+#include "hydro/pencil.hpp"
+#include "kernel/autotune.hpp"
+#include "kernel/exec.hpp"
+#include "kernel/fmm.hpp"
+#include "kernel/hydro.hpp"
+#include "physics/eos.hpp"
+#include "runtime/apex.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace octo;
+using namespace octo::fmm;
+
+constexpr double rel_tol = 1e-14;
+
+void expect_close(const aligned_vector<double>& a, const aligned_vector<double>& b,
+                  const char* what) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double tol =
+            rel_tol * std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+        EXPECT_NEAR(a[i], b[i], tol) << what << " i=" << i;
+    }
+}
+
+void expect_equal(const aligned_vector<double>& a, const aligned_vector<double>& b,
+                  const char* what) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << what << " i=" << i;
+    }
+}
+
+void compare_gravity(const node_gravity& a, const node_gravity& b, bool exact) {
+    auto cmp = exact ? expect_equal : expect_close;
+    for (std::size_t t = 0; t < a.L.size(); ++t) cmp(a.L[t], b.L[t], "L");
+    cmp(a.gx, b.gx, "gx");
+    cmp(a.gy, b.gy, "gy");
+    cmp(a.gz, b.gz, "gz");
+    cmp(a.phi, b.phi, "phi");
+    for (int t = 0; t < 3; ++t) cmp(a.tq[t], b.tq[t], "tq");
+}
+
+void compare_moments(const node_moments& a, const node_moments& b, bool exact) {
+    auto cmp = exact ? expect_equal : expect_close;
+    cmp(a.m, b.m, "m");
+    for (int c = 0; c < 3; ++c) cmp(a.com[c], b.com[c], "com");
+    for (int c = 0; c < 6; ++c) cmp(a.q[c], b.q[c], "q");
+}
+
+// ---- fixtures (the bench_kernels recipe) -----------------------------------
+
+node_moments make_moments(bool with_quadrupoles, std::uint64_t seed = 7) {
+    node_moments m;
+    xoshiro256 rng(seed);
+    for (int i = 0; i < INX3; ++i) {
+        m.m[i] = rng.uniform(0.1, 1.0);
+        m.com[0][i] = rng.uniform(0, 1);
+        m.com[1][i] = rng.uniform(0, 1);
+        m.com[2][i] = rng.uniform(0, 1);
+        if (with_quadrupoles) {
+            for (auto& q : m.q) q[i] = rng.uniform(-1e-3, 1e-3);
+        }
+    }
+    return m;
+}
+
+partner_buffer make_buffer(bool with_quadrupoles) {
+    partner_buffer buf;
+    xoshiro256 rng(11);
+    for (int i = 0; i < partner_buffer::P3; ++i) {
+        buf.m[i] = rng.uniform(0.1, 1.0);
+        buf.x[i] = rng.uniform(-2, 3);
+        buf.y[i] = rng.uniform(-2, 3);
+        buf.z[i] = rng.uniform(-2, 3);
+        if (with_quadrupoles) {
+            for (auto& q : buf.q) q[i] = rng.uniform(-1e-3, 1e-3);
+        }
+    }
+    buf.any = true;
+    return buf;
+}
+
+kernel_options stencil_opt(bool inner_mask) {
+    kernel_options opt;
+    opt.use_inner_mask = inner_mask;
+    opt.stencil = &interaction_stencil();
+    return opt;
+}
+
+// ---- FMM same-level kernels -------------------------------------------------
+
+TEST(KernelFmm, MonopoleScalarVsSimdWithinRounding) {
+    const auto mom = make_moments(false);
+    const auto buf = make_buffer(false);
+    const auto opt = stencil_opt(false);
+    node_gravity ref;
+    octo::kernel::fmm_monopole<octo::kernel::exec::scalar>(mom, buf, opt, 0, ref);
+    node_gravity w2, w4, w8;
+    octo::kernel::fmm_monopole<octo::kernel::exec::simd<2>>(mom, buf, opt, 0, w2);
+    octo::kernel::fmm_monopole<octo::kernel::exec::simd<4>>(mom, buf, opt, 0, w4);
+    octo::kernel::fmm_monopole<octo::kernel::exec::simd<8>>(mom, buf, opt, 0, w8);
+    compare_gravity(ref, w2, /*exact=*/false);
+    compare_gravity(ref, w4, /*exact=*/false);
+    compare_gravity(ref, w8, /*exact=*/false);
+}
+
+TEST(KernelFmm, MonopoleScalarVsGpuBitIdentical) {
+    const auto mom = make_moments(false);
+    const auto buf = make_buffer(false);
+    const auto opt = stencil_opt(false);
+    node_gravity s, g;
+    octo::kernel::fmm_monopole<octo::kernel::exec::scalar>(mom, buf, opt, 0, s);
+    octo::kernel::fmm_monopole<octo::kernel::exec::gpu>(mom, buf, opt, 0, g);
+    compare_gravity(s, g, /*exact=*/true);
+}
+
+TEST(KernelFmm, MonopoleTileBitIdenticalAtFixedWidth) {
+    const auto mom = make_moments(false);
+    const auto buf = make_buffer(false);
+    const auto opt = stencil_opt(false);
+    node_gravity untiled;
+    octo::kernel::fmm_monopole<octo::kernel::exec::simd<4>>(mom, buf, opt, 0,
+                                                            untiled);
+    for (const int tile : {4, 16, 64}) {
+        node_gravity tiled;
+        octo::kernel::fmm_monopole<octo::kernel::exec::simd<4>>(mom, buf, opt,
+                                                                tile, tiled);
+        compare_gravity(untiled, tiled, /*exact=*/true);
+    }
+}
+
+TEST(KernelFmm, MultipoleScalarVsSimdWithinRounding) {
+    const auto mom = make_moments(true);
+    aligned_vector<double> invm(INX3);
+    for (int i = 0; i < INX3; ++i) invm[i] = 1.0 / mom.m[i];
+    const auto buf = make_buffer(true);
+    const auto opt = stencil_opt(true);
+    node_gravity ref;
+    octo::kernel::fmm_multipole<octo::kernel::exec::scalar>(mom, invm, buf, opt,
+                                                            0, ref);
+    for (const int w : {2, 4, 8}) {
+        node_gravity out;
+        octo::kernel::run_fmm_multipole({kernel::backend_kind::simd, w, 0}, mom,
+                                        invm, buf, opt, out);
+        compare_gravity(ref, out, /*exact=*/false);
+    }
+}
+
+TEST(KernelFmm, MultipoleScalarVsGpuBitIdenticalAndTileInvariant) {
+    const auto mom = make_moments(true);
+    aligned_vector<double> invm(INX3);
+    for (int i = 0; i < INX3; ++i) invm[i] = 1.0 / mom.m[i];
+    const auto buf = make_buffer(true);
+    const auto opt = stencil_opt(true);
+    node_gravity s, g;
+    octo::kernel::fmm_multipole<octo::kernel::exec::scalar>(mom, invm, buf, opt,
+                                                            0, s);
+    octo::kernel::fmm_multipole<octo::kernel::exec::gpu>(mom, invm, buf, opt, 0,
+                                                         g);
+    compare_gravity(s, g, /*exact=*/true);
+    for (const int tile : {8, 32}) {
+        node_gravity t8;
+        octo::kernel::fmm_multipole<octo::kernel::exec::simd<8>>(mom, invm, buf,
+                                                                 opt, tile, t8);
+        node_gravity u8;
+        octo::kernel::fmm_multipole<octo::kernel::exec::simd<8>>(mom, invm, buf,
+                                                                 opt, 0, u8);
+        compare_gravity(u8, t8, /*exact=*/true);
+    }
+}
+
+// ---- FMM tree-transfer kernels ---------------------------------------------
+
+TEST(KernelFmm, M2mScalarVsGpuBitIdentical) {
+    std::vector<node_moments> kids;
+    kids.reserve(8);
+    for (int c = 0; c < 8; ++c) {
+        kids.push_back(make_moments(true, 100 + static_cast<std::uint64_t>(c)));
+    }
+    const node_moments* children[8];
+    for (int c = 0; c < 8; ++c) children[c] = &kids[static_cast<std::size_t>(c)];
+    amr::box_geometry geom;
+    geom.origin = {-1.0, -1.0, -1.0};
+    geom.dx = 2.0 / INX;
+
+    node_moments ms, mg;
+    aligned_vector<double> is(INX3), ig(INX3);
+    octo::kernel::fmm_m2m<octo::kernel::exec::scalar>(children, geom, ms, is);
+    octo::kernel::fmm_m2m<octo::kernel::exec::gpu>(children, geom, mg, ig);
+    compare_moments(ms, mg, /*exact=*/true);
+    expect_equal(is, ig, "invm");
+}
+
+TEST(KernelFmm, L2lScalarVsGpuBitIdentical) {
+    node_gravity parentL;
+    xoshiro256 rng(21);
+    for (auto& l : parentL.L) {
+        for (auto& v : l) v = rng.uniform(-1, 1);
+    }
+    for (auto& q : parentL.tq) {
+        for (auto& v : q) v = rng.uniform(-1e-3, 1e-3);
+    }
+    const node_moments pm = make_moments(true, 31);
+    std::vector<node_moments> kids;
+    kids.reserve(8);
+    for (int c = 0; c < 8; ++c) {
+        kids.push_back(make_moments(true, 200 + static_cast<std::uint64_t>(c)));
+    }
+    const node_moments* childM[8];
+    for (int c = 0; c < 8; ++c) childM[c] = &kids[static_cast<std::size_t>(c)];
+
+    std::vector<node_gravity> outS(8), outG(8);
+    node_gravity* lwS[8];
+    node_gravity* lwG[8];
+    for (int c = 0; c < 8; ++c) {
+        lwS[c] = &outS[static_cast<std::size_t>(c)];
+        lwG[c] = &outG[static_cast<std::size_t>(c)];
+    }
+    octo::kernel::fmm_l2l<octo::kernel::exec::scalar>(parentL, pm, childM, lwS,
+                                                      am_mode::spin_deposit);
+    octo::kernel::fmm_l2l<octo::kernel::exec::gpu>(parentL, pm, childM, lwG,
+                                                   am_mode::spin_deposit);
+    for (int c = 0; c < 8; ++c) {
+        compare_gravity(outS[static_cast<std::size_t>(c)],
+                        outG[static_cast<std::size_t>(c)], /*exact=*/true);
+    }
+}
+
+// ---- hydro kernels ----------------------------------------------------------
+
+using namespace octo::hydro;
+
+/// Synthetic fully-filled leaf (every cell physical) — the autotuner's
+/// measurement subject, reused here as the agreement fixture.
+const amr::subgrid& test_leaf() {
+    using namespace octo::amr;
+    static const subgrid leaf = [] {
+        subgrid g;
+        g.geom.origin = {-1.0, -1.0, -1.0};
+        g.geom.dx = 2.0 / INX;
+        const phys::ideal_gas_eos eos;
+        const double gamma = eos.gamma();
+        for (int i = 0; i < NX; ++i)
+            for (int j = 0; j < NX; ++j)
+                for (int kk = 0; kk < NX; ++kk) {
+                    const double x = (i - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double y = (j - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double z = (kk - H_BW + 0.5) * g.geom.dx - 1.0;
+                    const double r2 = x * x + y * y + z * z;
+                    const double rho = 1.0 + 0.5 * std::exp(-r2);
+                    const dvec3 v{0.1 * y, -0.1 * x, 0.05 * z};
+                    const double p = 1.0 + 0.25 * std::exp(-r2);
+                    const double internal = p / (gamma - 1.0);
+                    g.at(f_rho, i, j, kk) = rho;
+                    g.at(f_sx, i, j, kk) = rho * v.x;
+                    g.at(f_sy, i, j, kk) = rho * v.y;
+                    g.at(f_sz, i, j, kk) = rho * v.z;
+                    g.at(f_egas, i, j, kk) = internal + 0.5 * rho * norm2(v);
+                    g.at(f_tau, i, j, kk) = eos.tau_from_internal(internal);
+                    for (int s = 0; s < n_passive; ++s) {
+                        g.at(first_passive + s, i, j, kk) = rho / n_passive;
+                    }
+                    g.at(f_lx, i, j, kk) = 0.01 * rho;
+                    g.at(f_ly, i, j, kk) = -0.01 * rho;
+                    g.at(f_lz, i, j, kk) = 0.02 * rho;
+                }
+        return g;
+    }();
+    return leaf;
+}
+
+struct flux_run {
+    leaf_flux_soa lf;
+    double max_speed = 0.0;
+};
+
+flux_run run_fluxes(const kernel::exec_config& cfg) {
+    flux_run r;
+    r.lf.reset();
+    pencil_workspace ws;
+    const phys::ideal_gas_eos eos;
+    for (int axis = 0; axis < 3; ++axis) {
+        octo::kernel::run_leaf_fluxes(cfg, test_leaf(), axis, eos, true, ws,
+                                      r.lf, &r.max_speed);
+    }
+    return r;
+}
+
+void compare_fluxes(const flux_run& a, const flux_run& b, bool exact) {
+    auto cmp = exact ? expect_equal : expect_close;
+    for (int axis = 0; axis < 3; ++axis) cmp(a.lf.f[axis], b.lf.f[axis], "flux");
+    if (exact) {
+        EXPECT_EQ(a.max_speed, b.max_speed);
+    } else {
+        EXPECT_NEAR(a.max_speed, b.max_speed, rel_tol * a.max_speed);
+    }
+}
+
+TEST(KernelHydro, LeafFluxesScalarVsSimdWithinRounding) {
+    const auto ref = run_fluxes({kernel::backend_kind::scalar, 1, 0});
+    for (const int w : {2, 4, 8}) {
+        const auto r = run_fluxes({kernel::backend_kind::simd, w, 0});
+        compare_fluxes(ref, r, /*exact=*/false);
+    }
+}
+
+TEST(KernelHydro, LeafFluxesScalarVsGpuBitIdentical) {
+    const auto s = run_fluxes({kernel::backend_kind::scalar, 1, 0});
+    const auto g = run_fluxes({kernel::backend_kind::gpu, 1, 0});
+    compare_fluxes(s, g, /*exact=*/true);
+}
+
+TEST(KernelHydro, LeafFluxesTileBitIdenticalAtFixedWidth) {
+    const auto untiled = run_fluxes({kernel::backend_kind::simd, 8, 0});
+    for (const int tile : {8, 16, 32}) {
+        const auto tiled = run_fluxes({kernel::backend_kind::simd, 8, tile});
+        compare_fluxes(untiled, tiled, /*exact=*/true);
+    }
+}
+
+TEST(KernelHydro, WaveSpeedBackendsAgree) {
+    const phys::ideal_gas_eos eos;
+    const double s =
+        octo::kernel::run_wave_speed({kernel::backend_kind::scalar, 1, 0},
+                                     test_leaf(), eos);
+    const double g = octo::kernel::run_wave_speed(
+        {kernel::backend_kind::gpu, 1, 0}, test_leaf(), eos);
+    EXPECT_EQ(s, g);
+    for (const int w : {2, 4, 8}) {
+        const double v = octo::kernel::run_wave_speed(
+            {kernel::backend_kind::simd, w, 0}, test_leaf(), eos);
+        EXPECT_NEAR(s, v, rel_tol * s);
+    }
+    EXPECT_GT(s, 0.0);
+}
+
+void compare_subgrids(const amr::subgrid& a, const amr::subgrid& b, bool exact) {
+    using namespace octo::amr;
+    for (int f = 0; f < n_fields; ++f)
+        for (int i = 0; i < NX; ++i)
+            for (int j = 0; j < NX; ++j)
+                for (int k = 0; k < NX; ++k) {
+                    const double va = a.at(f, i, j, k);
+                    const double vb = b.at(f, i, j, k);
+                    if (exact) {
+                        EXPECT_EQ(va, vb)
+                            << "f=" << f << " " << i << "," << j << "," << k;
+                    } else {
+                        const double tol = rel_tol *
+                                           std::max({1.0, std::abs(va),
+                                                     std::abs(vb)});
+                        EXPECT_NEAR(va, vb, tol)
+                            << "f=" << f << " " << i << "," << j << "," << k;
+                    }
+                }
+}
+
+TEST(KernelHydro, UpdateKernelsScalarVsGpuBitIdentical) {
+    using namespace octo::amr;
+    const phys::ideal_gas_eos eos;
+    const auto fx = run_fluxes({kernel::backend_kind::scalar, 1, 0});
+    const double dt = 1e-3;
+
+    // u0 snapshot ([q][i][j][k] over interior cells) for the RK blend.
+    aligned_vector<double> u0(static_cast<std::size_t>(n_fields) * INX3);
+    {
+        std::size_t idx = 0;
+        for (int q = 0; q < n_fields; ++q)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int k = 0; k < INX; ++k, ++idx) {
+                        u0[idx] = test_leaf().interior(q, i, j, k);
+                    }
+    }
+
+    auto apply = [&](const kernel::exec_config& cfg) {
+        amr::subgrid g = test_leaf();
+        octo::kernel::run_flux_divergence(cfg, g, fx.lf, dt);
+        octo::kernel::run_blend(cfg, g, u0);
+        octo::kernel::run_dual_energy(cfg, g, eos);
+        return g;
+    };
+    const auto s = apply({kernel::backend_kind::scalar, 1, 0});
+    const auto g = apply({kernel::backend_kind::gpu, 1, 0});
+    compare_subgrids(s, g, /*exact=*/true);
+    for (const int w : {2, 4, 8}) {
+        const auto v = apply({kernel::backend_kind::simd, w, 0});
+        compare_subgrids(s, v, /*exact=*/false);
+    }
+    // The update actually changed the state (the comparison is not vacuous).
+    bool changed = false;
+    for (int i = 0; i < INX && !changed; ++i)
+        for (int j = 0; j < INX && !changed; ++j)
+            for (int k = 0; k < INX && !changed; ++k) {
+                changed = s.interior(f_egas, i, j, k) !=
+                          test_leaf().interior(f_egas, i, j, k);
+            }
+    EXPECT_TRUE(changed);
+}
+
+// ---- autotune cache ---------------------------------------------------------
+
+TEST(Autotune, ColdSweepPersistWarmAndDiskHits) {
+    const std::string path = "test_kernel_autotune.cache";
+    std::remove(path.c_str());
+    const auto& apex = rt::apex_registry::instance();
+    const auto sweeps0 = apex.counter("kernel.autotune.sweeps");
+    const auto hits0 = apex.counter("kernel.autotune.hits");
+    const auto disk0 = apex.counter("kernel.autotune.disk_hits");
+
+    std::vector<kernel::tuned_config> cands;
+    for (const int w : {8, 4, 2, 1}) {
+        kernel::tuned_config c;
+        c.width = w;
+        cands.push_back(c);
+    }
+    const auto measure = [](const kernel::tuned_config& c) {
+        return c.width == 4 ? 10.0 : 1.0;
+    };
+
+    kernel::autotune_cache cold(path);
+    const auto tc = cold.tune("host", "test.kernel", kernel::backend_kind::simd,
+                              cands, measure);
+    EXPECT_EQ(tc.width, 4);
+    EXPECT_DOUBLE_EQ(tc.gflops, 10.0);
+    EXPECT_EQ(cold.sweeps(), 1u);
+    EXPECT_EQ(cold.hits(), 0u);
+
+    // Warm: tune() is served from memory, no second sweep.
+    const auto warm = cold.tune("host", "test.kernel",
+                                kernel::backend_kind::simd, cands, measure);
+    EXPECT_EQ(warm.width, 4);
+    EXPECT_EQ(cold.sweeps(), 1u);
+    EXPECT_EQ(cold.hits(), 1u);
+    EXPECT_EQ(cold.disk_hits(), 0u);
+
+    // A new instance on the same path serves the persisted entry as a disk
+    // hit — the cross-process warm start.
+    kernel::autotune_cache reopened(path);
+    const auto from_disk =
+        reopened.lookup("host", "test.kernel", kernel::backend_kind::simd);
+    ASSERT_TRUE(from_disk.has_value());
+    EXPECT_EQ(from_disk->width, 4);
+    EXPECT_EQ(from_disk->tile, tc.tile);
+    EXPECT_DOUBLE_EQ(from_disk->gflops, 10.0);
+    EXPECT_EQ(reopened.disk_hits(), 1u);
+    // Second lookup: still one DISK hit (counted once), two warm hits.
+    (void)reopened.lookup("host", "test.kernel", kernel::backend_kind::simd);
+    EXPECT_EQ(reopened.disk_hits(), 1u);
+    EXPECT_EQ(reopened.hits(), 2u);
+
+    // The counters are APEX-visible.
+    EXPECT_EQ(apex.counter("kernel.autotune.sweeps"), sweeps0 + 1);
+    EXPECT_EQ(apex.counter("kernel.autotune.hits"), hits0 + 3);
+    EXPECT_EQ(apex.counter("kernel.autotune.disk_hits"), disk0 + 1);
+    std::remove(path.c_str());
+}
+
+TEST(Autotune, TiesKeepTheFirstCandidate) {
+    // All candidates measure the same -> the winner is the first one listed.
+    // Sweeps list the fixed default first, so tuned >= default always holds.
+    const std::string path = "test_kernel_autotune_ties.cache";
+    std::remove(path.c_str());
+    std::vector<kernel::tuned_config> cands;
+    for (const int w : {8, 4, 2, 1}) {
+        kernel::tuned_config c;
+        c.width = w;
+        cands.push_back(c);
+    }
+    kernel::autotune_cache cache(path);
+    const auto tc = cache.tune("host", "flat.kernel",
+                               kernel::backend_kind::simd, cands,
+                               [](const kernel::tuned_config&) { return 1.0; });
+    EXPECT_EQ(tc.width, 8);
+    EXPECT_EQ(tc.tile, 0);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -33,6 +33,14 @@ Source-level concurrency checks the compiler cannot express:
                     place; a direct per-kernel stream grab reintroduces the
                     §5.1 starvation path the executor exists to remove.
 
+  backend-variant   A backend-specific kernel variant (the historical
+                    monopole_kernel/multipole_kernel templates or the
+                    *_simd/*_scalar hydro pairs) referenced outside
+                    src/kernel. Every hot kernel has exactly ONE templated
+                    body in src/kernel, instantiated per execution-space
+                    policy; call kernel::run_* (or the policy wrappers)
+                    instead of resurrecting a per-backend copy.
+
 Suppress a finding with a trailing comment on the same line or the line
 above:   // lint: allow(<rule-name>)  -- include a reason.
 
@@ -148,6 +156,16 @@ RELAXED_PUBLISH = re.compile(
     r"\.\s*(?:store|exchange)\s*\([^;]*memory_order_relaxed"
 )
 DIRECT_STREAM_ACQUIRE = re.compile(r"\btry_acquire_stream\s*\(")
+# The kernel names the portable layer (src/kernel) replaced. The trailing
+# [(< keeps workload fields like mono_kernel_flops out of the match.
+BACKEND_VARIANT = re.compile(
+    r"\b(?:monopole_kernel|multipole_kernel"
+    r"|compute_leaf_fluxes_simd|compute_leaf_fluxes_scalar"
+    r"|flux_divergence_simd|flux_divergence_scalar"
+    r"|blend_simd|blend_scalar"
+    r"|dual_energy_simd|dual_energy_scalar"
+    r"|leaf_max_wave_speed_simd|leaf_max_wave_speed_scalar)\s*[(<]"
+)
 
 
 def check_dropped_futures(path, lines, clean, findings):
@@ -237,6 +255,19 @@ NODISCARD_REQUIRED = [
 ]
 
 
+def check_backend_variant(path, lines, clean, findings):
+    for idx, line in enumerate(clean.splitlines(), start=1):
+        if BACKEND_VARIANT.search(line):
+            if suppressed(lines, idx, "backend-variant"):
+                continue
+            findings.append(
+                (path, idx, "backend-variant",
+                 "backend-specific kernel variant outside src/kernel; the "
+                 "portable layer has ONE body per kernel — dispatch through "
+                 "kernel::run_* / the exec policy wrappers")
+            )
+
+
 def check_nodiscard(root, findings):
     for rel, pattern, msg in NODISCARD_REQUIRED:
         path = os.path.join(root, rel)
@@ -267,12 +298,14 @@ def main():
         lines = open(path, encoding="utf-8").read().splitlines()
         clean = strip_comments_and_strings("\n".join(lines) + "\n")
         check_dropped_futures(rel, lines, clean, findings)
-        if rel.startswith(("src/fmm", "src/hydro")):
+        if rel.startswith(("src/fmm", "src/hydro", "src/kernel")):
             check_raw_allocs(rel, lines, clean, findings)
         if rel.startswith("src" + os.sep) or rel.startswith("src/"):
             check_relaxed_publish(rel, lines, clean, findings)
         if not rel.replace(os.sep, "/").startswith("src/gpu"):
             check_direct_stream_acquire(rel, lines, clean, findings)
+        if not rel.replace(os.sep, "/").startswith("src/kernel"):
+            check_backend_variant(rel, lines, clean, findings)
 
     check_nodiscard(root, findings)
 
