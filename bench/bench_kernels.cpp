@@ -330,16 +330,52 @@ int main() {
                            .add("gflops", gf)
                            .add("is_default", batch == 16u));
         }
+        // Age-flush sweep at the tuned batch: the default timeout (100us) is
+        // measured first and kept on ties, so the tuned flush can never lose
+        // to the default.
+        json_value jflush = json_value::array();
+        double best_flush_gf = 0.0, def_flush_gf = 0.0;
+        double best_flush = 100.0;
+        bool flush_first = true;
+        for (const double flush_us :
+             {100.0, 1.0, 5.0, 20.0, 50.0, 500.0, 2000.0, 10000.0}) {
+            cluster::node_sim_config cfg;
+            cfg.node = mc.node;
+            cfg.work = work;
+            cfg.leaves = st.leaves;
+            cfg.refined = st.subgrids - st.leaves;
+            cfg.aggregate = true;
+            cfg.aggregation_batch = best_batch;
+            cfg.flush_after_us = flush_us;
+            const auto r = cluster::simulate_node_step(cfg);
+            const double gf =
+                static_cast<double>(r.fmm_flops) / r.makespan_s / 1e9;
+            if (flush_us == 100.0) def_flush_gf = gf;
+            if (flush_first || gf > best_flush_gf) {
+                best_flush_gf = gf;
+                best_flush = flush_us;
+                flush_first = false;
+            }
+            jflush.push(json_value::object()
+                            .add("flush_us", flush_us)
+                            .add("gflops", gf)
+                            .add("is_default", flush_us == 100.0));
+        }
+
         kernel::tuned_config tc;
         tc.backend = kernel::backend_kind::gpu;
         tc.width = 1;
         tc.tile = 0;
         tc.gpu_batch = best_batch;
-        tc.gflops = best_gf;
+        tc.flush_us = best_flush;
+        tc.gflops = best_flush_gf;
         kernel::global_autotune().store(mc.key, "fmm.same_level",
                                         kernel::backend_kind::gpu, tc);
-        std::printf("  -> tuned: batch=%u (%.1f GFLOP/s vs %.1f default, %+.1f%%)\n\n",
-                    best_batch, best_gf, def_gf, 100.0 * (best_gf / def_gf - 1.0));
+        std::printf("  -> tuned: batch=%u (%.1f GFLOP/s vs %.1f default, %+.1f%%), "
+                    "flush=%.0fus (%+.1f%%)\n\n",
+                    best_batch, best_gf, def_gf,
+                    100.0 * (best_gf / def_gf - 1.0), best_flush,
+                    100.0 * (best_flush_gf / def_flush_gf - 1.0));
         jmachines.push(json_value::object()
                            .add("machine", mc.key)
                            .add("node", mc.node.name)
@@ -352,9 +388,19 @@ int main() {
                            .add("gflops", best_gf)
                            .add("default_gflops", def_gf)
                            .add("speedup", best_gf / def_gf)
-                           .add("sweep", jrows));
+                           .add("sweep", jrows)
+                           .add("tuned_flush_us", best_flush)
+                           .add("default_flush_us", 100.0)
+                           .add("flush_gflops", best_flush_gf)
+                           .add("default_flush_gflops", def_flush_gf)
+                           .add("flush_sweep", jflush));
         if (best_gf < def_gf) {
             std::printf("FAIL: tuned batch loses to the default on %s\n",
+                        mc.key.c_str());
+            ok = false;
+        }
+        if (best_flush_gf < def_flush_gf) {
+            std::printf("FAIL: tuned flush loses to the default on %s\n",
                         mc.key.c_str());
             ok = false;
         }

@@ -1,12 +1,139 @@
 #include "amr/partition.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "runtime/apex.hpp"
 #include "support/assert.hpp"
 
 namespace octo::amr {
 
-partition_stats partition_sfc(tree& t, int nranks) {
+namespace {
+
+/// Interior nodes inherit the owner of their first child, bottom-up — the
+/// paper's placement rule that keeps the M2M/L2L sweeps mostly local.
+void assign_interior_owners(tree& t) {
+    for (int level = t.max_level() - 1; level >= 0; --level) {
+        for (const node_key k : t.levels()[level]) {
+            auto& nd = t.node(k);
+            if (nd.refined) nd.owner = t.node(key_child(k, 0)).owner;
+        }
+    }
+}
+
+/// Assign leaf owners from contiguous split points: leaf i belongs to rank r
+/// iff bounds[r] <= i < bounds[r+1].
+void assign_from_bounds(tree& t, const std::vector<node_key>& leaves,
+                        const std::vector<std::size_t>& bounds, int nranks) {
+    int rank = 0;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        while (rank + 1 < nranks && i >= bounds[static_cast<std::size_t>(rank) + 1]) {
+            ++rank;
+        }
+        t.node(leaves[i]).owner = rank;
+    }
+    assign_interior_owners(t);
+}
+
+/// Current contiguous split points of the owner assignment along the curve:
+/// bounds[r] = first leaf index owned by a rank >= r.
+std::vector<std::size_t> current_bounds(const tree& t,
+                                        const std::vector<node_key>& leaves,
+                                        int nranks) {
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(nranks) + 1,
+                                    leaves.size());
+    bounds[0] = 0;
+    int prev = 0;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const int r = t.node(leaves[i]).owner;
+        OCTO_ASSERT_MSG(r >= 0 && r < nranks, "owner out of range");
+        OCTO_ASSERT_MSG(r >= prev, "owners not contiguous along the SFC");
+        for (int b = prev + 1; b <= r; ++b) {
+            bounds[static_cast<std::size_t>(b)] = i;
+        }
+        prev = r;
+    }
+    return bounds;
+}
+
+/// Weighted ideal split points: bounds[r] = smallest i with
+/// prefix[i] >= total * r / nranks, clamped so every rank is nonempty when
+/// there are enough leaves.
+std::vector<std::size_t> ideal_bounds(const std::vector<double>& prefix,
+                                      int nranks) {
+    const std::size_t n = prefix.size() - 1;
+    const double total = prefix.back();
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(nranks) + 1, n);
+    bounds[0] = 0;
+    for (int r = 1; r < nranks; ++r) {
+        const double target = total * static_cast<double>(r) /
+                              static_cast<double>(nranks);
+        const auto it =
+            std::lower_bound(prefix.begin(), prefix.end(), target);
+        auto b = static_cast<std::size_t>(it - prefix.begin());
+        if (n >= static_cast<std::size_t>(nranks)) {
+            // Keep every rank nonempty: rank r-1 ends at >= r, and enough
+            // leaves must remain for ranks r..nranks-1.
+            b = std::max<std::size_t>(b, static_cast<std::size_t>(r));
+            b = std::min<std::size_t>(b, n - static_cast<std::size_t>(nranks - r));
+        }
+        bounds[static_cast<std::size_t>(r)] =
+            std::max(b, bounds[static_cast<std::size_t>(r) - 1]);
+    }
+    return bounds;
+}
+
+std::vector<double> weight_prefix(const std::vector<double>& w) {
+    std::vector<double> prefix(w.size() + 1, 0.0);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        OCTO_ASSERT_MSG(w[i] > 0.0, "leaf weights must be positive");
+        prefix[i + 1] = prefix[i] + w[i];
+    }
+    return prefix;
+}
+
+double max_rank_cost(const tree& t, const std::vector<node_key>& leaves,
+                     const std::vector<double>& w, int nranks) {
+    std::vector<double> cost(static_cast<std::size_t>(nranks), 0.0);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        cost[static_cast<std::size_t>(t.node(leaves[i]).owner)] += w[i];
+    }
+    return *std::max_element(cost.begin(), cost.end());
+}
+
+} // namespace
+
+double partition_stats::total_cost() const {
+    double sum = 0;
+    if (!cost_per_rank.empty()) {
+        for (const double c : cost_per_rank) sum += c;
+    } else {
+        for (const auto n : leaves_per_rank) sum += static_cast<double>(n);
+    }
+    return sum;
+}
+
+double partition_stats::max_cost() const {
+    double mx = 0;
+    if (!cost_per_rank.empty()) {
+        for (const double c : cost_per_rank) mx = std::max(mx, c);
+    } else {
+        for (const auto n : leaves_per_rank) {
+            mx = std::max(mx, static_cast<double>(n));
+        }
+    }
+    return mx;
+}
+
+double partition_stats::imbalance_pct() const {
+    const std::size_t nranks = leaves_per_rank.size();
+    if (nranks == 0) return 0;
+    const double mean = total_cost() / static_cast<double>(nranks);
+    return mean > 0 ? 100.0 * (max_cost() / mean - 1.0) : 0.0;
+}
+
+partition_stats partition_accounting(const tree& t, int nranks,
+                                     const std::vector<double>* leaf_weights) {
     OCTO_ASSERT(nranks >= 1);
     partition_stats stats;
     stats.leaves_per_rank.assign(static_cast<std::size_t>(nranks), 0);
@@ -15,22 +142,20 @@ partition_stats partition_sfc(tree& t, int nranks) {
     stats.cross_pairs_per_rank.assign(static_cast<std::size_t>(nranks), 0);
 
     const auto leaves = t.leaves_sfc();
-    const std::size_t n = leaves.size();
-
-    // Contiguous equal chunks along the curve.
-    for (std::size_t i = 0; i < n; ++i) {
-        const int rank = static_cast<int>((i * static_cast<std::size_t>(nranks)) / n);
-        t.node(leaves[i]).owner = rank;
-        ++stats.leaves_per_rank[static_cast<std::size_t>(rank)];
+    if (leaf_weights != nullptr) {
+        OCTO_ASSERT(leaf_weights->size() == leaves.size());
+        stats.cost_per_rank.assign(static_cast<std::size_t>(nranks), 0.0);
     }
-
-    // Interior nodes inherit the owner of their first child, bottom-up.
-    for (int level = t.max_level() - 1; level >= 0; --level) {
-        for (const node_key k : t.levels()[level]) {
-            auto& nd = t.node(k);
-            if (nd.refined) nd.owner = t.node(key_child(k, 0)).owner;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const int rank = t.node(leaves[i]).owner;
+        OCTO_ASSERT_MSG(rank >= 0 && rank < nranks, "owner out of range");
+        ++stats.leaves_per_rank[static_cast<std::size_t>(rank)];
+        if (leaf_weights != nullptr) {
+            stats.cost_per_rank[static_cast<std::size_t>(rank)] +=
+                (*leaf_weights)[i];
         }
     }
+
     for (const auto& level : t.levels()) {
         for (const node_key k : level) {
             const auto& nd = t.node(k);
@@ -66,6 +191,168 @@ partition_stats partition_sfc(tree& t, int nranks) {
         }
     }
     return stats;
+}
+
+partition_stats partition_sfc(tree& t, int nranks) {
+    OCTO_ASSERT(nranks >= 1);
+    const auto leaves = t.leaves_sfc();
+    const std::size_t n = leaves.size();
+
+    // Contiguous equal chunks along the curve.
+    for (std::size_t i = 0; i < n; ++i) {
+        const int rank = static_cast<int>((i * static_cast<std::size_t>(nranks)) / n);
+        t.node(leaves[i]).owner = rank;
+    }
+    assign_interior_owners(t);
+    t.bump_partition_revision();
+    return partition_accounting(t, nranks);
+}
+
+partition_stats partition_sfc_weighted(tree& t, int nranks,
+                                       const std::vector<double>& leaf_weights) {
+    OCTO_ASSERT(nranks >= 1);
+    const auto leaves = t.leaves_sfc();
+    OCTO_ASSERT(leaf_weights.size() == leaves.size());
+    const auto prefix = weight_prefix(leaf_weights);
+    const auto bounds = ideal_bounds(prefix, nranks);
+    assign_from_bounds(t, leaves, bounds, nranks);
+    t.bump_partition_revision();
+    return partition_accounting(t, nranks, &leaf_weights);
+}
+
+rebalance_result rebalance_sfc(tree& t, int nranks,
+                               const std::vector<double>& leaf_weights,
+                               const rebalance_options& opt) {
+    OCTO_ASSERT(nranks >= 1);
+    OCTO_ASSERT(opt.max_migration_fraction >= 0.0);
+    const auto leaves = t.leaves_sfc();
+    const std::size_t n = leaves.size();
+    OCTO_ASSERT(leaf_weights.size() == n);
+
+    rebalance_result res;
+    res.leaf_count = n;
+    res.max_cost_before = max_rank_cost(t, leaves, leaf_weights, nranks);
+
+    const auto cur = current_bounds(t, leaves, nranks);
+    const auto prefix = weight_prefix(leaf_weights);
+    const auto ideal = ideal_bounds(prefix, nranks);
+
+    // Bounded incremental movement as an advancing FRONTIER: split points
+    // 1..k jump straight to their weighted-ideal positions, points beyond the
+    // frontier stay where they are (clamped monotone, which can leave ranks
+    // in the wave's wake transiently empty — harmless, they refill as the
+    // frontier passes):
+    //
+    //     next[r] = ideal[r]                 for r <= k
+    //     next[r] = max(cur[r], next[r-1])   for r >  k
+    //
+    // A leaf overtaken by the frontier changes owner ONCE, directly to its
+    // final rank, no matter how many split points pass it — so the migration
+    // volume is the owner-mismatch between cur and next, not the split-point
+    // displacement, and convergence takes ~(total mismatch)/budget rounds.
+    // Schemes that move every point a little each round (proportional or
+    // uniform caps) hand the same leaf rank-to-rank round after round and
+    // converge orders of magnitude slower on big trees. The frontier k is
+    // the largest whose measured mismatch fits the budget (binary search +
+    // a downward verify sweep).
+    const auto budget = static_cast<std::size_t>(
+        opt.max_migration_fraction * static_cast<double>(n));
+
+    const auto bounds_for = [&](int k) {
+        std::vector<std::size_t> b(static_cast<std::size_t>(nranks) + 1, n);
+        b[0] = 0;
+        for (int r = 1; r < nranks; ++r) {
+            const auto ur = static_cast<std::size_t>(r);
+            b[ur] = r <= k ? ideal[ur] : std::max(cur[ur], b[ur - 1]);
+        }
+        return b;
+    };
+    const auto mismatch = [&](const std::vector<std::size_t>& b) {
+        // Leaves keeping their owner: per rank, the overlap of its old and
+        // new half-open index ranges.
+        std::size_t keep = 0;
+        for (int r = 0; r < nranks; ++r) {
+            const auto ur = static_cast<std::size_t>(r);
+            const std::size_t lo = std::max(cur[ur], b[ur]);
+            const std::size_t hi = std::min(cur[ur + 1], b[ur + 1]);
+            if (hi > lo) keep += hi - lo;
+        }
+        return n - keep;
+    };
+
+    res.budget_limited = mismatch(bounds_for(nranks - 1)) > budget;
+    int best = nranks - 1;
+    if (res.budget_limited) {
+        int lo = 0;
+        int hi = nranks - 1;
+        while (lo < hi) {
+            const int mid = lo + (hi - lo + 1) / 2;
+            if (mismatch(bounds_for(mid)) <= budget) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        // Mismatch is not guaranteed strictly monotone in k around clamp
+        // chains; walk down until the budget provably holds.
+        while (lo > 0 && mismatch(bounds_for(lo)) > budget) --lo;
+        best = lo;
+    }
+    auto next = bounds_for(best);
+
+    if (res.budget_limited && best + 1 < nranks) {
+        // Spend the leftover budget moving the boundary point partially
+        // toward its ideal. Without this a budget smaller than one rank's
+        // full reassignment stalls forever. Each index step reassigns at
+        // most one leaf, so this never exceeds the budget.
+        std::size_t left = budget - std::min(budget, mismatch(next));
+        const auto ur = static_cast<std::size_t>(best) + 1;
+        if (ideal[ur] > next[ur]) {
+            next[ur] += std::min({ideal[ur] - next[ur], left,
+                                  next[ur + 1] - next[ur]});
+        } else if (ideal[ur] < next[ur]) {
+            next[ur] -= std::min({next[ur] - ideal[ur], left,
+                                  next[ur] - next[ur - 1]});
+        }
+    }
+
+    // Record owner changes, then apply.
+    int rank = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (rank + 1 < nranks && i >= next[static_cast<std::size_t>(rank) + 1]) {
+            ++rank;
+        }
+        const int old = t.node(leaves[i]).owner;
+        if (old != rank) {
+            res.migrations.push_back({leaves[i], old, rank});
+        }
+    }
+    assign_from_bounds(t, leaves, next, nranks);
+    t.bump_partition_revision();
+
+    res.stats = partition_accounting(t, nranks, &leaf_weights);
+    res.max_cost_after = res.stats.max_cost();
+    res.migration_fraction =
+        n > 0 ? static_cast<double>(res.migrations.size()) /
+                    static_cast<double>(n)
+              : 0.0;
+    std::vector<bool> touched(static_cast<std::size_t>(nranks), false);
+    for (const auto& m : res.migrations) {
+        touched[static_cast<std::size_t>(m.from)] = true;
+        touched[static_cast<std::size_t>(m.to)] = true;
+    }
+    for (int r = 0; r < nranks; ++r) {
+        if (touched[static_cast<std::size_t>(r)]) res.touched_ranks.push_back(r);
+    }
+
+    rt::apex_count("lb.rebalances");
+    rt::apex_count("lb.migrated_subgrids", res.migrations.size());
+    rt::apex_gauge("lb.last_migration_bp",
+                   static_cast<std::uint64_t>(1e4 * res.migration_fraction));
+    rt::apex_gauge("lb.imbalance_pct",
+                   static_cast<std::uint64_t>(
+                       std::max(0.0, res.stats.imbalance_pct())));
+    return res;
 }
 
 } // namespace octo::amr

@@ -1,9 +1,21 @@
 #pragma once
 // Space-filling-curve partitioner (paper §4.2: "These octree nodes are
 // distributed onto the compute nodes using a space filling curve"). Leaves
-// are laid out in Morton order and split into contiguous, equally weighted
-// chunks; interior nodes live with their first child so that the bottom-up
-// and top-down FMM passes are mostly local.
+// are laid out in Morton order and split into contiguous chunks; interior
+// nodes live with their first child so that the bottom-up and top-down FMM
+// passes are mostly local.
+//
+// ISSUE 8 extends the equal-count split of the paper with cost-driven
+// dynamic load balancing:
+//   * partition_sfc_weighted — contiguous Morton split of per-leaf WEIGHTS
+//     (the cost model's EWMA estimates), minimizing the max-rank cost,
+//   * rebalance_sfc — incremental re-partitioning: the existing split points
+//     are NUDGED toward the weighted ideal subject to a bounded-migration
+//     constraint (at most max_migration_fraction of the leaves change owner
+//     per call), so one rebalance can never thrash the whole tree.
+// Both preserve the two structural invariants of the paper's partition:
+// rank ownership is contiguous along the curve, and every interior node
+// lives with its first child.
 
 #include <cstdint>
 #include <vector>
@@ -22,15 +34,89 @@ struct partition_stats {
     /// Cross-rank neighbor pairs incident to each rank (a pair crossing
     /// ranks r1-r2 counts once for each endpoint): per-rank halo traffic.
     std::vector<std::uint64_t> cross_pairs_per_rank;
+    /// Modeled cost per rank: the sum of the per-leaf weights owned by each
+    /// rank. Filled only when the caller supplied weights (weighted split,
+    /// rebalance, or partition_accounting with weights); empty otherwise —
+    /// consumers fall back to the structural counts above.
+    std::vector<double> cost_per_rank;
     /// Same-level neighbor pairs whose endpoints live on different ranks —
     /// each is one halo exchange per direction per timestep.
     std::uint64_t cross_rank_neighbor_pairs = 0;
     /// Total same-level neighbor pairs (local + remote).
     std::uint64_t total_neighbor_pairs = 0;
+
+    double total_cost() const;
+    double max_cost() const;
+    /// max_cost / (total_cost / nranks) - 1, in percent: 0 = perfectly
+    /// balanced, 100 = the hottest rank carries twice the mean.
+    double imbalance_pct() const;
 };
 
-/// Assign `node.owner` for every node of the tree across `nranks` ranks.
+/// Assign `node.owner` for every node of the tree across `nranks` ranks,
+/// splitting the curve into equal-COUNT chunks (the paper's §4.2 policy).
 /// Returns per-rank statistics used by the cluster simulator.
 partition_stats partition_sfc(tree& t, int nranks);
+
+/// Weighted split: contiguous Morton chunks chosen so each rank's summed
+/// leaf weight approximates total/nranks (prefix-sum split points). Every
+/// rank gets at least one leaf whenever leaves >= nranks. `leaf_weights`
+/// aligns with t.leaves_sfc(); all weights must be > 0.
+partition_stats partition_sfc_weighted(tree& t, int nranks,
+                                       const std::vector<double>& leaf_weights);
+
+/// Recompute the statistics of the CURRENT owner assignment without touching
+/// it (owners must already be contiguous along the curve). With `leaf_weights`
+/// (aligned with t.leaves_sfc()) the weighted cost_per_rank is filled too.
+partition_stats partition_accounting(const tree& t, int nranks,
+                                     const std::vector<double>* leaf_weights = nullptr);
+
+struct rebalance_options {
+    /// Migration bound: at most this fraction of the leaves changes owner in
+    /// one rebalance_sfc call (the rebalance frontier — how many split points
+    /// jump to their weighted-ideal position — is chosen as the largest whose
+    /// measured owner-mismatch fits).
+    double max_migration_fraction = 0.10;
+};
+
+/// One subgrid changing owner.
+struct migration_record {
+    node_key key;
+    int from;
+    int to;
+};
+
+struct rebalance_result {
+    /// Stats of the NEW assignment, weighted (cost_per_rank filled).
+    partition_stats stats;
+    /// Leaves whose owner changed, in SFC order (the migration schedule).
+    std::vector<migration_record> migrations;
+    std::size_t leaf_count = 0;
+    /// migrations.size() / leaf_count.
+    double migration_fraction = 0;
+    /// Max-rank cost before/after (same weights), for efficiency reporting.
+    double max_cost_before = 0;
+    double max_cost_after = 0;
+    /// True when the ideal split was NOT reached because the migration bound
+    /// clipped the split-point movement (another rebalance will converge
+    /// further).
+    bool budget_limited = false;
+    /// Ranks that gained or lost at least one leaf: only these need their
+    /// halo plans / FMM workspaces rebuilt.
+    std::vector<int> touched_ranks;
+};
+
+/// Incremental weighted re-partitioning as a frontier wave: split points
+/// 1..k jump FULLY to their weighted-ideal positions (points past the
+/// frontier are clamped monotone behind it), with k binary-searched so at
+/// most max_migration_fraction * leaves leaves change owner; leftover
+/// budget partially advances point k+1. A leaf changes owner at most once,
+/// directly to its final rank, so repeated calls converge in about
+/// (total mismatch) / budget rounds. Owners are updated in place
+/// (interior nodes re-inherit their first child) and the tree's partition
+/// revision is bumped; the STRUCTURE revision is untouched, so cached ghost
+/// plans and FMM workspaces of untouched ranks stay valid.
+rebalance_result rebalance_sfc(tree& t, int nranks,
+                               const std::vector<double>& leaf_weights,
+                               const rebalance_options& opt = {});
 
 } // namespace octo::amr

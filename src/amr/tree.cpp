@@ -49,6 +49,11 @@ std::uint64_t key_sfc_order(node_key k, int max_level) {
     return k << (3 * (max_level - level));
 }
 
+node_key first_descendant_leaf(const tree& t, node_key k) {
+    while (t.node(k).refined) k = key_child(k, 0);
+    return k;
+}
+
 namespace {
 std::uint64_t next_tree_id() {
     static std::atomic<std::uint64_t> counter{0};

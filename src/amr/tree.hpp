@@ -44,6 +44,14 @@ node_key key_neighbor(node_key k, const ivec3& off);
 /// Depth-padded key used for space-filling-curve ordering across levels.
 std::uint64_t key_sfc_order(node_key k, int max_level);
 
+class tree;
+
+/// First leaf in the child-0 chain below `k` (k itself when a leaf) — the
+/// leaf whose owner an interior node inherits under the partitioner's
+/// first-child rule, and therefore the leaf that pays for the interior
+/// node's multipole kernel in the cost model.
+node_key first_descendant_leaf(const tree& t, node_key k);
+
 struct tree_node {
     bool refined = false;
     int owner = 0;                    ///< locality rank assigned by the partitioner
@@ -69,6 +77,15 @@ class tree {
     /// unchanged id) guarantees the node set, field-storage set and all
     /// sub-grid addresses are identical to the previous observation.
     std::uint64_t revision() const { return revision_; }
+
+    /// Partition revision: bumped whenever the partitioner reassigns owners
+    /// (partition_sfc / rebalance_sfc). Deliberately separate from
+    /// revision(): migration changes WHO owns a node, never the node set, so
+    /// caches keyed on (id, revision) — ghost plans, FMM workspaces — stay
+    /// valid across a rebalance, while owner-derived state (halo send/recv
+    /// schedules of the touched ranks) keys on this counter instead.
+    std::uint64_t partition_revision() const { return partition_revision_; }
+    void bump_partition_revision() { ++partition_revision_; }
 
     bool contains(node_key k) const { return nodes_.count(k) != 0; }
     bool is_leaf(node_key k) const;
@@ -119,6 +136,7 @@ class tree {
     box_geometry root_geom_;
     std::uint64_t id_ = 0;
     std::uint64_t revision_ = 0;
+    std::uint64_t partition_revision_ = 0;
     std::unordered_map<node_key, tree_node> nodes_;
     std::vector<std::vector<node_key>> levels_;
 };

@@ -89,6 +89,7 @@ node_sim_result simulate_node_step(const node_sim_config& cfg) {
             std::size_t items = 0;
             double flops = 0;
             double ready = 0; ///< all items staged by this time
+            double first = 0; ///< first item staged at this time (age flush)
         };
         std::vector<batch_acc> dev_batch(static_cast<std::size_t>(ngpu));
         std::vector<double> dev_free(static_cast<std::size_t>(ngpu), 0.0);
@@ -135,6 +136,16 @@ node_sim_result simulate_node_step(const node_sim_config& cfg) {
             }
             const double done_submit = t + cfg.submit_overhead_s;
             batch_acc& b = dev_batch[dev];
+            // Age flush: if the pending batch's oldest item would have hit
+            // the flush timeout before this item arrived, the background
+            // flusher already launched it (at the deadline) — this item
+            // starts a fresh batch.
+            const double flush_s = cfg.flush_after_us * 1e-6;
+            if (b.items > 0 && done_submit > b.first + flush_s) {
+                b.ready = std::max(b.ready, b.first + flush_s);
+                flush_dev(dev);
+            }
+            if (b.items == 0) b.first = done_submit;
             b.items += 1;
             b.flops += tk.flops;
             b.ready = std::max(b.ready, done_submit);

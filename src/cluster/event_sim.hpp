@@ -38,6 +38,12 @@ struct node_sim_config {
     /// device peak — the two levers that make aggregation win.
     bool aggregate = false;
     unsigned aggregation_batch = 32;
+    /// Age flush (the aggregator's flush_after_us knob): a partial batch
+    /// whose oldest item has waited this long is launched by the background
+    /// flusher instead of waiting to fill. Too small degenerates to
+    /// one-kernel launches; too large only matters when submission has gaps
+    /// (a trailing partial batch stalls its dependents).
+    double flush_after_us = 100.0;
     /// CPU-side cost of enqueueing one item (descriptor + staging-slice
     /// copy); far below a stream launch, which is the point.
     double submit_overhead_s = 2e-7;

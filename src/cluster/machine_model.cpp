@@ -87,6 +87,22 @@ scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
     OCTO_ASSERT(static_cast<int>(parts.leaves_per_rank.size()) == nodes);
     (void)total_leaves;
 
+    // Skewed-cost mode: cost_per_rank (when filled) is the modeled relative
+    // load of each rank; the rank's compute is its cost SHARE of the global
+    // work. A static equal-count split accounted under skewed weights then
+    // shows its true hot rank, while a weighted split equalizes the shares.
+    const bool weighted = !parts.cost_per_rank.empty();
+    double total_cost = 0;
+    double all_leaves = 0;
+    double all_refined = 0;
+    double all_pairs = 0;
+    for (int r = 0; r < nodes; ++r) {
+        if (weighted) total_cost += parts.cost_per_rank[r];
+        all_leaves += static_cast<double>(parts.leaves_per_rank[r]);
+        all_refined += static_cast<double>(parts.refined_per_rank[r]);
+        all_pairs += static_cast<double>(parts.cross_pairs_per_rank[r]);
+    }
+
     // Node compute throughput for the FMM kernels: GPUs take them when
     // present (the node-level experiments show nearly all kernels run on the
     // GPU), CPU cores otherwise; the non-FMM work always runs on the cores.
@@ -104,8 +120,23 @@ scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
     double max_comm_exposed = 0;
     double max_compute = 0;
     for (int r = 0; r < nodes; ++r) {
-        const auto leaves = static_cast<double>(parts.leaves_per_rank[r]);
-        const auto refined = static_cast<double>(parts.refined_per_rank[r]);
+        double leaves = static_cast<double>(parts.leaves_per_rank[r]);
+        double refined = static_cast<double>(parts.refined_per_rank[r]);
+        double pairs = static_cast<double>(parts.cross_pairs_per_rank[r]);
+        if (weighted && total_cost > 0) {
+            // The cost model folds halo-pair work into a sub-grid's weight
+            // (amr::cost_model), so an expensive sub-grid computes more AND
+            // communicates more: the rank's message load follows its cost
+            // share exactly like its compute does. Using the raw geometric
+            // pair counts here would charge a cost-balanced partition for
+            // the larger surface of its cheap-region chunks while letting
+            // the static split's hot rank communicate as if its sub-grids
+            // were average — inconsistent with what the weights mean.
+            const double share = parts.cost_per_rank[r] / total_cost;
+            leaves = share * all_leaves;
+            refined = share * all_refined;
+            pairs = share * all_pairs;
+        }
         const double fmm_flops = refined * work.multipole_kernel_flops +
                                  leaves * work.monopole_kernel_flops;
         const double other_flops = leaves * work.other_flops_per_leaf;
@@ -115,9 +146,9 @@ scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
                                   ? std::max(t_fmm, t_other) // overlapped
                                   : t_fmm + t_other;
 
-        // Communication: per-step message count from the real partition.
-        const double msgs = static_cast<double>(parts.cross_pairs_per_rank[r]) *
-                            work.exchanges_per_pair;
+        // Communication: per-step message count from the real partition
+        // (cost-share-scaled in weighted mode, see above).
+        const double msgs = pairs * work.exchanges_per_pair;
 
         // Effective per-parcel handling cost: serialization, scheduling and
         // the port's protocol work (tag matching + staging for the two-sided
@@ -170,6 +201,38 @@ scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
     out.compute_seconds = max_compute;
     out.comm_exposed_seconds = max_comm_exposed;
     return out;
+}
+
+std::vector<double> skewed_leaf_costs(const amr::tree& t,
+                                      double per_level_factor) {
+    OCTO_ASSERT(per_level_factor > 0);
+    const auto leaves = t.leaves_sfc();
+    int d_min = t.max_level();
+    for (const auto k : leaves) d_min = std::min(d_min, amr::key_level(k));
+    std::vector<double> w;
+    w.reserve(leaves.size());
+    for (const auto k : leaves) {
+        w.push_back(std::pow(per_level_factor, amr::key_level(k) - d_min));
+    }
+    return w;
+}
+
+double migration_overhead_seconds(std::size_t migrated_subgrids, int nodes,
+                                  const net::network_params& net) {
+    if (migrated_subgrids == 0 || nodes < 1) return 0.0;
+    // One parcel per sub-grid: header + the full field image (the byte-exact
+    // payload dist::serialize_subgrid ships).
+    const double bytes = 48.0 + static_cast<double>(amr::n_fields) *
+                                    amr::NX3 * sizeof(double);
+    // Migration is contiguous along the curve, so the schedule spreads over
+    // the touched ranks; senders work in parallel and the slowest node
+    // carries its share of the parcels.
+    const auto per_node = static_cast<double>(
+        (migrated_subgrids + static_cast<std::size_t>(nodes) - 1) /
+        static_cast<std::size_t>(nodes));
+    const double congestion = 1.0 + static_cast<double>(nodes) / 4000.0;
+    return per_node * (net.parcel_us * 1e-6 * congestion +
+                       bytes / (net.bandwidth_GBs * 1e9));
 }
 
 } // namespace octo::cluster

@@ -78,10 +78,30 @@ struct scaling_point {
 
 /// Model one timestep of the given partitioned tree on `nodes` compute
 /// nodes with the given parcelport. Uses the real per-rank sub-grid counts
-/// and cross-rank neighbor pair counts of the SFC partition.
+/// and cross-rank neighbor pair counts of the SFC partition. When
+/// `parts.cost_per_rank` is filled (weighted split / rebalance / accounting
+/// with weights), each rank's compute load is its COST share of the total
+/// work instead of its raw sub-grid count — the skewed-cost model of the
+/// dynamic load-balancing experiments (ISSUE 8).
 scaling_point model_step(std::size_t total_subgrids, std::size_t total_leaves,
                          const amr::partition_stats& parts, int nodes,
                          const node_spec& node, const net::network_params& net,
                          const workload_spec& work);
+
+// ---- dynamic load balancing (ISSUE 8) ---------------------------------------
+
+/// Synthetic skewed per-leaf cost profile for the A/B experiments, aligned
+/// with t.leaves_sfc(): a leaf at depth d costs per_level_factor^(d - d_min).
+/// The merger's refined core (deepest levels, clustered on the curve) then
+/// dominates — exactly the hot spot an equal-count split mishandles.
+std::vector<double> skewed_leaf_costs(const amr::tree& t,
+                                      double per_level_factor = 2.0);
+
+/// Modeled wall-clock cost of one rebalance: every migrated sub-grid ships
+/// its full field image as one parcel over the fabric (ranks send in
+/// parallel, so the per-node share of the schedule bounds the time). Callers
+/// amortize this across the steps between rebalances.
+double migration_overhead_seconds(std::size_t migrated_subgrids, int nodes,
+                                  const net::network_params& net);
 
 } // namespace octo::cluster

@@ -14,18 +14,20 @@ using namespace octo::amr;
 
 namespace {
 
-/// Fused-launch batch for the simulation-owned aggregator: the fixed default
-/// (16), or the tuned fmm.same_level batch when autotuning and the cache has
-/// an entry for this machine.
-unsigned sim_max_batch(const sim_options& opt) {
-    if (!opt.aggregate) return 1u;
+/// Options for the simulation-owned aggregator: the fixed defaults (batch
+/// 16, flush 100us), or the tuned fmm.same_level batch and age-flush timeout
+/// when autotuning and the cache has an entry for this machine.
+gpu::aggregator_options sim_agg_options(const sim_options& opt) {
+    gpu::aggregator_options ao;
+    ao.max_batch = opt.aggregate ? 16u : 1u;
     if (opt.autotune) {
         if (auto tc = kernel::global_autotune().lookup(
                 opt.machine, "fmm.same_level", kernel::backend_kind::gpu)) {
-            return std::max(1u, tc->gpu_batch);
+            if (opt.aggregate) ao.max_batch = std::max(1u, tc->gpu_batch);
+            ao.flush_after_us = tc->flush_us;
         }
     }
-    return 16u;
+    return ao;
 }
 
 } // namespace
@@ -34,9 +36,8 @@ simulation::simulation(tree t, sim_options opt)
     : tree_(std::move(t)),
       opt_(opt),
       own_agg_(opt.aggregator == nullptr && opt.device != nullptr
-                   ? std::make_unique<gpu::aggregator>(
-                         *opt.device,
-                         gpu::aggregator_options{.max_batch = sim_max_batch(opt)})
+                   ? std::make_unique<gpu::aggregator>(*opt.device,
+                                                       sim_agg_options(opt))
                    : nullptr),
       agg_(opt.aggregator != nullptr ? opt.aggregator : own_agg_.get()),
       gravity_({.conserve = opt.conserve,
@@ -45,7 +46,14 @@ simulation::simulation(tree t, sim_options opt)
                 .pool = opt.pool,
                 .aggregator = agg_,
                 .autotune = opt.autotune,
-                .machine = opt.machine}) {}
+                .machine = opt.machine}),
+      lb_cost_(opt.lb.cost) {
+    if (opt_.lb.ranks > 0) {
+        // Seed with the paper's equal-count split; the cost model refines the
+        // weights as steps are observed.
+        lb_parts_ = partition_sfc(tree_, opt_.lb.ranks);
+    }
+}
 
 simulation simulation::restart(const std::string& checkpoint_path,
                                sim_options opt) {
@@ -85,6 +93,20 @@ double simulation::advance() {
     const double dt = hydro::step(tree_, h);
     time_ += dt;
     ++steps_;
+    if (opt_.lb.ranks > 0) {
+        // Feed the cost model with the partition this step actually ran
+        // under, then (on cadence) nudge the split points. Owner labels are
+        // bookkeeping only — the numerics above never consult them, so a
+        // load-balanced run stays bit-identical to an unbalanced one.
+        lb_cost_.observe_step(tree_, lb_parts_);
+        if (opt_.lb.every_steps > 0 && steps_ % opt_.lb.every_steps == 0) {
+            last_rebalance_ = rebalance_sfc(
+                tree_, opt_.lb.ranks, lb_cost_.leaf_weights(tree_),
+                {.max_migration_fraction = opt_.lb.max_migration_fraction});
+            lb_parts_ = last_rebalance_.stats;
+            ++rebalances_;
+        }
+    }
     if (ckpt_.every_steps > 0 && steps_ % ckpt_.every_steps == 0) {
         std::string path =
             ckpt_.path_prefix + "." + std::to_string(steps_) + ".ckpt";
@@ -158,6 +180,13 @@ int simulation::regrid(
         }
     }
     gravity_valid_ = false;
+    if (opt_.lb.ranks > 0 && refined > 0) {
+        // New children are born with owner 0; restore a contiguous weighted
+        // partition (a structural change already invalidates halo plans and
+        // FMM workspaces, so a full re-split costs nothing extra here).
+        lb_parts_ = partition_sfc_weighted(tree_, opt_.lb.ranks,
+                                           lb_cost_.leaf_weights(tree_));
+    }
     return refined;
 }
 
@@ -209,7 +238,13 @@ int simulation::coarsen(
             ++coarsened;
         }
     }
-    if (coarsened > 0) gravity_valid_ = false;
+    if (coarsened > 0) {
+        gravity_valid_ = false;
+        if (opt_.lb.ranks > 0) {
+            lb_parts_ = partition_sfc_weighted(tree_, opt_.lb.ranks,
+                                               lb_cost_.leaf_weights(tree_));
+        }
+    }
     return coarsened;
 }
 

@@ -10,7 +10,9 @@
 
 #include <memory>
 
+#include "amr/cost_model.hpp"
 #include "amr/halo.hpp"
+#include "amr/partition.hpp"
 #include "amr/tree.hpp"
 #include "fmm/solver.hpp"
 #include "gpu/aggregator.hpp"
@@ -19,6 +21,20 @@
 #include "physics/eos.hpp"
 
 namespace octo::core {
+
+/// Cost-driven dynamic load balancing (ISSUE 8). With `ranks > 0` the
+/// driver maintains an SFC partition of the tree across that many modeled
+/// ranks: every step feeds the APEX-calibrated cost model, and every
+/// `every_steps` steps the split points are nudged toward the weighted ideal
+/// under the bounded-migration constraint. Owner labels never influence the
+/// numerics — a balanced run is bit-identical to an unbalanced one; what
+/// changes is WHERE each subgrid's work is modeled/executed.
+struct lb_options {
+    int ranks = 0;        ///< 0 disables load balancing entirely
+    long every_steps = 1; ///< rebalance cadence (steps)
+    double max_migration_fraction = 0.10;
+    amr::cost_params cost{};
+};
 
 struct sim_options {
     phys::ideal_gas_eos eos{5.0 / 3.0};
@@ -40,6 +56,7 @@ struct sim_options {
     /// (seeded by bench_kernels). Off = the fixed defaults everywhere.
     bool autotune = false;
     std::string machine = "host";  ///< autotune cache machine key
+    lb_options lb{};               ///< dynamic load balancing (off by default)
 };
 
 /// Per-step energy/conservation report.
@@ -101,6 +118,18 @@ class simulation {
 
     report diagnostics() const;
 
+    // ---- load balancing (enabled by sim_options::lb.ranks > 0) -------------
+
+    /// Stats of the partition the NEXT step will run under (weighted
+    /// cost_per_rank filled once the cost model has observed a step).
+    const amr::partition_stats& partition() const { return lb_parts_; }
+    /// Result of the most recent rebalance (empty migrations before the
+    /// first); the migration schedule consumers (dist::subgrid_migrator)
+    /// execute.
+    const amr::rebalance_result& last_rebalance() const { return last_rebalance_; }
+    long rebalance_count() const { return rebalances_; }
+    const amr::cost_model& load_model() const { return lb_cost_; }
+
   private:
     void refine_with_fields(amr::node_key k);
 
@@ -116,6 +145,10 @@ class simulation {
     bool gravity_valid_ = false;
     checkpoint_policy ckpt_;
     std::string last_checkpoint_;
+    amr::cost_model lb_cost_;
+    amr::partition_stats lb_parts_;
+    amr::rebalance_result last_rebalance_;
+    long rebalances_ = 0;
 };
 
 } // namespace octo::core

@@ -1,0 +1,122 @@
+#include "dist/migrate.hpp"
+
+#include <cstring>
+
+#include "runtime/apex.hpp"
+#include "support/error.hpp"
+
+namespace octo::dist {
+
+namespace {
+constexpr std::size_t field_image_doubles =
+    static_cast<std::size_t>(amr::n_fields) * amr::NX3;
+} // namespace
+
+void serialize_subgrid(oarchive& ar, amr::node_key key, const amr::subgrid& sg) {
+    ar.write(key);
+    ar.write(sg.geom.origin.x);
+    ar.write(sg.geom.origin.y);
+    ar.write(sg.geom.origin.z);
+    ar.write(sg.geom.dx);
+    // The field planes are one contiguous array starting at field 0 — write
+    // the whole image in one shot (byte-exact, ghosts included).
+    const auto* p = sg.field_data(0);
+    ar.write_vector(std::vector<double>(p, p + field_image_doubles));
+}
+
+std::pair<amr::node_key, amr::subgrid> deserialize_subgrid(iarchive& ar) {
+    const auto key = ar.read<amr::node_key>();
+    amr::subgrid sg;
+    sg.geom.origin.x = ar.read<double>();
+    sg.geom.origin.y = ar.read<double>();
+    sg.geom.origin.z = ar.read<double>();
+    sg.geom.dx = ar.read<double>();
+    const auto img = ar.read_vector<double>();
+    if (img.size() != field_image_doubles)
+        throw error("migrate: field image size mismatch");
+    std::memcpy(sg.field_data(0), img.data(),
+                field_image_doubles * sizeof(double));
+    return {key, std::move(sg)};
+}
+
+subgrid_migrator::subgrid_migrator(runtime& rt)
+    : rt_(rt), stores_(static_cast<std::size_t>(rt.size())) {
+    install_action_ =
+        rt_.register_action("lb.install_subgrid", [this](int here, iarchive ar) {
+            auto [key, sg] = deserialize_subgrid(ar);
+            {
+                std::lock_guard lock(mutex_);
+                stores_[static_cast<std::size_t>(here)].insert_or_assign(
+                    key, std::move(sg));
+                stats_.subgrids_received += 1;
+            }
+            rt::apex_count("lb.migration_installs");
+        });
+}
+
+void subgrid_migrator::put(int rank, amr::node_key key, const amr::subgrid& sg) {
+    std::lock_guard lock(mutex_);
+    stores_[static_cast<std::size_t>(rank)].insert_or_assign(key, sg);
+}
+
+bool subgrid_migrator::contains(int rank, amr::node_key key) const {
+    std::lock_guard lock(mutex_);
+    return stores_[static_cast<std::size_t>(rank)].count(key) != 0;
+}
+
+bool subgrid_migrator::get(int rank, amr::node_key key, amr::subgrid& out) const {
+    std::lock_guard lock(mutex_);
+    const auto& store = stores_[static_cast<std::size_t>(rank)];
+    const auto it = store.find(key);
+    if (it == store.end()) return false;
+    out = it->second;
+    return true;
+}
+
+std::size_t subgrid_migrator::count(int rank) const {
+    std::lock_guard lock(mutex_);
+    return stores_[static_cast<std::size_t>(rank)].size();
+}
+
+void subgrid_migrator::migrate(const std::vector<amr::migration_record>& schedule) {
+    for (const auto& m : schedule) {
+        // Extract the subgrid from the source store under the lock, then
+        // serialize and send outside it (apply() may run local actions
+        // inline, which would re-take mutex_).
+        amr::subgrid sg;
+        {
+            std::lock_guard lock(mutex_);
+            auto& src = stores_[static_cast<std::size_t>(m.from)];
+            const auto it = src.find(m.key);
+            if (it == src.end())
+                throw error("migrate: schedule references a subgrid the "
+                            "source rank does not hold");
+            sg = std::move(it->second);
+            src.erase(it);
+            if (m.from == m.to) {
+                stores_[static_cast<std::size_t>(m.to)].insert_or_assign(
+                    m.key, std::move(sg));
+                stats_.local_moves += 1;
+                continue;
+            }
+        }
+        oarchive ar;
+        serialize_subgrid(ar, m.key, sg);
+        const std::size_t bytes = ar.size();
+        rt_.apply(m.to, install_action_, std::move(ar));
+        {
+            std::lock_guard lock(mutex_);
+            stats_.subgrids_sent += 1;
+            stats_.bytes_sent += bytes;
+        }
+        rt::apex_count("lb.migration_parcels");
+        rt::apex_count("lb.migration_bytes", bytes);
+    }
+}
+
+migration_stats subgrid_migrator::stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+} // namespace octo::dist

@@ -33,6 +33,7 @@ solver::solver(options o)
     mono_cfg_ = base;
     multi_cfg_ = base;
     unsigned tuned_batch = opt_.gpu_batch;
+    double tuned_flush_us = gpu::aggregator_options{}.flush_after_us;
     if (opt_.autotune) {
         auto& cache = kernel::global_autotune();
         if (opt_.vectorized) {
@@ -48,6 +49,7 @@ solver::solver(options o)
         if (auto tc = cache.lookup(opt_.machine, "fmm.same_level",
                                    kernel::backend_kind::gpu)) {
             tuned_batch = tc->gpu_batch;
+            tuned_flush_us = tc->flush_us;
         }
     }
     // One launch point for all offload (the Kokkos/HPX lesson of
@@ -60,6 +62,7 @@ solver::solver(options o)
     } else if (opt_.device != nullptr) {
         gpu::aggregator_options ao;
         ao.max_batch = opt_.aggregate ? std::max(1u, tuned_batch) : 1u;
+        ao.flush_after_us = tuned_flush_us;
         own_agg_ = std::make_unique<gpu::aggregator>(*opt_.device, ao);
         agg_ = own_agg_.get();
     }

@@ -59,7 +59,15 @@ void autotune_cache::load() {
         if (!std::getline(ss, field, '|')) continue;
         cfg.gpu_batch = static_cast<unsigned>(std::strtoul(field.c_str(), nullptr, 10));
         if (!std::getline(ss, field, '|')) continue;
-        cfg.gflops = std::strtod(field.c_str(), nullptr);
+        // New 8-field format carries flush_us before gflops; a 7-field line
+        // from an older cache ends here and the field just read IS gflops.
+        std::string tail;
+        if (std::getline(ss, tail, '|')) {
+            cfg.flush_us = std::strtod(field.c_str(), nullptr);
+            cfg.gflops = std::strtod(tail.c_str(), nullptr);
+        } else {
+            cfg.gflops = std::strtod(field.c_str(), nullptr);
+        }
         entry e;
         e.cfg = cfg;
         e.from_disk = true;
@@ -72,10 +80,10 @@ void autotune_cache::persist() const {
     if (!out) {
         return;
     }
-    out << "# octo autotune cache: machine|kernel|backend|width|tile|gpu_batch|gflops\n";
+    out << "# octo autotune cache: machine|kernel|backend|width|tile|gpu_batch|flush_us|gflops\n";
     for (const auto& [k, e] : map_) {
         out << k << "|" << e.cfg.width << "|" << e.cfg.tile << "|" << e.cfg.gpu_batch
-            << "|" << e.cfg.gflops << "\n";
+            << "|" << e.cfg.flush_us << "|" << e.cfg.gflops << "\n";
     }
 }
 

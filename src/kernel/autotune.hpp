@@ -10,7 +10,9 @@
 //   kernel.autotune.disk_hits  entries served from the on-disk cache file
 //
 // The disk format is one entry per line:
-//   machine|kernel|backend|width|tile|gpu_batch|gflops
+//   machine|kernel|backend|width|tile|gpu_batch|flush_us|gflops
+// (older 7-field lines without flush_us still parse; the flush timeout then
+// stays at its built-in default)
 // keyed on the machine model name ("host" = measured on this machine;
 // cluster machine-model names for simulated nodes), the kernel class key
 // ("fmm.monopole", "hydro.leaf_fluxes", ...) and the backend.
@@ -31,9 +33,10 @@ namespace octo::kernel {
 struct tuned_config {
     backend_kind backend = backend_kind::simd;
     int width = static_cast<int>(octo::simd::default_width);
-    int tile = 0;            ///< 0 = untiled (whole extent)
-    unsigned gpu_batch = 16; ///< aggregation batch (gpu backend only)
-    double gflops = 0.0;     ///< measured throughput of this config
+    int tile = 0;             ///< 0 = untiled (whole extent)
+    unsigned gpu_batch = 16;  ///< aggregation batch (gpu backend only)
+    double flush_us = 100.0;  ///< aggregator age-flush timeout (gpu backend)
+    double gflops = 0.0;      ///< measured throughput of this config
 
     exec_config exec() const { return {backend, width, tile}; }
 };

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "runtime/apex.hpp"
+
 namespace octo::net {
 
 namespace {
@@ -21,6 +23,7 @@ void account_send(dist::port_stats& stats, const network_params& params,
         return;
     }
     stats.parcels_sent += 1;
+    rt::apex_count("net.parcels_sent");
     stats.bytes_sent += p.payload.size();
     stats.modeled_latency_total +=
         modeled_message_seconds(params, p.payload.size(), registered);

@@ -491,6 +491,97 @@ TEST(Partition, InteriorNodesInheritChildOwner) {
     EXPECT_EQ(t.node(root_key).owner, t.node(key_child(root_key, 0)).owner);
 }
 
+TEST(Partition, ChunksAreMortonContiguous) {
+    tree t(unit_root());
+    t.refine(root_key);
+    for (int c = 0; c < 8; ++c) t.refine(key_child(root_key, c));
+    t.refine(key_child(key_child(root_key, 3), 5)); // non-uniform depth
+    for (const int nranks : {1, 3, 7, 16}) {
+        partition_sfc(t, nranks);
+        int prev = 0;
+        for (const node_key k : t.leaves_sfc()) {
+            const int r = t.node(k).owner;
+            EXPECT_GE(r, prev) << "owners must be nondecreasing along the SFC";
+            EXPECT_LT(r, nranks);
+            prev = r;
+        }
+    }
+}
+
+TEST(Partition, EveryInteriorNodeOwnsItsFirstDescendantLeaf) {
+    tree t(unit_root());
+    t.refine(root_key);
+    for (int c = 0; c < 8; ++c) t.refine(key_child(root_key, c));
+    partition_sfc(t, 8);
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (!t.node(k).refined) continue;
+            EXPECT_EQ(t.node(k).owner,
+                      t.node(first_descendant_leaf(t, k)).owner);
+        }
+    }
+}
+
+TEST(Partition, AccountingTotalsAndCrossPairSymmetry) {
+    tree t(unit_root());
+    t.refine(root_key);
+    for (int c = 0; c < 8; ++c) t.refine(key_child(root_key, c));
+    const int nranks = 6;
+    const auto stats = partition_sfc(t, nranks);
+
+    std::size_t leaves = 0, nodes = 0, refined = 0, pair_endpoints = 0;
+    for (int r = 0; r < nranks; ++r) {
+        leaves += stats.leaves_per_rank[r];
+        nodes += stats.nodes_per_rank[r];
+        refined += stats.refined_per_rank[r];
+        pair_endpoints += stats.cross_pairs_per_rank[r];
+    }
+    EXPECT_EQ(leaves, t.leaf_count());
+    EXPECT_EQ(nodes, t.size());
+    EXPECT_EQ(refined, t.size() - t.leaf_count());
+    // Each cross-rank pair has exactly two endpoints, one per side.
+    EXPECT_EQ(pair_endpoints, 2 * stats.cross_rank_neighbor_pairs);
+    EXPECT_LE(stats.cross_rank_neighbor_pairs, stats.total_neighbor_pairs);
+}
+
+TEST(Partition, WeightedSplitEqualizesCostNotCounts) {
+    tree t(unit_root());
+    t.refine(root_key);
+    for (int c = 0; c < 8; ++c) t.refine(key_child(root_key, c)); // 64 leaves
+    // First 16 leaves on the curve cost 9x the rest. Total 192, mean 48 per
+    // rank: the hot region is split across the first ranks (about 6 hot
+    // leaves each), the light tail packs many more leaves per rank. The
+    // split can only be off from the mean by a boundary leaf.
+    std::vector<double> w(64, 1.0);
+    for (int i = 0; i < 16; ++i) w[i] = 9.0;
+    const auto stats = partition_sfc_weighted(t, 4, w);
+    ASSERT_EQ(stats.cost_per_rank.size(), 4u);
+    const double mean = stats.total_cost() / 4.0;
+    for (const double c : stats.cost_per_rank) EXPECT_NEAR(c, mean, 9.0);
+    EXPECT_LT(stats.leaves_per_rank[0], 16u); // fewer, expensive leaves
+    EXPECT_GT(stats.leaves_per_rank[3], 16u); // more, cheap leaves
+    // Far better than the 200% a 16-leaf equal-count split would give the
+    // hot rank ((16*9)/48 - 1).
+    EXPECT_LT(stats.imbalance_pct(), 15.0);
+
+    // Uniform weights reduce to the equal-count split.
+    tree t2(unit_root());
+    t2.refine(root_key);
+    for (int c = 0; c < 8; ++c) t2.refine(key_child(root_key, c));
+    const auto uniform = partition_sfc_weighted(t2, 4, std::vector<double>(64, 1.0));
+    for (const auto n : uniform.leaves_per_rank) EXPECT_EQ(n, 16u);
+}
+
+TEST(Partition, PartitionRevisionBumpsButStructureRevisionDoesNot) {
+    tree t(unit_root());
+    t.refine(root_key);
+    const auto structure = t.revision();
+    const auto part = t.partition_revision();
+    partition_sfc(t, 4);
+    EXPECT_EQ(t.revision(), structure);
+    EXPECT_GT(t.partition_revision(), part);
+}
+
 // ---- assertion-protected invariants (death tests) ----------------------------
 
 TEST(TreeDeath, RefiningTwiceAborts) {

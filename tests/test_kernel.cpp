@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -475,6 +476,42 @@ TEST(Autotune, ColdSweepPersistWarmAndDiskHits) {
     EXPECT_EQ(apex.counter("kernel.autotune.sweeps"), sweeps0 + 1);
     EXPECT_EQ(apex.counter("kernel.autotune.hits"), hits0 + 3);
     EXPECT_EQ(apex.counter("kernel.autotune.disk_hits"), disk0 + 1);
+    std::remove(path.c_str());
+}
+
+TEST(Autotune, FlushTimeoutPersistsAndOldCacheLinesStillParse) {
+    const std::string path = "test_kernel_autotune_flush.cache";
+    std::remove(path.c_str());
+    {
+        kernel::tuned_config tc;
+        tc.backend = kernel::backend_kind::gpu;
+        tc.gpu_batch = 64;
+        tc.flush_us = 500.0;
+        tc.gflops = 7.0;
+        kernel::autotune_cache cache(path);
+        cache.store("host", "flush.kernel", kernel::backend_kind::gpu, tc);
+    }
+    // Round-trips through the 8-field disk format.
+    kernel::autotune_cache reopened(path);
+    const auto tc =
+        reopened.lookup("host", "flush.kernel", kernel::backend_kind::gpu);
+    ASSERT_TRUE(tc.has_value());
+    EXPECT_EQ(tc->gpu_batch, 64u);
+    EXPECT_DOUBLE_EQ(tc->flush_us, 500.0);
+    EXPECT_DOUBLE_EQ(tc->gflops, 7.0);
+
+    // A pre-flush 7-field line (machine|kernel|backend|width|tile|gpu_batch|
+    // gflops) still parses: flush_us falls back to the built-in default.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "host|old.kernel|gpu|1|0|32|5.5\n";
+    }
+    kernel::autotune_cache old(path);
+    const auto oc = old.lookup("host", "old.kernel", kernel::backend_kind::gpu);
+    ASSERT_TRUE(oc.has_value());
+    EXPECT_EQ(oc->gpu_batch, 32u);
+    EXPECT_DOUBLE_EQ(oc->flush_us, kernel::tuned_config{}.flush_us);
+    EXPECT_DOUBLE_EQ(oc->gflops, 5.5);
     std::remove(path.c_str());
 }
 
