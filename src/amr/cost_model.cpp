@@ -87,7 +87,10 @@ void cost_model::observe_step(const tree& t, const partition_stats& parts) {
         }
     }
 
-    for (const auto& [k, c] : sample) observe(k, c);
+    // Feed the EWMA in SFC order: `sample` is unordered, and observe() folds
+    // each cost into sum_, so hash-order iteration would tie the fallback
+    // weight to the hash seed — a restarted-vs-not bit-identity hazard.
+    for (const node_key k : leaves) observe(k, sample.at(k));
     rt::apex_count("lb.cost_updates");
 }
 

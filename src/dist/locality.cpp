@@ -12,6 +12,10 @@
 
 namespace octo::dist {
 
+// `checksum` is the digest this function computes, and `attempt` is
+// port-side retransmit bookkeeping — retransmits must hash identically so
+// receivers dedup them as one parcel. Both are excluded by design:
+// lint: allow(serialization-coverage): checksum is the digest itself; attempt must not change the hash across retransmits
 std::uint32_t parcel_crc(const parcel& p) {
     // Covers everything a corrupted transport could damage except `attempt`
     // (a port-side bookkeeping field: retransmits must carry the identical

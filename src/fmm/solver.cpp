@@ -610,6 +610,7 @@ void solver::solve_futurized(tree& t) {
                     rt::detach(rt::when_all(std::move(pending))
                                    .then(*pool_, [this, k, done](auto fs) {
                                        try {
+                                           // lint: allow(blocking-in-task): when_all-gated, every element ready; get() only rethrows
                                            for (auto& f : fs.get()) f.get();
                                            if (k == amr::root_key) {
                                                evaluate_node(k);

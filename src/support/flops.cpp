@@ -96,10 +96,10 @@ void flop_reset() {
         for (auto& slot : tc->slots) {
             // Counter resets, not publishes: readers tolerate torn epochs
             // and the registry_mutex orders the reset against iteration.
-            slot.cpu_flops.store(0, std::memory_order_relaxed);      // lint: allow(relaxed-publish)
-            slot.gpu_flops.store(0, std::memory_order_relaxed);      // lint: allow(relaxed-publish)
-            slot.cpu_launches.store(0, std::memory_order_relaxed);   // lint: allow(relaxed-publish)
-            slot.gpu_launches.store(0, std::memory_order_relaxed);   // lint: allow(relaxed-publish)
+            slot.cpu_flops.store(0, std::memory_order_relaxed);      // lint: allow(relaxed-publish): counter reset, not a publish; registry_mutex orders it
+            slot.gpu_flops.store(0, std::memory_order_relaxed);      // lint: allow(relaxed-publish): counter reset, not a publish; registry_mutex orders it
+            slot.cpu_launches.store(0, std::memory_order_relaxed);   // lint: allow(relaxed-publish): counter reset, not a publish; registry_mutex orders it
+            slot.gpu_launches.store(0, std::memory_order_relaxed);   // lint: allow(relaxed-publish): counter reset, not a publish; registry_mutex orders it
         }
     }
 }

@@ -1,0 +1,3 @@
+void solve(cell_list& cells) {
+    monopole_kernel<exec::simd<4>>(cells);
+}

@@ -1,0 +1,3 @@
+void instantiate(cell_list& cells) {
+    monopole_kernel<exec::scalar>(cells);
+}

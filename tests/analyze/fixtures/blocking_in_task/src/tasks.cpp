@@ -1,0 +1,33 @@
+#include "runtime/thread_pool.hpp"
+
+namespace octo {
+
+void schedule(rt::thread_pool& pool, rt::future<double> f,
+              std::shared_ptr<double> dt) {
+    pool.post([&f] {
+        f.get();
+    });
+    pool.post([dt] {
+        double v = *dt.get();
+        (void)v;
+    });
+    auto g = rt::async(pool, [] { return 1.0; });
+    g.get();
+}
+
+void waits(rt::thread_pool& pool, rt::latch& l) {
+    pool.post([&l, &pool] {
+        l.wait();
+        pool.wait_idle();
+    });
+}
+
+void continuations(rt::thread_pool& pool, rt::future<int> a) {
+    auto tail = a.then(pool, [](auto r) {
+        int v = r.get();
+        (void)v;
+    });
+    tail.get();
+}
+
+}

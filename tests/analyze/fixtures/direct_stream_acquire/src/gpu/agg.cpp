@@ -1,0 +1,4 @@
+void dispatch() {
+    auto s = device::try_acquire_stream();
+    (void)s;
+}

@@ -1,0 +1,4 @@
+void offload() {
+    auto s = device::try_acquire_stream();
+    (void)s;
+}

@@ -1,0 +1,9 @@
+#include "runtime/future.hpp"
+
+void launches(octo::rt::thread_pool& pool) {
+    rt::async(pool, [] {});
+    auto f = rt::async(pool, [] {});
+    rt::async(pool, [] {}).get();
+    rt::detach(rt::async(pool, [] {}));
+    (void)f;
+}

@@ -1,0 +1,27 @@
+#include <mutex>
+
+namespace octo {
+
+void bad_raii(std::mutex& mu, rt::future<void>& f) {
+    std::lock_guard<std::mutex> hold(mu);
+    f.get();
+}
+
+void bad_manual(spinlock& sl, rt::future<void>& f) {
+    sl.lock();
+    f.get();
+    sl.unlock();
+}
+
+void good_release(std::mutex& mu, rt::future<void>& f) {
+    std::unique_lock<std::mutex> lk(mu);
+    lk.unlock();
+    f.get();
+}
+
+void good_cv(std::mutex& mu, std::condition_variable& cv) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk);
+}
+
+}

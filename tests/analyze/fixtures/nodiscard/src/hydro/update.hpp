@@ -1,0 +1,4 @@
+namespace octo::hydro {
+[[nodiscard]] double step(double dt);
+[[nodiscard]] double cfl_timestep();
+}

@@ -1,0 +1,7 @@
+namespace octo::rt {
+template <class T> class channel {
+  public:
+    [[nodiscard]] future<T> get();
+    future<T> recv();
+};
+}

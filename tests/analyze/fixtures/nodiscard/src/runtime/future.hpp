@@ -1,0 +1,4 @@
+namespace octo::rt {
+template <class T> class [[nodiscard]] future {};
+template <class R> [[nodiscard]] auto when_all(R&& futures);
+}

@@ -1,0 +1,6 @@
+namespace octo::rt {
+class latch {
+  public:
+    [[nodiscard]] future<void> done_future();
+};
+}

@@ -1,0 +1,30 @@
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace octo::amr {
+
+double total_unordered(const std::unordered_map<long, double>& w) {
+    double sum = 0.0;
+    for (const auto& [k, v] : w) sum += v;
+    return sum;
+}
+
+double total_ordered(const std::map<long, double>& w) {
+    double sum = 0.0;
+    for (const auto& [k, v] : w) sum += v;
+    return sum;
+}
+
+std::vector<long> sorted_keys(const std::unordered_map<long, double>& w) {
+    std::vector<long> out;
+    for (const auto& [k, v] : w) out.push_back(k);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void broadcast(std::unordered_map<int, int>& peers, net& n) {
+    for (const auto& [rank, tag] : peers) n.send(rank, tag);
+}
+
+}

@@ -1,0 +1,7 @@
+#include <unordered_map>
+
+double total(const std::unordered_map<long, double>& w) {
+    double sum = 0.0;
+    for (const auto& [k, v] : w) sum += v;
+    return sum;
+}

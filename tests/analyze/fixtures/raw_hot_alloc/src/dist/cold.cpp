@@ -1,0 +1,4 @@
+void stage(int n) {
+    double* w = static_cast<double*>(malloc(sizeof(double) * n));
+    (void)w;
+}

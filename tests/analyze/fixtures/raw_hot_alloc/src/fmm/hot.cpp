@@ -1,0 +1,6 @@
+void build(int n) {
+    double* w = static_cast<double*>(malloc(sizeof(double) * n));
+    auto* q = new double[16];
+    (void)w;
+    (void)q;
+}

@@ -1,0 +1,12 @@
+#include <atomic>
+
+std::atomic<int> ready;
+std::atomic<long> counter;
+
+void publish() {
+    ready.store(1, std::memory_order_relaxed);
+}
+
+void count() {
+    counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,51 @@
+namespace octo {
+
+struct wire_header {
+    int version;
+    int flags;
+    long body_bytes;
+};
+
+void write_header(dist::oarchive& ar, const wire_header& h) {
+    ar.write(h.version);
+    ar.write(h.body_bytes);
+}
+
+struct wire_ack {
+    long seq;
+    int status;
+};
+
+void write_ack(dist::oarchive& ar, const wire_ack& a) {
+    ar.write(a.seq);
+    ar.write(a.status);
+}
+
+unsigned ack_crc(const wire_ack& a) {
+    unsigned c = crc32(&a.seq, sizeof(a.seq));
+    return crc32(&a.status, sizeof(a.status), c);
+}
+
+class wire_secret {
+  public:
+    int id;
+
+  private:
+    int scratch_;
+};
+
+void write_secret(dist::oarchive& ar, const wire_secret& s) {
+    ar.write(s.id);
+}
+
+struct wire_pair {
+    int first_half;
+    int second_half;
+    void save(dist::oarchive& ar) const;
+};
+
+void wire_pair::save(dist::oarchive& ar) const {
+    ar.write(first_half);
+}
+
+}

@@ -1,0 +1,14 @@
+#include <atomic>
+
+std::atomic<int> a;
+std::atomic<int> b;
+std::atomic<int> c;
+
+void f() {
+    a.store(1, std::memory_order_relaxed);  // lint: allow(relaxed-publish): fixture: torn reads tolerated
+    b.store(1, std::memory_order_relaxed);  // lint: allow(relaxed-publish)
+    c.store(1, std::memory_order_relaxed);
+    // lint: allow(no-such-rule): bogus
+}
+
+// lint: allow(dropped-future): nothing here to suppress

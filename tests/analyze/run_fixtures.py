@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fixture tests for octo-analyze (tools/analyze).
+
+Each directory under fixtures/ is a miniature repo root whose src/ tree
+contains at least one positive and one negative case for a rule. expect.txt
+lists the exact findings the analyzer must produce, one per line, as
+`relpath:line:rule` — no more, no less, so both missed positives and false
+positives on the negatives fail the test.
+
+Usage: run_fixtures.py [fixture-name ...]     exits 1 on any mismatch.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.normpath(
+    os.path.join(HERE, os.pardir, os.pardir, "tools", "analyze")))
+
+from analyze import analyze_tree  # noqa: E402
+
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_case(name):
+    root = os.path.join(FIXTURES, name)
+    expect_path = os.path.join(root, "expect.txt")
+    with open(expect_path, encoding="utf-8") as fh:
+        expected = sorted(ln.strip() for ln in fh
+                          if ln.strip() and not ln.lstrip().startswith("#"))
+    findings, _ = analyze_tree(root)
+    got = sorted(f"{rel}:{line}:{rule}" for rel, line, rule, _ in findings)
+    if got == expected:
+        print(f"  ok   {name} ({len(got)} finding(s))")
+        return True
+    print(f"  FAIL {name}")
+    for missing in sorted(set(expected) - set(got)):
+        print(f"       missing:    {missing}")
+    for extra in sorted(set(got) - set(expected)):
+        print(f"       unexpected: {extra}")
+    return False
+
+
+def main(argv):
+    names = argv[1:] or sorted(
+        d for d in os.listdir(FIXTURES)
+        if os.path.isdir(os.path.join(FIXTURES, d)))
+    print(f"analyze fixtures: {len(names)} case(s)")
+    failures = [n for n in names if not run_case(n)]
+    if failures:
+        print(f"\n{len(failures)} fixture(s) failed: " + ", ".join(failures))
+        return 1
+    print("all fixtures pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

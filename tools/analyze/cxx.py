@@ -1,0 +1,475 @@
+"""Shared C++ source model for octo-analyze.
+
+Pure-Python, no libclang: a comment/string stripper that preserves line and
+column positions, a brace/scope tree that classifies every `{...}` region
+(namespace / class / function / lambda / control / brace-init), lambda launch
+detection (which call received the lambda — pool.post, rt::async, .then,
+register_action), and helpers to walk the text a scope *directly* owns
+(excluding nested scopes).
+
+Everything downstream (legacy lint rules, the futurization-deadlock and
+determinism rules, the serialization-coverage cross-check) builds on this one
+model, so stripping/scoping behavior is defined in exactly one place.
+"""
+
+import bisect
+import re
+
+# ---------------------------------------------------------------------------
+# Comment / string stripping (position-preserving)
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so findings can report real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(clean):
+    """Blank preprocessor directive lines (and their backslash
+    continuations), preserving newlines, so `#include <...>` runs don't glue
+    themselves onto the next scope header and `#define` bodies don't read as
+    statements."""
+    out = []
+    cont = False
+    for line in clean.split("\n"):
+        directive = cont or line.lstrip().startswith("#")
+        if directive:
+            cont = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+        else:
+            cont = False
+            out.append(line)
+    return "\n".join(out)
+
+
+class LineIndex:
+    """Offset -> 1-based line number lookups over one text buffer."""
+
+    def __init__(self, text):
+        self.starts = [0]
+        for m in re.finditer(r"\n", text):
+            self.starts.append(m.end())
+
+    def line(self, offset):
+        return bisect.bisect_right(self.starts, offset)
+
+
+# ---------------------------------------------------------------------------
+# Statement splitting (legacy-compatible: used by the dropped-future rule)
+# ---------------------------------------------------------------------------
+
+
+def statements(clean):
+    """Yield (start_lineno, text) for each top-level-ish statement: the code
+    between ';' / '{' / '}' boundaries taken at *zero* parenthesis depth, so
+    a multi-line when_all(...).then([...]{ ...; }); chain stays one unit."""
+    start = 0
+    lineno = 1
+    start_line = 1
+    depth = 0
+    for i, c in enumerate(clean):
+        if c == "\n":
+            lineno += 1
+            continue
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth = max(0, depth - 1)
+        elif c in ";{}" and depth == 0:
+            stmt = clean[start : i + 1]
+            if stmt.strip():
+                yield start_line, stmt
+            start = i + 1
+            start_line = lineno
+    tail = clean[start:]
+    if tail.strip():
+        yield start_line, tail
+
+
+# ---------------------------------------------------------------------------
+# Scope tree
+# ---------------------------------------------------------------------------
+
+# Call names that run their lambda argument as a *pool task* (or an action
+# handler, which the runtime drains on pool strands). A blocking wait inside
+# one of these is the pool-starvation deadlock class.
+TASK_LAUNCHERS = {"post", "async", "then", "register_action"}
+
+_CONTROL_KEYWORDS = ("if", "for", "while", "switch", "do", "else", "try",
+                     "catch")
+
+_LAMBDA_TAIL = re.compile(
+    r"\]\s*(?:\([^()]*(?:\([^()]*\)[^()]*)*\))?"  # optional parameter list
+    r"(?:\s*(?:mutable|noexcept|constexpr))*"
+    r"(?:\s*->\s*[\w:<>,&*\s]+?)?\s*$"
+)
+_CALLEE = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+class Scope:
+    __slots__ = ("kind", "name", "header", "start", "end", "line", "parent",
+                 "children", "launch", "params", "vars")
+
+    def __init__(self, kind, header, start, line, parent):
+        self.kind = kind        # file|namespace|class|enum|function|lambda|
+                                # control|block|braceinit
+        self.name = None        # class / function name when known
+        self.header = header    # text between previous boundary and '{'
+        self.start = start      # offset of '{' ('file': 0)
+        self.end = None         # offset of matching '}' (exclusive of body)
+        self.line = line
+        self.parent = parent
+        self.children = []
+        self.launch = None      # callee that received this lambda, if any
+        self.params = None      # raw parameter-list text (function/lambda)
+        self.vars = {}          # name -> ('decl', type_text) |
+                                #         ('rangefor', container_expr)
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def in_task(self):
+        """Whether code in this scope runs inside a pool task: the scope is a
+        launched lambda, or is nested (through blocks/control/lambdas, but not
+        through a fresh function or class) under one."""
+        s = self
+        while s is not None:
+            if s.kind == "lambda" and s.launch in TASK_LAUNCHERS:
+                return True
+            if s.kind in ("function", "class", "namespace", "file"):
+                return False
+            s = s.parent
+        return False
+
+    def enclosing(self, *kinds):
+        s = self
+        while s is not None:
+            if s.kind in kinds:
+                return s
+            s = s.parent
+        return None
+
+
+def _strip_templates(text):
+    """Remove balanced <...> groups so parens inside std::function<void(int)>
+    don't read as a function declarator. Comparison operators survive because
+    they never balance."""
+    out = []
+    depth = 0
+    for ch in text:
+        if ch == "<":
+            depth += 1
+            continue
+        if ch == ">" and depth > 0:
+            depth -= 1
+            continue
+        if depth == 0:
+            out.append(ch)
+    return "".join(out) if depth == 0 else text
+
+
+def _matching_open_bracket(text, close):
+    depth = 0
+    for i in range(close, -1, -1):
+        c = text[i]
+        if c == "]":
+            depth += 1
+        elif c == "[":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _is_lambda_header(header):
+    m = _LAMBDA_TAIL.search(header)
+    if not m:
+        return False
+    close = header.index("]", m.start())
+    open_ = _matching_open_bracket(header, close)
+    if open_ < 0:
+        return False
+    before = header[:open_].rstrip()
+    # An identifier / ')' / ']' right before '[' means subscript or attribute
+    # ([[...]]), not a lambda introducer.
+    if before.endswith("["):
+        return False
+    return not (before and (before[-1].isalnum() or before[-1] in "_)]"))
+
+
+def _first_word(text):
+    m = re.match(r"\s*([A-Za-z_]\w*)", text)
+    return m.group(1) if m else ""
+
+
+def _classify(header, parent, clean, brace_at):
+    """Decide what kind of scope a '{' at brace_at opens."""
+    h = header.strip()
+    if _is_lambda_header(h):
+        return "lambda"
+    words = re.findall(r"[A-Za-z_]\w*", h)
+    if "namespace" in words[:2]:
+        return "namespace"
+    if words and words[0] in ("enum",):
+        return "enum"
+    # struct/class definition: keyword present and not a function returning
+    # an elaborated type (those have a '(' after the class name).
+    for i, w in enumerate(words):
+        if w in ("struct", "class", "union"):
+            after = h.split(w, 1)[1]
+            if "(" not in _strip_templates(after):
+                return "class"
+            break
+        if w not in ("template", "typename", "alignas", "final", "export"):
+            break
+    first = _first_word(h)
+    if first in _CONTROL_KEYWORDS or h == "" and parent.kind in (
+            "function", "lambda", "control", "block"):
+        return "control" if first in _CONTROL_KEYWORDS else "block"
+    stripped = _strip_templates(h)
+    if "(" in stripped and parent.kind in ("file", "namespace", "class"):
+        return "function"
+    if h.endswith("=") or h.endswith(",") or h.endswith("(") or \
+            h.endswith("return") or h.endswith("{"):
+        return "braceinit"
+    if parent.kind in ("function", "lambda", "control", "block"):
+        # `T x` / `= T` style brace-init, or a bare block.
+        if h and not h.endswith(")"):
+            return "braceinit"
+        return "control" if h.endswith(")") else "block"
+    if parent.kind == "class" and h:
+        return "braceinit"  # member brace initializer: int x{0};
+    return "block"
+
+
+def _function_name_params(header):
+    stripped = _strip_templates(header)
+    i = stripped.find("(")
+    if i < 0:
+        return None, None
+    before = stripped[:i]
+    m = _CALLEE.search(before)
+    name = m.group(1) if m else None
+    # Parameter list from the *original* header (templates intact).
+    j = header.find("(")
+    if j < 0:
+        return name, None
+    depth = 0
+    for k in range(j, len(header)):
+        if header[k] == "(":
+            depth += 1
+        elif header[k] == ")":
+            depth -= 1
+            if depth == 0:
+                return name, header[j + 1 : k]
+    return name, None
+
+
+def _class_name(header):
+    m = re.search(r"\b(?:struct|class|union)\s+(?:alignas\s*\([^)]*\)\s*)?"
+                  r"([A-Za-z_]\w*)", header)
+    return m.group(1) if m else None
+
+
+def _lambda_params(header):
+    m = _LAMBDA_TAIL.search(header)
+    if not m:
+        return None
+    tail = header[m.start():]
+    j = tail.find("(")
+    if j < 0:
+        return None
+    depth = 0
+    for k in range(j, len(tail)):
+        if tail[k] == "(":
+            depth += 1
+        elif tail[k] == ")":
+            depth -= 1
+            if depth == 0:
+                return tail[j + 1 : k]
+    return None
+
+
+def build_scopes(clean, lines=None):
+    """Parse stripped text into a scope tree. Returns the file-level root."""
+    lines = lines or LineIndex(clean)
+    root = Scope("file", "", 0, 1, None)
+    root.end = len(clean)
+    stack = [root]
+    # Call-context stack: (offset, callee) per currently-open parenthesis.
+    parens = []
+    boundary = 0  # start of the current header (last ; { } at paren depth 0)
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "(":
+            m = _CALLEE.search(clean, max(0, i - 64), i)
+            parens.append((i, m.group(1) if m else ""))
+        elif c == ")":
+            if parens:
+                parens.pop()
+        elif c == "{":
+            header = clean[boundary:i]
+            parent = stack[-1]
+            kind = _classify(header, parent, clean, i)
+            scope = Scope(kind, header.strip(), i, lines.line(i), parent)
+            if kind == "lambda":
+                scope.launch = parens[-1][1] if parens else None
+                scope.params = _lambda_params(header)
+            elif kind == "function":
+                scope.name, scope.params = _function_name_params(header)
+            elif kind == "class":
+                scope.name = _class_name(header)
+            parent.children.append(scope)
+            stack.append(scope)
+            boundary = i + 1
+        elif c == "}":
+            if len(stack) > 1:
+                stack[-1].end = i
+                stack.pop()
+            boundary = i + 1
+        elif c == ";" and not parens:
+            boundary = i + 1
+        i += 1
+    while len(stack) > 1:  # unterminated scopes (truncated file): close out
+        stack[-1].end = n
+        stack.pop()
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Scope text helpers
+# ---------------------------------------------------------------------------
+
+
+def body_range(scope):
+    """(start, end) offsets of the text inside the scope's braces."""
+    if scope.kind == "file":
+        return scope.start, scope.end
+    return scope.start + 1, scope.end
+
+
+def own_ranges(scope, skip_kinds=()):
+    """Text ranges directly owned by `scope`: its body minus the bodies of
+    child scopes (headers of children stay owned — they are expressions of
+    this scope). Children whose kind is in skip_kinds keep their header out
+    too (used to drop discarded lambda bodies wholesale)."""
+    start, end = body_range(scope)
+    ranges = []
+    pos = start
+    for ch in scope.children:
+        cs, ce = ch.start, (ch.end if ch.end is not None else end)
+        if ch.kind in skip_kinds:
+            hdr_start = max(pos, cs - len(ch.header) - 2)
+            ranges.append((pos, hdr_start))
+        else:
+            ranges.append((pos, cs + 1))
+        pos = min(ce + 1, end)
+    ranges.append((pos, end))
+    return [(a, b) for a, b in ranges if b > a]
+
+
+def own_text(clean, scope):
+    """The scope's directly-owned text, with child bodies blanked (newlines
+    preserved) so offsets into it equal offsets into `clean`."""
+    start, end = body_range(scope)
+    buf = list(clean[start:end])
+    for ch in scope.children:
+        cs = ch.start + 1 - start
+        ce = (ch.end if ch.end is not None else end) - start
+        for k in range(max(cs, 0), min(ce, len(buf))):
+            if buf[k] != "\n":
+                buf[k] = " "
+        # A non-brace-init child's closing '}' terminates a statement (method
+        # definitions inside a class, control blocks inside a function), so
+        # turn it into ';' for the statement splitter. Brace-inits stay
+        # intact: `int x{0};` keeps its own ';'.
+        if ch.kind != "braceinit" and 0 <= ce < len(buf):
+            buf[ce] = ";"
+    return start, "".join(buf)
+
+
+def blanked(clean, scope, blank_kinds=("lambda",), keep=None):
+    """Full body text of `scope` with every *descendant* scope of a kind in
+    blank_kinds blanked out (newlines preserved). Offsets align with clean."""
+    start, end = body_range(scope)
+    buf = list(clean[start:end])
+    for d in scope.walk():
+        if d is scope or d.kind not in blank_kinds or (keep and d in keep):
+            continue
+        cs, ce = d.start + 1 - start, (d.end or end) - start
+        for k in range(max(cs, 0), min(ce, len(buf))):
+            if buf[k] != "\n":
+                buf[k] = " "
+    return start, "".join(buf)
+
+
+def scope_statements(clean, scope):
+    """Yield (offset, text) for ';'-terminated statements in the scope's own
+    text (child bodies blanked). Statements are split at ';' at zero paren
+    depth; the trailing un-terminated chunk is yielded too."""
+    start, text = own_text(clean, scope)
+    depth = 0
+    seg_start = 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth = max(0, depth - 1)
+        elif ch == ";" and depth == 0:
+            seg = text[seg_start:i]
+            if seg.strip():
+                yield start + seg_start, seg
+            seg_start = i + 1
+    seg = text[seg_start:]
+    if seg.strip():
+        yield start + seg_start, seg

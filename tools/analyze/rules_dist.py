@@ -1,0 +1,175 @@
+"""Distribution-correctness rules: serialization-coverage, nondet-iteration.
+
+serialization-coverage
+    Every struct shipped through dist/serialize.hpp archives, dist/migrate,
+    or the CRC-checked checkpoint v2 writer must have ALL of its declared
+    data members touched by the function that serializes it. A member that
+    never crosses the archive is silent corruption: migrated-vs-not and
+    restarted-vs-not bit-identity (the repo's load-bearing invariants since
+    PR 5/8) break only on the first run that exercises the stale field.
+    A function qualifies when it takes an oarchive/iarchive parameter or its
+    body computes/updates a CRC; it is then checked against the *public*
+    members of every project-struct parameter (all members when the function
+    belongs to the struct itself). Unresolvable or ambiguous types are
+    skipped — the rule only fires on what it can prove.
+
+nondet-iteration
+    Iterating a std::unordered_map/unordered_set while accumulating
+    floating-point state or emitting parcels, in src/fmm, src/hydro,
+    src/amr, src/dist. Unordered iteration order varies across libstdc++
+    versions, hash seeds and rehash history; FP addition is not associative
+    and parcel delivery order feeds the seq/CRC stream, so either one breaks
+    CPU-vs-GPU / migrated-vs-not / restarted-vs-not bit-identity. The rule
+    resolves the range-for container's declared type (locals, members of the
+    enclosing class, one member hop through the struct index) and looks for
+    a hazard in the loop body: a compound FP assignment, a send/apply/
+    serialize call, or a call to a same-TU function that updates member
+    state. Ordered containers and pure-reader loops (counters, push_back
+    then sort, lookups) never fire it.
+"""
+
+import os
+import re
+
+from cxx import _strip_templates
+from symbols import find_range_fors, lookup_var
+
+_ARCHIVE = re.compile(r"\b[io]archive\b")
+_CRC_MARKER = re.compile(
+    r"\b(?:crc32|put_crc|get_crc)\s*\(|\bcrc\s*\.\s*update\s*\(")
+
+_NONDET_DIRS = ("src/fmm", "src/hydro", "src/amr", "src/dist")
+_UNORDERED = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+_COMPOUND_ASSIGN = re.compile(r"(?<![<>=!+\-*/&|^])[+\-*/]\s*=(?!=)")
+_EMIT = re.compile(r"(?:\.|->)\s*(?:send|apply)\s*\(|\bserialize")
+_MEMBER_MUT = re.compile(r"(?:\bthis\s*->\s*\w+|\b[A-Za-z]\w*_)\s*"
+                         r"[+\-*/]\s*=(?!=)")
+_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_SAFE_CALLS = {"if", "for", "while", "switch", "return", "sizeof", "at",
+               "find", "count", "size", "begin", "end", "push_back",
+               "emplace_back", "insert", "emplace", "contains", "get",
+               "second", "first", "min", "max", "abs", "static_cast",
+               "assert", "OCTO_ASSERT"}
+
+
+# ---------------------------------------------------------------------------
+# serialization-coverage
+# ---------------------------------------------------------------------------
+
+
+def _project_struct(type_text, struct_index):
+    idents = re.findall(r"[A-Za-z_]\w*", _strip_templates(type_text or ""))
+    idents = [w for w in idents
+              if w not in ("const", "struct", "class", "std", "octo",
+                           "volatile")]
+    if not idents:
+        return None
+    info = struct_index.get(idents[-1])
+    return info if hasattr(info, "members") else None
+
+
+def check_serialization_coverage(tu, struct_index, findings):
+    for fn in tu.functions:
+        body = tu.clean[fn.scope.start + 1 : fn.scope.end]
+        takes_archive = any(_ARCHIVE.search(t or "") for t, _ in fn.params)
+        if not takes_archive and not _CRC_MARKER.search(body):
+            continue
+        for type_text, pname in fn.params:
+            if not pname or _ARCHIVE.search(type_text or ""):
+                continue
+            info = _project_struct(type_text, struct_index)
+            if info is None:
+                continue
+            check_all = fn.cls == info.name
+            for mem in info.members:
+                if not check_all and mem.access != "public":
+                    continue
+                if re.search(r"\b%s\s*(?:\.|->)\s*%s\b"
+                             % (re.escape(pname), re.escape(mem.name)), body):
+                    continue
+                findings.append(
+                    (tu.rel, fn.line, "serialization-coverage",
+                     f"{fn.name}() never touches '{info.name}::{mem.name}'; "
+                     "an unserialized member is silent migration/restart "
+                     "corruption — archive it, or suppress with the reason "
+                     "it is excluded by design"))
+        # Member serialize/save/load: must cover the owning struct itself.
+        if fn.name in ("serialize", "save", "load") and fn.cls:
+            info = struct_index.get(fn.cls)
+            if not hasattr(info, "members"):
+                continue
+            for mem in info.members:
+                if re.search(r"\b%s\b" % re.escape(mem.name), body):
+                    continue
+                findings.append(
+                    (tu.rel, fn.line, "serialization-coverage",
+                     f"{fn.name}() never touches '{info.name}::{mem.name}'; "
+                     "an unserialized member is silent migration/restart "
+                     "corruption — archive it, or suppress with the reason "
+                     "it is excluded by design"))
+
+
+# ---------------------------------------------------------------------------
+# nondet-iteration
+# ---------------------------------------------------------------------------
+
+
+def _container_type(tu, scope, expr, struct_index):
+    e = expr.strip()
+    while e.startswith("*") or e.startswith("&"):
+        e = e[1:].lstrip()
+    m = re.match(r"^([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)$", e)
+    if not m:
+        return None
+    v = lookup_var(tu, scope, m.group(1), struct_index)
+    if not v or v[0] != "decl":
+        return None
+    t = v[1]
+    for part in re.findall(r"[A-Za-z_]\w*", m.group(2)):
+        info = _project_struct(t, struct_index)
+        mem = info.member(part) if info else None
+        if mem is None:
+            return None
+        t = mem.type
+    return t
+
+
+def _body_hazard(tu, body):
+    if _COMPOUND_ASSIGN.search(body):
+        return "floating-point accumulation (order-dependent rounding)"
+    if _EMIT.search(body):
+        return "parcel emission (order feeds the seq/CRC stream)"
+    for m in _CALL.finditer(body):
+        callee = m.group(1)
+        if callee in _SAFE_CALLS or callee not in tu.func_by_name:
+            continue
+        for f in tu.func_by_name[callee]:
+            fbody = tu.clean[f.scope.start + 1 : f.scope.end]
+            if _MEMBER_MUT.search(fbody) or _COMPOUND_ASSIGN.search(fbody):
+                return (f"an order-sensitive state update in {callee}()")
+    return None
+
+
+def check_nondet_iteration(tu, struct_index, findings):
+    rel = tu.rel.replace(os.sep, "/")
+    if not rel.startswith(_NONDET_DIRS):
+        return
+    for off, decl, container, bs, be, braced in find_range_fors(tu.clean):
+        scope = tu.scope_at(bs if braced else off)
+        ctype = _container_type(tu, scope, container, struct_index)
+        if not ctype or not _UNORDERED.search(ctype):
+            continue
+        hazard = _body_hazard(tu, tu.clean[bs:be])
+        if not hazard:
+            continue
+        findings.append(
+            (tu.rel, tu.lines.line(off), "nondet-iteration",
+             f"iteration over unordered container '{container.strip()}' "
+             f"feeds {hazard}; unordered order varies across hash seeds "
+             "and rehashes, breaking bit-identity — iterate keys in "
+             "sorted order or use an ordered container"))
+
+
+def run(tu, struct_index, findings):
+    check_serialization_coverage(tu, struct_index, findings)
+    check_nondet_iteration(tu, struct_index, findings)

@@ -1,0 +1,327 @@
+"""Futurization-deadlock rules: blocking-in-task and lock-across-wait.
+
+blocking-in-task
+    A blocking wait — `.get()` / `.wait()` on a future or latch, or a
+    pool-quiescence call (`wait_idle`, `wait_quiet`) — inside a lambda that
+    runs as a pool task (posted via `thread_pool::post`, `rt::async`, a
+    `.then` continuation, or a `register_action` handler). A task that parks
+    a worker thread can starve the pool: if every worker blocks on futures
+    whose producing tasks are still queued, nothing ever runs them. The
+    work-helping `future::get` mitigates but does not remove the hazard
+    (recursive helping still deadlocks on cyclic waits and inverts
+    priorities), so the futurized schedules keep blocking waits at the
+    call-graph roots and express in-task ordering with continuations.
+
+    The sole parameter of a `.then` continuation is exempt: the runtime only
+    invokes the continuation once its antecedent is ready, so `.get()` on it
+    merely unwraps. Futures *derived* from it (e.g. the elements of a
+    `when_all` vector) are still flagged — the rule cannot prove them ready.
+
+lock-across-wait
+    A lock (RAII guard or a manual `.lock()`) whose scope encloses a
+    blocking wait. The holder parks while every task contending for that
+    lock spins or queues behind it; combined with blocking-in-task this is
+    the classic AMT deadlock recipe. The region ends at an explicit
+    `.unlock()` so the drain-outside-the-lock idiom stays clean.
+
+Both rules resolve receiver types through the per-scope symbol tables, so a
+`shared_ptr::get()` or a `condition_variable::wait(lk)` never fires them.
+"""
+
+import re
+
+from cxx import TASK_LAUNCHERS, blanked, scope_statements
+from symbols import lookup_var, _split_params
+
+# Calls that mint a future (so `x().get()` chains resolve without a decl).
+MINTING = {"async", "when_all", "get_future", "done_future",
+           "make_ready_future", "recv"}
+_MINT_EXPR = re.compile(
+    r"\b(?:async|when_all|get_future|done_future|make_ready_future|recv)"
+    r"\s*\(|\.\s*then\s*\(")
+_PTR_EXPR = re.compile(r"\b(?:make_shared|make_unique)\b|&\s*[A-Za-z_]")
+
+# Blocking waits: member get/wait with EMPTY parens (cv.wait(lk) and
+# get(index) never match), plus the pool-quiescence entry points.
+_MEMBER_WAIT = re.compile(r"(?:\.|->)\s*(get|wait)\s*\(\s*\)")
+_QUIESCE = re.compile(r"\b(wait_idle|wait_quiet|wait_quiet_for)\s*\(")
+
+_READY = "<ready>"  # marker type for a .then continuation's parameter
+
+_LOCK_RAII = re.compile(
+    r"\b(?:lock_guard|unique_lock|scoped_lock)\s+([A-Za-z_]\w*)\s*[({]")
+_LOCK_MANUAL = re.compile(
+    r"(\b[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*lock"
+    r"\s*\(\s*\)")
+
+_IDENT_BACK = re.compile(r"([A-Za-z_][\w:]*)$")
+
+
+# ---------------------------------------------------------------------------
+# Receiver-chain extraction and classification
+# ---------------------------------------------------------------------------
+
+
+def receiver_chain(text, dot_pos):
+    """Walk backwards from the '.'/'->' of a member call and return the
+    receiver as a component list, e.g. `kv.second.get()` -> ['kv','second'],
+    `rt::when_all(v).then(p, f).get()` -> ['rt::when_all()','then()'].
+    Returns None when the receiver isn't a simple chain (e.g. `(expr).get()`).
+    """
+    comps = []
+    i = dot_pos
+    while True:
+        while i > 0 and text[i - 1].isspace():
+            i -= 1
+        if i > 0 and text[i - 1] == ")":
+            depth = 0
+            j = i - 1
+            while j >= 0:
+                if text[j] == ")":
+                    depth += 1
+                elif text[j] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j < 0:
+                return None
+            i = j
+            while i > 0 and text[i - 1].isspace():
+                i -= 1
+            m = _IDENT_BACK.search(text, 0, i)
+            if not m:
+                return None
+            comps.append(m.group(1) + "()")
+            i = m.start()
+        else:
+            m = _IDENT_BACK.search(text, 0, i)
+            if not m:
+                return None
+            comps.append(m.group(1))
+            i = m.start()
+        while i > 0 and text[i - 1].isspace():
+            i -= 1
+        if i >= 1 and text[i - 1] == ".":
+            i -= 1
+            continue
+        if i >= 2 and text[i - 2:i] == "->":
+            i -= 2
+            continue
+        return list(reversed(comps))
+
+
+def _type_class(type_text):
+    if not type_text:
+        return None
+    if type_text == _READY:
+        return "ready"
+    t = type_text
+    if "future" in t:
+        return "future"
+    if "latch" in t:
+        return "latch"
+    if re.search(r"\b(?:shared_ptr|unique_ptr|weak_ptr)\b|\*\s*$", t):
+        return "ptr"
+    return None
+
+
+def _init_class(init_expr):
+    if not init_expr:
+        return None
+    if _MINT_EXPR.search(init_expr):
+        return "future"
+    if _PTR_EXPR.search(init_expr):
+        return "ptr"
+    return None
+
+
+def _struct_of(type_text, struct_index):
+    if not type_text:
+        return None
+    idents = re.findall(r"[A-Za-z_]\w*",
+                        re.sub(r"<[^<>]*>", " ", type_text))
+    idents = [w for w in idents
+              if w not in ("const", "struct", "class", "std", "octo")]
+    if not idents:
+        return None
+    info = struct_index.get(idents[-1])
+    return info if hasattr(info, "members") else None
+
+
+def classify_receiver(tu, scope, comps, struct_index):
+    """'future' | 'ready' | 'latch' | 'ptr' | None for a receiver chain."""
+    if comps is None:
+        return None
+    cur = None
+    cur_type = None
+    for idx, comp in enumerate(comps):
+        if comp.endswith("()"):
+            callee = comp[:-2].split("::")[-1]
+            if callee == "then":
+                cur, cur_type = "future", None
+            elif idx == 0 and callee in MINTING:
+                cur, cur_type = "future", None
+            elif cur == "ready" and callee == "get":
+                # when_all-gated result: elements may be futures, but the
+                # unwrapped value itself is plain data.
+                cur, cur_type = None, None
+            else:
+                cur, cur_type = (cur if callee in ("share",) else None), None
+            continue
+        # Plain identifier component.
+        if idx == 0:
+            v = lookup_var(tu, scope, comp, struct_index)
+            if v is None:
+                return None
+            kind, text = v
+            if kind == "decl":
+                cur = _type_class(text)
+                cur_type = text
+            elif kind == "auto":
+                cur = _init_class(text)
+                cur_type = None
+            elif kind in ("rangefor", "sbind"):
+                cur, cur_type = _element_class(tu, scope, text, struct_index)
+            continue
+        # Member hop: pair/map element `.second`, or a struct member.
+        if cur == "container-of-future" and comp == "second":
+            cur, cur_type = "future", None
+            continue
+        info = _struct_of(cur_type, struct_index)
+        mem = info.member(comp) if info else None
+        if mem is None:
+            return None if idx + 1 < len(comps) else cur
+        cur = _type_class(mem.type)
+        cur_type = mem.type
+    return cur
+
+
+def _element_class(tu, scope, container_expr, struct_index):
+    """Classify the element type of a range-for / structured-binding source."""
+    e = container_expr.strip().lstrip("*&").strip()
+    # `fs.get()` where fs is a (ready) when_all future: elements are futures.
+    m = re.match(r"^([A-Za-z_]\w*)\s*(?:\.|->)\s*get\s*\(\s*\)$", e)
+    if m:
+        v = lookup_var(tu, scope, m.group(1), struct_index)
+        if v and v[0] == "decl" and _type_class(v[1]) in ("future", "ready"):
+            return "future", None
+        if v and v[0] == "auto" and _init_class(v[1]) == "future":
+            return "future", None
+        return None, None
+    m = re.match(r"^([A-Za-z_]\w*)$", e)
+    if not m:
+        return None, None
+    v = lookup_var(tu, scope, m.group(1), struct_index)
+    if not v:
+        return None, None
+    kind, text = v
+    if kind != "decl":
+        return None, None
+    if re.search(r"\bvector\s*<[^<>]*future", text):
+        return "future", None
+    if "future" in text:
+        # A map whose mapped type is a future: the element is a pair, the
+        # future is reached through `.second`.
+        return "container-of-future", None
+    return None, text
+
+
+# ---------------------------------------------------------------------------
+# Blocking-wait discovery (shared by both rules)
+# ---------------------------------------------------------------------------
+
+
+def mark_continuation_params(tu):
+    """The sole parameter of a `.then` continuation is a *ready* future."""
+    for s in tu.root.walk():
+        if s.kind == "lambda" and s.launch == "then" and s.params:
+            params = _split_params(s.params)
+            if len(params) == 1 and params[0][1]:
+                s.vars[params[0][1]] = ("decl", _READY)
+
+
+def find_blocking_waits(tu, struct_index, lo, hi, text=None):
+    """Yield (offset, description) for blocking waits in clean[lo:hi].
+    `text` (aligned with clean offsets when given) lets callers pre-blank
+    nested lambda bodies out of a lock region."""
+    buf = text if text is not None else tu.clean
+    for m in _MEMBER_WAIT.finditer(buf, lo, hi):
+        scope = tu.scope_at(m.start())
+        comps = receiver_chain(buf, m.start())
+        cls = classify_receiver(tu, scope, comps, struct_index)
+        what = m.group(1)
+        if cls == "future":
+            yield m.start(), f".{what}() on a future"
+        elif cls == "latch" and what == "wait":
+            yield m.start(), ".wait() on a latch"
+    for m in _QUIESCE.finditer(buf, lo, hi):
+        yield m.start(), f"{m.group(1)}() (pool quiescence)"
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_blocking_in_task(tu, struct_index, findings):
+    for off, what in find_blocking_waits(tu, struct_index, 0, len(tu.clean)):
+        scope = tu.scope_at(off)
+        if not scope.in_task():
+            continue
+        s = scope
+        while s is not None and not (s.kind == "lambda"
+                                     and s.launch in TASK_LAUNCHERS):
+            s = s.parent
+        launch = s.launch if s else "?"
+        findings.append(
+            (tu.rel, tu.lines.line(off), "blocking-in-task",
+             f"blocking {what} inside a pool task (lambda launched via "
+             f"'{launch}'); a parked worker starves the pool — chain a "
+             "continuation (.then/when_all) or move the wait to the "
+             "caller"))
+
+
+def check_lock_across_wait(tu, struct_index, findings):
+    for scope in tu.root.walk():
+        if scope.kind not in ("function", "lambda", "control", "block"):
+            continue
+        acquisitions = []
+        for soff, stmt in scope_statements(tu.clean, scope):
+            from cxx import _strip_templates
+            flat = _strip_templates(stmt)
+            shift = len(stmt) - len(flat)  # template args removed
+            m = _LOCK_RAII.search(flat)
+            if m:
+                acquisitions.append((soff + m.start() + shift, m.group(1),
+                                     m.group(1)))
+            for m in _LOCK_MANUAL.finditer(stmt):
+                acquisitions.append((soff + m.start(), m.group(1),
+                                     m.group(1)))
+        if not acquisitions:
+            continue
+        base, body = blanked(tu.clean, scope, ("lambda", "function", "class"))
+        for aoff, lockname, unlock_base in acquisitions:
+            lo = max(aoff - base, 0)
+            hi = len(body)
+            rel = re.search(r"\b" + re.escape(unlock_base)
+                            + r"\s*(?:\.|->)\s*unlock\s*\(", body[lo:])
+            if rel:
+                hi = lo + rel.start()
+            # Align region text with clean offsets for receiver resolution.
+            aligned = (" " * base) + body
+            for woff, what in find_blocking_waits(
+                    tu, struct_index, base + lo, base + hi, aligned):
+                findings.append(
+                    (tu.rel, tu.lines.line(woff), "lock-across-wait",
+                     f"'{lockname}' (acquired line "
+                     f"{tu.lines.line(aoff)}) is held across a blocking "
+                     f"{what}; a parked holder starves every task "
+                     "contending for the lock — release it before "
+                     "waiting, or restructure as a continuation"))
+
+
+def run(tu, struct_index, findings):
+    mark_continuation_params(tu)
+    check_blocking_in_task(tu, struct_index, findings)
+    check_lock_across_wait(tu, struct_index, findings)

@@ -1,0 +1,435 @@
+"""Per-TU symbol tables for octo-analyze.
+
+Built on the cxx scope tree: struct/class definitions with their data members
+(name, declared type, access), function definitions with qualified names and
+parsed parameter lists, local/parameter variable declarations per scope, and
+range-for loops (braced or not). A project-wide struct index merges every
+TU's classes so a serializer in dist/migrate.cpp can be cross-checked against
+a struct declared in amr/subgrid.hpp.
+
+All of it is heuristic (no preprocessor, no overload resolution) but
+deliberately conservative: rules only fire when a name resolves, so an
+unresolvable expression can never produce a false finding.
+"""
+
+import re
+
+from cxx import (LineIndex, Scope, blank_preprocessor, build_scopes,
+                 scope_statements, strip_comments_and_strings,
+                 _strip_templates)
+
+# ---------------------------------------------------------------------------
+# Data
+# ---------------------------------------------------------------------------
+
+
+class Member:
+    __slots__ = ("name", "type", "access", "line")
+
+    def __init__(self, name, type_, access, line):
+        self.name = name
+        self.type = type_
+        self.access = access
+        self.line = line
+
+
+class StructInfo:
+    __slots__ = ("name", "kind", "file", "line", "members", "scope")
+
+    def __init__(self, name, kind, file, line, scope):
+        self.name = name
+        self.kind = kind  # 'struct' | 'class'
+        self.file = file
+        self.line = line
+        self.members = []
+        self.scope = scope
+
+    def member(self, name):
+        for m in self.members:
+            if m.name == name:
+                return m
+        return None
+
+
+class FunctionInfo:
+    __slots__ = ("name", "qualname", "cls", "params", "scope", "file", "line")
+
+    def __init__(self, qualname, params, scope, file, line):
+        self.qualname = qualname                 # e.g. cost_model::observe
+        self.name = qualname.split("::")[-1]
+        self.cls = None                          # owning class name, if known
+        if "::" in qualname:
+            self.cls = qualname.split("::")[-2]
+        self.params = params                     # [(type_text, name), ...]
+        self.scope = scope
+        self.file = file
+        self.line = line
+
+
+class TU:
+    """One analyzed translation unit (really: one source or header file)."""
+
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.raw_lines = text.splitlines()
+        # Legacy lint rules see the historical stripped text (preprocessor
+        # lines visible); the scope/symbol model additionally blanks
+        # directives so they never glue onto scope headers.
+        self.legacy_clean = strip_comments_and_strings(text)
+        self.clean = blank_preprocessor(self.legacy_clean)
+        self.lines = LineIndex(self.clean)
+        self.root = build_scopes(self.clean, self.lines)
+        self.structs = {}    # name -> StructInfo (this TU only)
+        self.functions = []  # FunctionInfo list
+        self.func_by_name = {}
+        _collect_structs(self)
+        _collect_functions(self)
+        _collect_vars(self)
+
+    def scope_at(self, offset):
+        best = self.root
+        changed = True
+        while changed:
+            changed = False
+            for c in best.children:
+                if c.start < offset < (c.end or len(self.clean)):
+                    best = c
+                    changed = True
+                    break
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Struct members
+# ---------------------------------------------------------------------------
+
+_ACCESS = re.compile(r"\b(public|private|protected)\s*:")
+_SKIP_MEMBER_START = ("using", "typedef", "friend", "static", "template",
+                      "enum", "operator", "virtual", "explicit", "return",
+                      "struct", "class", "union", "namespace")
+_MEMBER_NAME = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\{\s*\}|=[^,]*)?\s*$")
+
+
+def _class_statements(tu, scope):
+    """Statements at class depth. cxx.scope_statements blanks child bodies
+    and turns non-brace-init child '}' into ';', so method definitions split
+    from the member declarations that follow them."""
+    return scope_statements(tu.clean, scope)
+
+
+def _collect_structs(tu):
+    for s in tu.root.walk():
+        if s.kind != "class" or not s.name:
+            continue
+        kind = "class" if re.search(r"\bclass\b", s.header) else "struct"
+        info = StructInfo(s.name, kind, tu.rel, s.line, s)
+        access_default = "private" if kind == "class" else "public"
+        # Access labels with their offsets, scanned over the class's own text.
+        labels = []
+        from cxx import own_text
+        base, text = own_text(tu.clean, s)
+        for m in _ACCESS.finditer(text):
+            labels.append((base + m.start(), m.group(1)))
+        for off, stmt in _class_statements(tu, s):
+            # Access labels share a segment with the declaration that follows
+            # them (they end with ':', not ';'); strip and skip them.
+            lm = re.match(r"\s*(?:(?:public|private|protected)\s*:\s*)+", stmt)
+            label_end = lm.end() if lm else 0
+            decl_off = off + label_end
+            decl = stmt[label_end:].strip()
+            if not decl:
+                continue
+            first = re.match(r"[A-Za-z_]\w*", decl)
+            if not first or first.group(0) in _SKIP_MEMBER_START:
+                continue
+            stripped = _strip_templates(decl)
+            if "(" in stripped or "operator" in stripped:
+                continue  # function declaration / definition header
+            access = access_default
+            for lpos, lname in labels:
+                if lpos <= decl_off:
+                    access = lname
+            # Split multi-declarators at top-level commas of the *stripped*
+            # text (template commas are gone).
+            parts = [p for p in stripped.split(",") if p.strip()]
+            for part in parts:
+                m = _MEMBER_NAME.search(part.strip())
+                if not m:
+                    continue
+                name = m.group(1)
+                if name in ("const", "override", "final", "noexcept"):
+                    continue
+                # Type text from the *original* declaration (templates
+                # intact: `std::unordered_map<k, v> nodes_` keeps its args),
+                # falling back to the previous declarator for `int a, b;`.
+                if part is parts[0] and name in decl:
+                    type_text = decl[: decl.rfind(name)].strip().rstrip("&*")
+                elif info.members:
+                    type_text = info.members[-1].type
+                else:
+                    type_text = stripped
+                info.members.append(
+                    Member(name, type_text, access, tu.lines.line(decl_off)))
+        tu.structs[s.name] = info
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+_QUALNAME = re.compile(r"([A-Za-z_][\w:]*)\s*$")
+
+
+def _split_params(params_text):
+    """Split a parameter list at top-level commas; return (type, name) pairs.
+    The name is the last identifier of a parameter that has at least two
+    identifier-ish tokens (so unnamed parameters yield name=None)."""
+    if params_text is None:
+        return []
+    out = []
+    depth = 0
+    part = []
+    parts = []
+    for ch in params_text:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(part))
+            part = []
+        else:
+            part.append(ch)
+    parts.append("".join(part))
+    for p in parts:
+        p = p.strip()
+        if not p or p == "void":
+            continue
+        p = re.sub(r"=\s*[^,]*$", "", p).strip()  # default argument
+        words = re.findall(r"[A-Za-z_][\w:]*", _strip_templates(p))
+        words = [w for w in words if w not in ("const", "struct", "class",
+                                               "typename", "volatile")]
+        if not words:
+            continue
+        if len(words) == 1:
+            out.append((p, None))
+        else:
+            name = words[-1]
+            type_text = p[: p.rfind(name)].strip()
+            out.append((type_text if type_text else p, name))
+    return out
+
+
+def _collect_functions(tu):
+    for s in tu.root.walk():
+        if s.kind != "function":
+            continue
+        header = s.header
+        stripped = _strip_templates(header)
+        i = stripped.find("(")
+        qual = None
+        if i >= 0:
+            m = _QUALNAME.search(stripped[:i].strip())
+            if m:
+                qual = m.group(1).strip(":")
+        if not qual:
+            continue
+        info = FunctionInfo(qual, _split_params(s.params), s, tu.rel, s.line)
+        if info.cls is None:
+            encl = s.parent
+            while encl is not None:
+                if encl.kind == "class" and encl.name:
+                    info.cls = encl.name
+                    break
+                if encl.kind in ("function", "lambda"):
+                    break
+                encl = encl.parent
+        s.name = qual
+        tu.functions.append(info)
+        tu.func_by_name.setdefault(info.name, []).append(info)
+
+
+# ---------------------------------------------------------------------------
+# Variables (declarations, parameters, range-fors)
+# ---------------------------------------------------------------------------
+
+_DECL_KEYWORDS = {"return", "delete", "throw", "goto", "co_return", "else",
+                  "case", "new", "if", "while", "for", "do", "switch",
+                  "break", "continue", "public", "private", "protected",
+                  "typedef", "using", "namespace", "template", "typename",
+                  "struct", "class", "enum", "sizeof", "catch", "try"}
+
+_SBIND = re.compile(
+    r"^\s*(?:const\s+)?auto\s*&{0,2}\s*\[([^\]]+)\]\s*=\s*(.+)$", re.S)
+_PLAIN_DECL = re.compile(
+    r"^\s*(?:(?:const|constexpr|static|mutable|thread_local|inline)\s+)*"
+    r"(?P<type>[A-Za-z_][\w:]*(?:\s*<[^;=]*?>)?(?:\s*const)?(?:\s*[&*]+)?)"
+    r"\s+(?P<name>[A-Za-z_]\w*)\s*(?:(?P<init>=\s*.+)|\(|\{|$)", re.S)
+
+# Braced and brace-less range-for loops, found textually.
+_RANGE_FOR = re.compile(r"\bfor\s*\(")
+
+
+def find_range_fors(clean):
+    """Yield (offset, decl_text, container_expr, body_start, body_end,
+    braced) for every range-for in the file. body offsets delimit either the
+    braced body's interior or the single statement after the header."""
+    for m in _RANGE_FOR.finditer(clean):
+        open_ = clean.index("(", m.end() - 1)
+        depth = 0
+        close = None
+        for i in range(open_, len(clean)):
+            if clean[i] == "(":
+                depth += 1
+            elif clean[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close is None:
+            continue
+        inner = clean[open_ + 1 : close]
+        colon = _toplevel_colon(inner)
+        if colon is None:
+            continue
+        decl_text = inner[:colon].strip()
+        container = inner[colon + 1 :].strip()
+        # Body: a braced compound statement or the single statement to ';'.
+        j = close + 1
+        while j < len(clean) and clean[j].isspace():
+            j += 1
+        if j < len(clean) and clean[j] == "{":
+            depth = 0
+            end = None
+            for i in range(j, len(clean)):
+                if clean[i] == "{":
+                    depth += 1
+                elif clean[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = i
+                        break
+            if end is None:
+                continue
+            yield m.start(), decl_text, container, j + 1, end, True
+        else:
+            end = clean.find(";", j)
+            if end < 0:
+                continue
+            yield m.start(), decl_text, container, j, end, False
+
+
+def _toplevel_colon(text):
+    """Position of a single ':' at zero bracket depth (skipping '::')."""
+    depth = 0
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(text) and text[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and text[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return None
+
+
+def _register_decl_names(scope, decl_text, container):
+    names = []
+    sb = _SBIND.match(decl_text + " = x")  # reuse the binding-name grammar
+    if "[" in decl_text and sb:
+        names = [n.strip() for n in sb.group(1).split(",")]
+    else:
+        m = re.search(r"([A-Za-z_]\w*)\s*$", decl_text)
+        if m:
+            names = [m.group(1)]
+    for n in names:
+        scope.vars.setdefault(n, ("rangefor", container))
+
+
+def _collect_vars(tu):
+    # Parameters of functions and lambdas.
+    for s in tu.root.walk():
+        if s.kind in ("function", "lambda") and s.params:
+            for type_text, name in _split_params(s.params):
+                if name:
+                    s.vars.setdefault(name, ("decl", type_text))
+        if s.kind in ("function", "lambda", "control", "block"):
+            for off, stmt in scope_statements(tu.clean, s):
+                text = stmt.strip()
+                if not text:
+                    continue
+                sb = _SBIND.match(text)
+                if sb:
+                    init = sb.group(2)
+                    for n in sb.group(1).split(","):
+                        s.vars.setdefault(n.strip(), ("sbind", init))
+                    continue
+                m = _PLAIN_DECL.match(text)
+                if not m:
+                    continue
+                type_text = m.group("type").strip()
+                first = re.match(r"[A-Za-z_]\w*", type_text)
+                if not first or first.group(0) in _DECL_KEYWORDS:
+                    continue
+                init = (m.group("init") or "").lstrip("= \t\n")
+                if type_text == "auto" or type_text.startswith("auto"):
+                    s.vars.setdefault(m.group("name"),
+                                      ("auto", init or type_text))
+                else:
+                    s.vars.setdefault(m.group("name"), ("decl", type_text))
+    # Range-for loop variables: attach to the body scope when braced, else to
+    # the innermost scope containing the loop.
+    for off, decl, container, bs, be, braced in find_range_fors(tu.clean):
+        scope = tu.scope_at(bs if braced else off)
+        _register_decl_names(scope, decl, container)
+
+
+# ---------------------------------------------------------------------------
+# Name / type resolution
+# ---------------------------------------------------------------------------
+
+
+def lookup_var(tu, scope, name, struct_index=None):
+    """Resolve `name` to a ('decl'|'auto'|'sbind'|'rangefor', text) entry by
+    walking enclosing scopes; falls back to data members of the enclosing
+    class (definition-in-class or out-of-line via the X:: qualname)."""
+    s = scope
+    while s is not None:
+        if name in s.vars:
+            return s.vars[name]
+        s = s.parent
+    # Member of the enclosing class?
+    cls = _enclosing_class(tu, scope)
+    if cls and struct_index is not None:
+        info = struct_index.get(cls)
+        if isinstance(info, StructInfo):
+            mem = info.member(name)
+            if mem:
+                return ("decl", mem.type)
+    if cls and cls in tu.structs:
+        mem = tu.structs[cls].member(name)
+        if mem:
+            return ("decl", mem.type)
+    return None
+
+
+def _enclosing_class(tu, scope):
+    s = scope
+    while s is not None:
+        if s.kind == "class" and s.name:
+            return s.name
+        if s.kind == "function" and s.name and "::" in s.name:
+            return s.name.split("::")[-2]
+        s = s.parent
+    return None

@@ -1,322 +1,25 @@
 #!/usr/bin/env python3
-"""Futurization lint for the octo-sim tree.
+"""Compatibility shim: the futurization lint tier moved to tools/analyze.
 
-Source-level concurrency checks the compiler cannot express:
+octo-analyze re-hosts all six historical regex rules (dropped-future,
+raw-hot-alloc, relaxed-publish, nodiscard, direct-stream-acquire,
+backend-variant) on a shared scope-aware source model and adds the rules
+regexes cannot express (blocking-in-task, lock-across-wait,
+serialization-coverage, nondet-iteration) plus suppression hygiene
+(mandatory reasons, stale-allow detection). This wrapper keeps the
+historical entry point working so `python3 tools/lint/lint.py [root]` and
+the CMake `lint` target stay one source of truth with `analyze`.
 
-  dropped-future    An expression statement that mints a future (async(...),
-                    when_all(...), or a .then(...) chain) and discards it.
-                    A dropped future silently erases a dependency edge from
-                    the task DAG; fire-and-forget must go through
-                    rt::detach(...) so the intent is visible and auditable.
-
-  raw-hot-alloc     Raw new[] / malloc / operator new in the FMM and hydro
-                    hot paths (src/fmm, src/hydro). Per-step allocations
-                    must go through octo::buffer_recycler (or the
-                    recycle_allocator-backed containers) so steady-state
-                    steps are allocation-free.
-
-  relaxed-publish   .store(..., memory_order_relaxed) or
-                    .exchange(..., memory_order_relaxed) anywhere in src/.
-                    A relaxed store cannot publish data another thread
-                    reads; counters belong in fetch_add(relaxed), real
-                    publishes need release ordering (or a lock).
-
-  nodiscard         Future-returning / dt-returning entry points must carry
-                    [[nodiscard]] so dropped futures are also caught at
-                    compile time.
-
-  direct-stream-acquire
-                    device::try_acquire_stream() called outside src/gpu.
-                    All offload goes through the aggregation executor
-                    (gpu::aggregator::submit) so kernels batch into fused
-                    launches and the CPU-fallback/fault policy lives in one
-                    place; a direct per-kernel stream grab reintroduces the
-                    §5.1 starvation path the executor exists to remove.
-
-  backend-variant   A backend-specific kernel variant (the historical
-                    monopole_kernel/multipole_kernel templates or the
-                    *_simd/*_scalar hydro pairs) referenced outside
-                    src/kernel. Every hot kernel has exactly ONE templated
-                    body in src/kernel, instantiated per execution-space
-                    policy; call kernel::run_* (or the policy wrappers)
-                    instead of resurrecting a per-backend copy.
-
-Suppress a finding with a trailing comment on the same line or the line
-above:   // lint: allow(<rule-name>)  -- include a reason.
-
-Usage: tools/lint/lint.py [repo-root]     exits 1 on violations.
+Usage: tools/lint/lint.py [repo-root] [--json FILE]     exits 1 on findings.
 """
 
 import os
-import re
 import sys
 
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "analyze"))
 
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving newlines and
-    column positions so findings can report real line numbers."""
-    out = []
-    i, n = 0, len(text)
-    mode = None  # None | 'line' | 'block' | '"' | "'"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode is None:
-            if c == "/" and nxt == "/":
-                mode = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                mode = c
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-        elif mode == "line":
-            if c == "\n":
-                mode = None
-                out.append(c)
-            else:
-                out.append(" ")
-        elif mode == "block":
-            if c == "*" and nxt == "/":
-                mode = None
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        else:  # inside a string/char literal
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == mode:
-                mode = None
-            out.append(c if c == "\n" else " ")
-        i += 1
-    return "".join(out)
-
-
-def suppressed(lines, lineno, rule):
-    """lineno is 1-based; check that line and the one above for an allow."""
-    pat = "lint: allow(" + rule + ")"
-    for ln in (lineno, lineno - 1):
-        if 1 <= ln <= len(lines) and pat in lines[ln - 1]:
-            return True
-    return False
-
-
-def statements(clean):
-    """Yield (start_lineno, text) for each top-level-ish statement: the code
-    between ';' / '{' / '}' boundaries taken at *zero* parenthesis depth, so
-    a multi-line when_all(...).then([...]{ ...; }); chain stays one unit."""
-    start = 0
-    lineno = 1
-    start_line = 1
-    depth = 0
-    for i, c in enumerate(clean):
-        if c == "\n":
-            lineno += 1
-            continue
-        if c in "([":
-            depth += 1
-        elif c in ")]":
-            depth = max(0, depth - 1)
-        elif c in ";{}" and depth == 0:
-            stmt = clean[start : i + 1]
-            if stmt.strip():
-                yield start_line, stmt
-            start = i + 1
-            start_line = lineno
-    tail = clean[start:]
-    if tail.strip():
-        yield start_line, tail
-
-
-DROP_STARTERS = re.compile(
-    r"^\s*(?:octo::)?(?:rt::)?(?:async|when_all)\s*\("
-)
-THEN_CHAIN = re.compile(r"\)\s*\.\s*then\s*\(")
-SAFE_PREFIX = re.compile(
-    r"^\s*(?:return\b|co_return\b|\(void\)|\[\[|(?:octo::)?(?:rt::)?detach\s*\()"
-)
-HAS_ASSIGN = re.compile(r"^[^(]*(?:[^=!<>]=[^=]|\breturn\b)")
-CONSUMED = re.compile(r"\.\s*(?:get|wait)\s*\(\s*\)\s*;?\s*$")
-
-RAW_ALLOC = re.compile(
-    r"\bnew\s+[\w:<>,\s]+\[|\b(?:malloc|calloc|realloc)\s*\(|::operator\s+new\b"
-)
-RELAXED_PUBLISH = re.compile(
-    r"\.\s*(?:store|exchange)\s*\([^;]*memory_order_relaxed"
-)
-DIRECT_STREAM_ACQUIRE = re.compile(r"\btry_acquire_stream\s*\(")
-# The kernel names the portable layer (src/kernel) replaced. The trailing
-# [(< keeps workload fields like mono_kernel_flops out of the match.
-BACKEND_VARIANT = re.compile(
-    r"\b(?:monopole_kernel|multipole_kernel"
-    r"|compute_leaf_fluxes_simd|compute_leaf_fluxes_scalar"
-    r"|flux_divergence_simd|flux_divergence_scalar"
-    r"|blend_simd|blend_scalar"
-    r"|dual_energy_simd|dual_energy_scalar"
-    r"|leaf_max_wave_speed_simd|leaf_max_wave_speed_scalar)\s*[(<]"
-)
-
-
-def check_dropped_futures(path, lines, clean, findings):
-    for start_line, stmt in statements(clean):
-        body = stmt.strip()
-        if not body.endswith(";"):
-            continue
-        if SAFE_PREFIX.match(body):
-            continue
-        minted = bool(DROP_STARTERS.match(body)) or bool(THEN_CHAIN.search(body))
-        if not minted:
-            continue
-        # Assignments ("auto f = when_all(...)"), returns and consumed chains
-        # keep the future alive; only a bare expression statement drops it.
-        if HAS_ASSIGN.match(body):
-            continue
-        if CONSUMED.search(body):
-            continue
-        if suppressed(lines, start_line, "dropped-future"):
-            continue
-        findings.append(
-            (path, start_line, "dropped-future",
-             "future-minting expression statement is discarded; "
-             "assign it, .get()/.wait() it, or wrap in rt::detach(...)")
-        )
-
-
-def check_raw_allocs(path, lines, clean, findings):
-    for idx, line in enumerate(clean.splitlines(), start=1):
-        if RAW_ALLOC.search(line):
-            if suppressed(lines, idx, "raw-hot-alloc"):
-                continue
-            findings.append(
-                (path, idx, "raw-hot-alloc",
-                 "raw allocation in an FMM/hydro hot path; route it "
-                 "through octo::buffer_recycler")
-            )
-
-
-def check_relaxed_publish(path, lines, clean, findings):
-    # Join continuation lines so a call split across lines is still seen.
-    joined = clean.splitlines()
-    for idx, line in enumerate(joined, start=1):
-        window = line
-        if idx < len(joined):
-            window += " " + joined[idx]
-        m = RELAXED_PUBLISH.search(window)
-        if m and m.start() < len(line):
-            if suppressed(lines, idx, "relaxed-publish"):
-                continue
-            findings.append(
-                (path, idx, "relaxed-publish",
-                 "relaxed store/exchange cannot publish data to another "
-                 "thread; use release ordering or take a lock")
-            )
-
-
-def check_direct_stream_acquire(path, lines, clean, findings):
-    for idx, line in enumerate(clean.splitlines(), start=1):
-        if DIRECT_STREAM_ACQUIRE.search(line):
-            if suppressed(lines, idx, "direct-stream-acquire"):
-                continue
-            findings.append(
-                (path, idx, "direct-stream-acquire",
-                 "direct device::try_acquire_stream() outside src/gpu; "
-                 "submit a gpu::work_item through gpu::aggregator instead "
-                 "(one launch point, batched occupancy, shared fallback "
-                 "policy)")
-            )
-
-
-NODISCARD_REQUIRED = [
-    ("src/runtime/future.hpp", r"class\s+\[\[nodiscard\]\]\s+future",
-     "class future must be declared class [[nodiscard]] future"),
-    ("src/runtime/future.hpp", r"\[\[nodiscard\]\][^;{]{0,120}?\bwhen_all\s*\(",
-     "when_all must be [[nodiscard]]"),
-    ("src/runtime/channel.hpp", r"\[\[nodiscard\]\]\s+future<T>\s+get",
-     "channel::get must be [[nodiscard]]"),
-    ("src/runtime/channel.hpp", r"\[\[nodiscard\]\]\s+future<T>\s+recv",
-     "channel::recv must be [[nodiscard]]"),
-    ("src/runtime/latch.hpp", r"\[\[nodiscard\]\]\s+future<void>\s+done_future",
-     "latch::done_future must be [[nodiscard]]"),
-    ("src/hydro/update.hpp", r"\[\[nodiscard\]\]\s+double\s+step",
-     "hydro::step must be [[nodiscard]] (the dt is the step's only output)"),
-    ("src/hydro/update.hpp", r"\[\[nodiscard\]\]\s+double\s+cfl_timestep",
-     "hydro::cfl_timestep must be [[nodiscard]]"),
-]
-
-
-def check_backend_variant(path, lines, clean, findings):
-    for idx, line in enumerate(clean.splitlines(), start=1):
-        if BACKEND_VARIANT.search(line):
-            if suppressed(lines, idx, "backend-variant"):
-                continue
-            findings.append(
-                (path, idx, "backend-variant",
-                 "backend-specific kernel variant outside src/kernel; the "
-                 "portable layer has ONE body per kernel — dispatch through "
-                 "kernel::run_* / the exec policy wrappers")
-            )
-
-
-def check_nodiscard(root, findings):
-    for rel, pattern, msg in NODISCARD_REQUIRED:
-        path = os.path.join(root, rel)
-        try:
-            text = open(path, encoding="utf-8").read()
-        except OSError:
-            findings.append((rel, 1, "nodiscard", "missing file: " + msg))
-            continue
-        if not re.search(pattern, text, re.S):
-            findings.append((rel, 1, "nodiscard", msg))
-
-
-def iter_sources(root, subdirs):
-    for sub in subdirs:
-        base = os.path.join(root, sub)
-        for dirpath, _dirnames, filenames in os.walk(base):
-            for f in sorted(filenames):
-                if f.endswith((".hpp", ".cpp", ".h", ".cc", ".cu")):
-                    yield os.path.join(dirpath, f)
-
-
-def main():
-    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
-    findings = []
-
-    for path in iter_sources(root, ["src", "examples", "bench"]):
-        rel = os.path.relpath(path, root)
-        lines = open(path, encoding="utf-8").read().splitlines()
-        clean = strip_comments_and_strings("\n".join(lines) + "\n")
-        check_dropped_futures(rel, lines, clean, findings)
-        if rel.startswith(("src/fmm", "src/hydro", "src/kernel")):
-            check_raw_allocs(rel, lines, clean, findings)
-        if rel.startswith("src" + os.sep) or rel.startswith("src/"):
-            check_relaxed_publish(rel, lines, clean, findings)
-        if not rel.replace(os.sep, "/").startswith("src/gpu"):
-            check_direct_stream_acquire(rel, lines, clean, findings)
-        if not rel.replace(os.sep, "/").startswith("src/kernel"):
-            check_backend_variant(rel, lines, clean, findings)
-
-    check_nodiscard(root, findings)
-
-    for path, line, rule, msg in findings:
-        print(f"{path}:{line}: [{rule}] {msg}")
-    if findings:
-        print(f"\nlint: {len(findings)} violation(s)")
-        return 1
-    print("lint: clean")
-    return 0
-
+import analyze  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(analyze.main(sys.argv))
