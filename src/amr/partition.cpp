@@ -355,4 +355,102 @@ rebalance_result rebalance_sfc(tree& t, int nranks,
     return res;
 }
 
+// ---- live-rank variants (ISSUE 10) ------------------------------------------
+
+namespace {
+
+void validate_live(const std::vector<int>& live) {
+    OCTO_ASSERT_MSG(!live.empty(), "no live ranks");
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        OCTO_ASSERT(live[i] >= 0);
+        OCTO_ASSERT_MSG(i == 0 || live[i] > live[i - 1],
+                        "live ranks must be ascending and unique");
+    }
+}
+
+bool is_identity(const std::vector<int>& live) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] != static_cast<int>(i)) return false;
+    }
+    return true;
+}
+
+/// owner = live[owner] for every node (dense -> real rank ids).
+void relabel_dense_to_live(tree& t, const std::vector<int>& live) {
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            auto& nd = t.node(k);
+            OCTO_ASSERT(nd.owner >= 0 &&
+                        nd.owner < static_cast<int>(live.size()));
+            nd.owner = live[static_cast<std::size_t>(nd.owner)];
+        }
+    }
+}
+
+/// owner = index-of(owner) in live (real -> dense). Asserts every current
+/// owner IS live: a dead owner here means repartition_onto was skipped.
+void relabel_live_to_dense(tree& t, const std::vector<int>& live) {
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            auto& nd = t.node(k);
+            const auto it =
+                std::lower_bound(live.begin(), live.end(), nd.owner);
+            OCTO_ASSERT_MSG(it != live.end() && *it == nd.owner,
+                            "owner is not a live rank");
+            nd.owner = static_cast<int>(it - live.begin());
+        }
+    }
+}
+
+} // namespace
+
+partition_stats partition_sfc_weighted(tree& t,
+                                       const std::vector<int>& live_ranks,
+                                       const std::vector<double>& leaf_weights) {
+    validate_live(live_ranks);
+    auto stats = partition_sfc_weighted(
+        t, static_cast<int>(live_ranks.size()), leaf_weights);
+    if (!is_identity(live_ranks)) relabel_dense_to_live(t, live_ranks);
+    return stats;
+}
+
+rebalance_result rebalance_sfc(tree& t, const std::vector<int>& live_ranks,
+                               const std::vector<double>& leaf_weights,
+                               const rebalance_options& opt) {
+    validate_live(live_ranks);
+    if (is_identity(live_ranks)) {
+        return rebalance_sfc(t, static_cast<int>(live_ranks.size()),
+                             leaf_weights, opt);
+    }
+    relabel_live_to_dense(t, live_ranks);
+    auto res = rebalance_sfc(t, static_cast<int>(live_ranks.size()),
+                             leaf_weights, opt);
+    relabel_dense_to_live(t, live_ranks);
+    for (auto& m : res.migrations) {
+        m.from = live_ranks[static_cast<std::size_t>(m.from)];
+        m.to = live_ranks[static_cast<std::size_t>(m.to)];
+    }
+    for (auto& r : res.touched_ranks) {
+        r = live_ranks[static_cast<std::size_t>(r)];
+    }
+    return res;
+}
+
+recovery_partition repartition_onto(tree& t, const std::vector<int>& live_ranks,
+                                    const std::vector<double>& leaf_weights) {
+    validate_live(live_ranks);
+    const auto leaves = t.leaves_sfc();
+    std::vector<int> old(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        old[i] = t.node(leaves[i]).owner;
+    }
+    recovery_partition rp;
+    rp.stats = partition_sfc_weighted(t, live_ranks, leaf_weights);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const int now = t.node(leaves[i]).owner;
+        if (now != old[i]) rp.migrations.push_back({leaves[i], old[i], now});
+    }
+    return rp;
+}
+
 } // namespace octo::amr

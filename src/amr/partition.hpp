@@ -119,4 +119,37 @@ rebalance_result rebalance_sfc(tree& t, int nranks,
                                const std::vector<double>& leaf_weights,
                                const rebalance_options& opt = {});
 
+// ---- live-rank variants (elastic recovery, ISSUE 10) ------------------------
+// After a node death the rank id space has a hole: owners must come from the
+// survivors' membership view, not [0, nranks). These variants run the same
+// engines over a dense [0, live.size()) space and relabel owners through
+// `live_ranks` (ascending, unique). Returned stats/cost vectors stay DENSE:
+// row i describes live_ranks[i].
+
+/// Weighted SFC split across exactly the given live ranks.
+partition_stats partition_sfc_weighted(tree& t,
+                                       const std::vector<int>& live_ranks,
+                                       const std::vector<double>& leaf_weights);
+
+/// Incremental rebalance restricted to the live ranks. Every current owner
+/// must be a live rank (run repartition_onto first when one just died).
+/// migration_record / touched_ranks carry REAL rank ids.
+rebalance_result rebalance_sfc(tree& t, const std::vector<int>& live_ranks,
+                               const std::vector<double>& leaf_weights,
+                               const rebalance_options& opt = {});
+
+struct recovery_partition {
+    partition_stats stats; ///< dense rows: row i describes live_ranks[i]
+    /// Every leaf whose owner changed, in SFC order. `from` may name the
+    /// dead rank — those are the subgrids recovery must reload from the
+    /// checkpoint chain rather than migrate from a live store.
+    std::vector<migration_record> migrations;
+};
+
+/// The recovery repartition: reassign the whole curve onto the live ranks
+/// (the dead rank's leaves have no surviving owner, so this is a full
+/// weighted split, not a bounded nudge) and report which leaves moved.
+recovery_partition repartition_onto(tree& t, const std::vector<int>& live_ranks,
+                                    const std::vector<double>& leaf_weights);
+
 } // namespace octo::amr

@@ -1,11 +1,13 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "amr/prolong.hpp"
 #include "io/checkpoint.hpp"
 #include "kernel/autotune.hpp"
+#include "runtime/apex.hpp"
 #include "support/assert.hpp"
 
 namespace octo::core {
@@ -64,6 +66,40 @@ simulation simulation::restart(const std::string& checkpoint_path,
     return s;
 }
 
+simulation simulation::restart_chain(const std::vector<std::string>& chain,
+                                     sim_options opt) {
+    io::checkpoint_data ck = io::read_checkpoint_chain(chain);
+    simulation s(std::move(ck.t), opt);
+    s.time_ = ck.meta.time;
+    s.steps_ = ck.meta.steps;
+    return s;
+}
+
+simulation simulation::recover(const std::vector<std::string>& chain,
+                               sim_options opt,
+                               std::vector<int> live_ranks) {
+    const auto t0 = std::chrono::steady_clock::now();
+    io::checkpoint_data ck = io::read_checkpoint_chain(chain);
+    simulation s(std::move(ck.t), opt);
+    s.time_ = ck.meta.time;
+    s.steps_ = ck.meta.steps;
+    if (opt.lb.ranks > 0) {
+        s.live_ranks_ = std::move(live_ranks);
+        // Cold cost model, exactly like any restart: equal weights. The
+        // EWMA re-learns as recovered steps are observed.
+        const std::vector<double> w(s.tree_.leaves_sfc().size(), 1.0);
+        s.last_recovery_ = repartition_onto(s.tree_, s.live_ranks_, w);
+        s.lb_parts_ = s.last_recovery_.stats;
+    }
+    rt::apex_count("lb.recoveries");
+    rt::apex_gauge("sim.time_to_recover_us",
+                   static_cast<double>(
+                       std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count()));
+    return s;
+}
+
 double simulation::advance() {
     hydro::step_options h;
     h.eos = opt_.eos;
@@ -100,20 +136,57 @@ double simulation::advance() {
         // load-balanced run stays bit-identical to an unbalanced one.
         lb_cost_.observe_step(tree_, lb_parts_);
         if (opt_.lb.every_steps > 0 && steps_ % opt_.lb.every_steps == 0) {
-            last_rebalance_ = rebalance_sfc(
-                tree_, opt_.lb.ranks, lb_cost_.leaf_weights(tree_),
-                {.max_migration_fraction = opt_.lb.max_migration_fraction});
+            const rebalance_options ropt{.max_migration_fraction =
+                                             opt_.lb.max_migration_fraction};
+            last_rebalance_ =
+                live_ranks_.empty()
+                    ? rebalance_sfc(tree_, opt_.lb.ranks,
+                                    lb_cost_.leaf_weights(tree_), ropt)
+                    : rebalance_sfc(tree_, live_ranks_,
+                                    lb_cost_.leaf_weights(tree_), ropt);
             lb_parts_ = last_rebalance_.stats;
             ++rebalances_;
         }
     }
     if (ckpt_.every_steps > 0 && steps_ % ckpt_.every_steps == 0) {
-        std::string path =
-            ckpt_.path_prefix + "." + std::to_string(steps_) + ".ckpt";
-        io::write_checkpoint(tree_, path, {.time = time_, .steps = steps_});
-        last_checkpoint_ = std::move(path);
+        write_periodic_checkpoint();
     }
     return dt;
+}
+
+void simulation::write_periodic_checkpoint() {
+    const std::string stem = ckpt_.path_prefix + "." + std::to_string(steps_);
+    // The first periodic checkpoint is always full (a delta needs a base),
+    // as is every full_every-th one after it.
+    const bool full = ckpt_.full_every <= 1 || ckpt_chain_.empty() ||
+                      ckpt_count_ % ckpt_.full_every == 0;
+    std::string path;
+    if (full) {
+        path = stem + ".ckpt";
+        io::write_checkpoint(tree_, path, {.time = time_, .steps = steps_});
+        ckpt_base_digests_ = io::leaf_digests(tree_);
+        ckpt_chain_ = {path};
+    } else {
+        path = stem + ".dckpt";
+        io::write_checkpoint_delta(tree_, path, ckpt_base_digests_,
+                                   {.time = time_, .steps = steps_});
+        // Deltas are base-relative: the newest one supersedes any earlier
+        // delta, so the chain never grows past {full, delta}.
+        ckpt_chain_.resize(1);
+        ckpt_chain_.push_back(path);
+    }
+    ++ckpt_count_;
+    last_checkpoint_ = std::move(path);
+}
+
+void simulation::repartition_weighted() {
+    if (live_ranks_.empty()) {
+        lb_parts_ = partition_sfc_weighted(tree_, opt_.lb.ranks,
+                                           lb_cost_.leaf_weights(tree_));
+    } else {
+        lb_parts_ = partition_sfc_weighted(tree_, live_ranks_,
+                                           lb_cost_.leaf_weights(tree_));
+    }
 }
 
 void simulation::refine_with_fields(node_key k) {
@@ -184,8 +257,7 @@ int simulation::regrid(
         // New children are born with owner 0; restore a contiguous weighted
         // partition (a structural change already invalidates halo plans and
         // FMM workspaces, so a full re-split costs nothing extra here).
-        lb_parts_ = partition_sfc_weighted(tree_, opt_.lb.ranks,
-                                           lb_cost_.leaf_weights(tree_));
+        repartition_weighted();
     }
     return refined;
 }
@@ -241,8 +313,7 @@ int simulation::coarsen(
     if (coarsened > 0) {
         gravity_valid_ = false;
         if (opt_.lb.ranks > 0) {
-            lb_parts_ = partition_sfc_weighted(tree_, opt_.lb.ranks,
-                                               lb_cost_.leaf_weights(tree_));
+            repartition_weighted();
         }
     }
     return coarsened;

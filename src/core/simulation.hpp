@@ -6,9 +6,9 @@
 // kernels, and density-based regridding.
 
 #include <functional>
-#include <string>
-
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "amr/cost_model.hpp"
 #include "amr/halo.hpp"
@@ -18,6 +18,7 @@
 #include "gpu/aggregator.hpp"
 #include "gpu/device.hpp"
 #include "hydro/update.hpp"
+#include "io/checkpoint.hpp"
 #include "physics/eos.hpp"
 
 namespace octo::core {
@@ -68,11 +69,19 @@ struct report {
     dvec3 center_of_mass{0, 0, 0};
 };
 
-/// Periodic-checkpoint policy (ISSUE 5): production runs are driven end to
-/// end by restart files (paper §6.2), so the driver itself writes them.
+/// Periodic-checkpoint policy (ISSUE 5, incremental deltas ISSUE 10):
+/// production runs are driven end to end by restart files (paper §6.2), so
+/// the driver itself writes them. With `full_every > 1` only every
+/// full_every-th periodic checkpoint is a full image; the ones between are
+/// incremental DELTAS (only leaves whose content CRC changed since the last
+/// full image, io/checkpoint.hpp) — the restartable state is then the CHAIN
+/// {last full, last delta}, exposed by simulation::checkpoint_chain().
 struct checkpoint_policy {
     long every_steps = 0; ///< 0 disables periodic checkpoints
-    std::string path_prefix; ///< files land at <prefix>.<step>.ckpt
+    std::string path_prefix; ///< fulls at <prefix>.<step>.ckpt, deltas .dckpt
+    /// Every Nth periodic checkpoint is full; the rest are deltas against the
+    /// most recent full image. 1 (default) = all full, the ISSUE 5 behavior.
+    long full_every = 1;
 };
 
 class simulation {
@@ -85,6 +94,22 @@ class simulation {
     static simulation restart(const std::string& checkpoint_path,
                               sim_options opt);
 
+    /// Resume from a checkpoint CHAIN ({full} or {full, delta...}) written
+    /// under a full_every > 1 policy. With one element this is restart().
+    static simulation restart_chain(const std::vector<std::string>& chain,
+                                    sim_options opt);
+
+    /// Elastic recovery (ISSUE 10): restore from the chain AND repartition
+    /// the whole curve onto `live_ranks` — the survivors' membership view
+    /// after a node death. The sim keeps using only these ranks for every
+    /// later rebalance/regrid split. Bumps the `lb.recoveries` APEX counter
+    /// and publishes the restore+repartition span as the
+    /// `sim.time_to_recover_us` gauge. The recovered run is bit-identical to
+    /// a never-killed restart_chain() from the same chain: owner labels
+    /// never touch the numerics, and checkpoint files carry no owner state.
+    static simulation recover(const std::vector<std::string>& chain,
+                              sim_options opt, std::vector<int> live_ranks);
+
     /// Advance one coupled step (gravity solve + SSP-RK2 hydro step with
     /// source coupling); returns the dt taken. When a checkpoint policy is
     /// set, writes <prefix>.<step>.ckpt every `every_steps` steps (atomic,
@@ -94,6 +119,13 @@ class simulation {
     void set_checkpoint_policy(checkpoint_policy p) { ckpt_ = std::move(p); }
     /// Path of the most recent periodic checkpoint ("" before the first).
     const std::string& last_checkpoint() const { return last_checkpoint_; }
+    /// The minimal file set that restores the latest periodic checkpoint:
+    /// {full} right after a full one, {full, delta} after a delta (later
+    /// deltas supersede earlier ones — each is base-relative). Empty before
+    /// the first periodic checkpoint. Feed to restart_chain()/recover().
+    const std::vector<std::string>& checkpoint_chain() const {
+        return ckpt_chain_;
+    }
 
     double time() const { return time_; }
     long step_count() const { return steps_; }
@@ -130,8 +162,23 @@ class simulation {
     long rebalance_count() const { return rebalances_; }
     const amr::cost_model& load_model() const { return lb_cost_; }
 
+    // ---- elastic recovery (ISSUE 10) ---------------------------------------
+
+    /// The ranks this sim partitions over. Empty = all of [0, lb.ranks) —
+    /// the common, never-recovered case; non-empty after recover().
+    const std::vector<int>& live_ranks() const { return live_ranks_; }
+    /// Schedule of the recovery repartition (empty unless built by
+    /// recover()): `from` may name the dead rank — those subgrids are the
+    /// ones reload()ed from the chain instead of migrated from a live store.
+    const amr::recovery_partition& last_recovery() const {
+        return last_recovery_;
+    }
+
   private:
     void refine_with_fields(amr::node_key k);
+    void write_periodic_checkpoint();
+    /// Weighted full split over the live ranks (all ranks before recovery).
+    void repartition_weighted();
 
     amr::tree tree_;
     sim_options opt_;
@@ -145,10 +192,18 @@ class simulation {
     bool gravity_valid_ = false;
     checkpoint_policy ckpt_;
     std::string last_checkpoint_;
+    /// {last full} or {last full, last delta} — see checkpoint_chain().
+    std::vector<std::string> ckpt_chain_;
+    /// Content CRCs of every leaf at the last FULL checkpoint — the base the
+    /// next delta diffs against (io::leaf_digest_map).
+    io::leaf_digest_map ckpt_base_digests_;
+    long ckpt_count_ = 0; ///< periodic checkpoints written (full + delta)
     amr::cost_model lb_cost_;
     amr::partition_stats lb_parts_;
     amr::rebalance_result last_rebalance_;
     long rebalances_ = 0;
+    std::vector<int> live_ranks_; ///< empty = [0, lb.ranks); set by recover()
+    amr::recovery_partition last_recovery_;
 };
 
 } // namespace octo::core

@@ -38,6 +38,8 @@ runtime::runtime(int nlocalities, parcelport_factory make_port,
     }
     rel_.next_seq.assign(static_cast<std::size_t>(nlocalities), 0);
     rel_.rx.resize(static_cast<std::size_t>(nlocalities));
+    rel_.killed.assign(static_cast<std::size_t>(nlocalities), 0);
+    rel_.dead.assign(static_cast<std::size_t>(nlocalities), 0);
     port_ = make_port(*this);
     OCTO_ASSERT(port_ != nullptr);
 
@@ -84,7 +86,6 @@ void runtime::apply(int dest, action_id a, oarchive args) {
         std::lock_guard lock(actions_mutex_);
         OCTO_ASSERT_MSG(a < actions_.size(), "unregistered action");
     }
-    inflight_parcels_.fetch_add(1, std::memory_order_acq_rel);
     parcel p;
     p.dest = dest;
     p.action = a;
@@ -92,6 +93,18 @@ void runtime::apply(int dest, action_id a, oarchive args) {
     p.kind = parcel_kind::data;
     {
         std::lock_guard lock(rel_.mutex);
+        if (rel_.dead[static_cast<std::size_t>(dest)]) {
+            // Declared-dead destination: drop on the spot. Counted, not an
+            // error — recovery re-routes the work, and one peer_death event
+            // already reported the loss; per-parcel errors would drown it.
+            rel_.dead_dropped.fetch_add(1, std::memory_order_relaxed);
+            rt::apex_count("net.dead_dropped");
+            return;
+        }
+        // acq_rel inside the same critical section that assigns the seq: a
+        // concurrent wait_quiet() must not observe zero after the entry is
+        // queued for transmission.
+        inflight_parcels_.fetch_add(1, std::memory_order_acq_rel);
         p.seq = rel_.next_seq[static_cast<std::size_t>(dest)]++;
         p.checksum = parcel_crc(p);
         unacked_entry e;
@@ -126,6 +139,13 @@ void runtime::deliver(parcel p) {
     bool held = false;
     {
         std::lock_guard lock(rel_.mutex);
+        if (rel_.killed[static_cast<std::size_t>(dest)]) {
+            // The destination died: its parcelport is silent. No ack, no
+            // dedup bookkeeping — the sender keeps retransmitting until the
+            // membership layer declares the rank dead and cancels the state.
+            rel_.dead_dropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         auto& rx = rel_.rx[static_cast<std::size_t>(dest)];
         if (p.seq < rx.expected || rx.held.count(p.seq) != 0) {
             dup = true; // seen before (duplicate or already-buffered copy)
@@ -181,7 +201,12 @@ void runtime::enqueue_strand(parcel p) {
             start = true;
         }
     }
-    if (start) pool(dest).post([this, dest] { drain_strand(dest); });
+    if (start && !pool(dest).post([this, dest] { drain_strand(dest); })) {
+        // Pool closed out from under us (direct close() without kill()):
+        // the strand contents die with the rank.
+        std::lock_guard lock(st.mutex);
+        st.draining = false;
+    }
 }
 
 void runtime::drain_strand(int dest) {
@@ -321,7 +346,88 @@ port_stats runtime::net_stats() const {
     s.corrupt_dropped = rel_.corrupt_dropped.load(std::memory_order_relaxed);
     s.reorders_buffered = rel_.reorders_buffered.load(std::memory_order_relaxed);
     s.delivery_failures = rel_.delivery_failures.load(std::memory_order_relaxed);
+    s.peer_deaths = rel_.peer_deaths.load(std::memory_order_relaxed);
+    s.dead_dropped = rel_.dead_dropped.load(std::memory_order_relaxed);
     return s;
+}
+
+void runtime::kill(int rank) {
+    OCTO_ASSERT(rank >= 0 && rank < size());
+    {
+        std::lock_guard lock(rel_.mutex);
+        rel_.killed[static_cast<std::size_t>(rank)] = 1;
+    }
+    // Close the pool after the parcelport goes silent: deliver() enqueues
+    // strand tasks under rel_.mutex, so once the flag is visible no new
+    // posts target this pool; work it had already accepted may complete
+    // (the node died mid-step, not mid-instruction-retroactively).
+    pool(rank).close();
+}
+
+bool runtime::killed(int rank) const {
+    OCTO_ASSERT(rank >= 0 && rank < size());
+    std::lock_guard lock(rel_.mutex);
+    return rel_.killed[static_cast<std::size_t>(rank)] != 0;
+}
+
+void runtime::declare_dead(int rank) {
+    OCTO_ASSERT(rank >= 0 && rank < size());
+    std::size_t dropped = 0;
+    {
+        std::lock_guard lock(rel_.mutex);
+        if (rel_.dead[static_cast<std::size_t>(rank)]) return; // idempotent
+        rel_.dead[static_cast<std::size_t>(rank)] = 1;
+        // Cancel the retransmit state: every unacked parcel destined to the
+        // dead rank is dropped here, instead of each one burning the full
+        // exponential-backoff retry budget in retransmit_loop().
+        auto it = rel_.unacked.lower_bound({rank, 0});
+        while (it != rel_.unacked.end() && it->first.first == rank) {
+            it = rel_.unacked.erase(it);
+            ++dropped;
+        }
+        // The out-of-order stash for the dead rank will never be released.
+        rel_.rx[static_cast<std::size_t>(rank)].held.clear();
+    }
+    rel_.peer_deaths.fetch_add(1, std::memory_order_relaxed);
+    rt::apex_count("net.peer_deaths");
+    if (dropped > 0) {
+        rel_.dead_dropped.fetch_add(dropped, std::memory_order_relaxed);
+        rt::apex_count("net.dead_dropped", dropped);
+        inflight_parcels_.fetch_sub(dropped, std::memory_order_acq_rel);
+    }
+    // ONE error-channel event for the whole death, however many parcels it
+    // stranded — the recovery coordinator consumes this, not per-parcel spam.
+    record_error("peer_death: locality " + std::to_string(rank) +
+                 " declared dead, " + std::to_string(dropped) +
+                 " unacked parcel(s) dropped");
+}
+
+bool runtime::declared_dead(int rank) const {
+    OCTO_ASSERT(rank >= 0 && rank < size());
+    std::lock_guard lock(rel_.mutex);
+    return rel_.dead[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> runtime::live_ranks() const {
+    std::vector<int> live;
+    std::lock_guard lock(rel_.mutex);
+    for (int r = 0; r < size(); ++r) {
+        if (!rel_.dead[static_cast<std::size_t>(r)]) live.push_back(r);
+    }
+    return live;
+}
+
+std::size_t runtime::reassign_owned(int dead, int heir) {
+    OCTO_ASSERT(heir >= 0 && heir < size());
+    std::size_t n = 0;
+    std::lock_guard lock(agas_mutex_);
+    for (auto& [g, owner] : owners_) {
+        if (owner == dead) {
+            owner = heir;
+            ++n;
+        }
+    }
+    return n;
 }
 
 gid runtime::register_object(int owner) {

@@ -86,6 +86,8 @@ struct port_stats {
     std::uint64_t corrupt_dropped = 0;   ///< checksum-mismatch drops
     std::uint64_t reorders_buffered = 0; ///< out-of-order parcels held
     std::uint64_t delivery_failures = 0; ///< retry budget exhausted
+    std::uint64_t peer_deaths = 0;       ///< ranks declared dead (ISSUE 10)
+    std::uint64_t dead_dropped = 0;      ///< parcels dropped at/for dead ranks
 };
 
 class runtime;
@@ -192,6 +194,38 @@ class runtime {
     /// (retries, dup/corrupt drops, reorder buffering, failures).
     port_stats net_stats() const;
 
+    // ---- node death & elastic recovery (ISSUE 10) --------------------------
+
+    /// Fault injection: locality `rank` dies mid-step. Its pool stops
+    /// accepting work and its parcelport side goes silent — inbound data
+    /// parcels are dropped WITHOUT an ack, so senders keep retransmitting
+    /// until the membership layer declares the rank dead. This is ground
+    /// truth only the injector knows; survivors learn of it via heartbeats.
+    /// (Model note: parcels carry no source rank, so the victim's *outbound*
+    /// reliability state is process-shared and unaffected — the kill silences
+    /// its inbound side and scheduler, which is what failure detection sees.)
+    void kill(int rank);
+    bool killed(int rank) const;
+
+    /// Failure-detector verdict: cancel all retransmit state for `rank`.
+    /// Every unacked parcel destined to it is dropped and the whole event is
+    /// surfaced as ONE `peer_death` error-channel report — instead of each
+    /// parcel burning the full exponential-backoff retry budget. Subsequent
+    /// apply()s to the rank are dropped on the spot (counted, not errored:
+    /// recovery re-routes the work). Idempotent.
+    void declare_dead(int rank);
+    bool declared_dead(int rank) const;
+
+    /// The survivors' membership view: ranks not (yet) declared dead,
+    /// ascending. A killed-but-undetected rank still appears here.
+    std::vector<int> live_ranks() const;
+
+    /// Recovery: hand every gid owned by `dead` to `heir` (AGAS metadata is
+    /// replicated in the real runtime, so it survives the node; buffered
+    /// channel values follow the object as in migrate()). Returns the number
+    /// of gids reassigned.
+    std::size_t reassign_owned(int dead, int heir);
+
   private:
     rt::channel<std::vector<double>>& channel_of(gid g);
     void drain_strand(int dest);
@@ -239,6 +273,8 @@ class runtime {
         std::vector<std::uint64_t> next_seq;       ///< per dest, sender side
         std::map<std::pair<int, std::uint64_t>, unacked_entry> unacked;
         std::vector<receiver_state> rx;
+        std::vector<char> killed; ///< ground truth: rank died (injector)
+        std::vector<char> dead;   ///< verdict: rank declared dead (detector)
         std::condition_variable cv; ///< wakes/retires the retransmit thread
         bool stop = false;
         std::atomic<std::uint64_t> retries{0};
@@ -246,8 +282,10 @@ class runtime {
         std::atomic<std::uint64_t> corrupt_dropped{0};
         std::atomic<std::uint64_t> reorders_buffered{0};
         std::atomic<std::uint64_t> delivery_failures{0};
+        std::atomic<std::uint64_t> peer_deaths{0};
+        std::atomic<std::uint64_t> dead_dropped{0};
     };
-    reliability_state rel_;
+    mutable reliability_state rel_; ///< const accessors lock rel_.mutex
     reliability_params rel_params_;
 
     mutable std::mutex errors_mutex_;

@@ -1,0 +1,140 @@
+#include "dist/membership.hpp"
+
+#include <utility>
+
+#include "runtime/apex.hpp"
+#include "support/assert.hpp"
+
+namespace octo::dist {
+
+membership::membership(runtime& rt, membership_params params)
+    : rt_(rt), params_(params) {
+    // pong first: the ping handler captures its id.
+    pong_ = rt_.register_action("mem.pong", [this](int, iarchive a) {
+        const auto round = a.read<std::uint64_t>();
+        const int from = a.read<int>();
+        std::lock_guard lock(mutex_);
+        if (round == round_) {
+            answered_.insert(from);
+            ++stats_.pongs_received;
+            cv_.notify_all();
+        }
+    });
+    ping_ = rt_.register_action("mem.ping", [this](int here, iarchive a) {
+        const auto round = a.read<std::uint64_t>();
+        const int monitor = a.read<int>();
+        // Running at all IS the liveness proof: a killed rank never gets
+        // here (its parcelport drops the ping unacked, its pool is closed).
+        oarchive out;
+        out.write(round);
+        out.write(here);
+        rt_.apply(monitor, pong_, std::move(out));
+    });
+}
+
+membership::~membership() {
+    stop();
+    // Drain straggler heartbeats so no pong can invoke a dangling handler.
+    // Bounded: if a killed-but-undeclared rank still holds parcels inflight,
+    // its state is cancelled here rather than waiting out the retry budget.
+    if (!rt_.wait_quiet_for(4 * params_.death_timeout)) {
+        for (int r : rt_.live_ranks()) {
+            if (rt_.killed(r)) rt_.declare_dead(r);
+        }
+        (void)rt_.wait_quiet_for(4 * params_.death_timeout);
+    }
+}
+
+std::vector<int> membership::probe() {
+    const auto live = rt_.live_ranks();
+    if (live.size() <= 1) return {};
+    const int monitor = live.front();
+
+    std::uint64_t round = 0;
+    {
+        std::lock_guard lock(mutex_);
+        round = ++round_;
+        answered_.clear();
+        ++stats_.probes;
+        stats_.pings_sent += live.size() - 1;
+    }
+    for (int r : live) {
+        if (r == monitor) continue;
+        oarchive a;
+        a.write(round);
+        a.write(monitor);
+        rt_.apply(r, ping_, std::move(a));
+    }
+
+    // The timeout detector: a healthy round quiesces almost immediately
+    // (every ping delivered, every pong acked); a killed rank leaves its
+    // pings retransmitting into the void, so this expires at the bound.
+    (void)rt_.wait_quiet_for(params_.death_timeout);
+
+    std::vector<int> dead;
+    {
+        std::lock_guard lock(mutex_);
+        for (int r : live) {
+            if (r != monitor && answered_.count(r) == 0) dead.push_back(r);
+        }
+        stats_.deaths_declared += dead.size();
+    }
+    for (int r : dead) rt_.declare_dead(r);
+    if (!dead.empty()) {
+        // Cancelled retransmit state settles fast; bound the tail anyway.
+        (void)rt_.wait_quiet_for(params_.death_timeout);
+    }
+
+    std::function<void(int)> cb;
+    {
+        std::lock_guard lock(mutex_);
+        cb = on_death_;
+    }
+    if (cb) {
+        for (int r : dead) cb(r);
+    }
+    return dead;
+}
+
+void membership::start() {
+    {
+        std::lock_guard lock(monitor_mutex_);
+        OCTO_ASSERT_MSG(!monitor_.joinable(), "monitor already running");
+        monitor_stop_ = false;
+    }
+    monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void membership::stop() {
+    {
+        std::lock_guard lock(monitor_mutex_);
+        monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    if (monitor_.joinable()) monitor_.join();
+}
+
+void membership::monitor_loop() {
+    for (;;) {
+        {
+            std::unique_lock lock(monitor_mutex_);
+            monitor_cv_.wait_for(lock, params_.heartbeat_interval,
+                                 [this] { return monitor_stop_; });
+            if (monitor_stop_) return;
+        }
+        const auto dead = probe();
+        if (!dead.empty()) rt::apex_count("mem.monitor_detections", dead.size());
+    }
+}
+
+void membership::on_death(std::function<void(int)> cb) {
+    std::lock_guard lock(mutex_);
+    on_death_ = std::move(cb);
+}
+
+membership_stats membership::stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+} // namespace octo::dist

@@ -1,0 +1,97 @@
+#pragma once
+// Membership & failure detection (ISSUE 10). Survivors cannot observe a node
+// death directly — they infer it. The protocol here is the smallest honest
+// version of what production AMT runtimes do:
+//
+//   * heartbeat parcels ride the reliable runtime itself (ping -> pong as
+//     ordinary exactly-once actions), so a peer counts as alive only if its
+//     scheduler actually ran our action and its parcelport actually carried
+//     the answer back;
+//   * the timeout detector is built on runtime::wait_quiet_for — after a
+//     ping round, a healthy cluster quiesces almost immediately, while a
+//     killed rank's pings sit unacked and retransmitting, so the bounded
+//     wait expires and the silent peers are declared dead;
+//   * declaration is runtime::declare_dead: retransmit state for the dead
+//     rank is cancelled and surfaced as ONE peer_death error-channel event.
+//
+// Time-to-detect is therefore bounded by membership_params::death_timeout
+// (plus scheduling noise), which is the knob bench_recovery sweeps.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dist/locality.hpp"
+
+namespace octo::dist {
+
+struct membership_params {
+    /// Probe cadence of the background monitor (start()).
+    std::chrono::microseconds heartbeat_interval{2000};
+    /// Detection bound: a peer that has not answered a ping round within
+    /// this long is declared dead.
+    std::chrono::microseconds death_timeout{50000};
+};
+
+struct membership_stats {
+    std::uint64_t probes = 0;          ///< ping rounds issued
+    std::uint64_t pings_sent = 0;      ///< heartbeat parcels sent
+    std::uint64_t pongs_received = 0;  ///< in-round answers seen
+    std::uint64_t deaths_declared = 0; ///< ranks this detector declared dead
+};
+
+class membership {
+  public:
+    /// Registers the heartbeat actions on `rt`; `rt` must outlive this
+    /// object, and the runtime must be quiesced before destroying it (a
+    /// straggler pong would otherwise invoke a dangling handler).
+    explicit membership(runtime& rt, membership_params params = {});
+    ~membership();
+
+    membership(const membership&) = delete;
+    membership& operator=(const membership&) = delete;
+
+    /// One synchronous probe round: ping every live peer from the lowest
+    /// live rank (the monitor), wait — bounded by death_timeout — for the
+    /// network to quiesce, and declare every silent peer dead via
+    /// runtime::declare_dead. Returns the ranks newly declared dead.
+    std::vector<int> probe();
+
+    /// Background monitor: probe() every heartbeat_interval until stop().
+    void start();
+    void stop();
+
+    /// Invoked (outside all locks) for each rank a probe declares dead —
+    /// the recovery coordinator's entry point.
+    void on_death(std::function<void(int)> cb);
+
+    membership_stats stats() const;
+    const membership_params& params() const { return params_; }
+
+  private:
+    void monitor_loop();
+
+    runtime& rt_;
+    membership_params params_;
+    action_id ping_ = 0;
+    action_id pong_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint64_t round_ = 0;    ///< current probe round (stale pongs ignored)
+    std::set<int> answered_;     ///< ranks that ponged in the current round
+    membership_stats stats_;
+    std::function<void(int)> on_death_;
+
+    std::mutex monitor_mutex_;
+    std::condition_variable monitor_cv_;
+    bool monitor_stop_ = false;
+    std::thread monitor_;
+};
+
+} // namespace octo::dist

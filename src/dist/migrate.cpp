@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "runtime/apex.hpp"
+#include "support/assert.hpp"
 #include "support/error.hpp"
 
 namespace octo::dist {
@@ -112,6 +113,37 @@ void subgrid_migrator::migrate(const std::vector<amr::migration_record>& schedul
         rt::apex_count("lb.migration_parcels");
         rt::apex_count("lb.migration_bytes", bytes);
     }
+}
+
+std::size_t subgrid_migrator::drop_rank(int rank) {
+    std::lock_guard lock(mutex_);
+    auto& store = stores_[static_cast<std::size_t>(rank)];
+    const std::size_t lost = store.size();
+    store.clear();
+    stats_.dropped += lost;
+    return lost;
+}
+
+std::uint64_t subgrid_migrator::reload(const amr::tree& restored) {
+    std::uint64_t installed = 0;
+    {
+        std::lock_guard lock(mutex_);
+        for (auto& s : stores_) s.clear();
+        for (const auto& level : restored.levels()) {
+            for (const amr::node_key k : level) {
+                const auto& nd = restored.node(k);
+                if (nd.refined || nd.fields == nullptr) continue;
+                OCTO_ASSERT(nd.owner >= 0 &&
+                            nd.owner < static_cast<int>(stores_.size()));
+                stores_[static_cast<std::size_t>(nd.owner)].insert_or_assign(
+                    k, *nd.fields);
+                ++installed;
+            }
+        }
+        stats_.reloads += installed;
+    }
+    rt::apex_count("lb.recovered_subgrids", installed);
+    return installed;
 }
 
 migration_stats subgrid_migrator::stats() const {

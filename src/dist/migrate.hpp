@@ -38,6 +38,8 @@ struct migration_stats {
     std::uint64_t subgrids_received = 0; ///< installed by the action handler
     std::uint64_t bytes_sent = 0;        ///< serialized payload bytes
     std::uint64_t local_moves = 0;       ///< from == to (no parcel)
+    std::uint64_t dropped = 0;           ///< discarded with a dead rank
+    std::uint64_t reloads = 0;           ///< reinstalled from a checkpoint
 };
 
 /// Serialize one keyed subgrid: key, geometry, then the full field image
@@ -70,6 +72,20 @@ class subgrid_migrator {
     void migrate(const std::vector<amr::migration_record>& schedule);
 
     migration_stats stats() const;
+
+    // ---- elastic recovery (ISSUE 10) --------------------------------------
+
+    /// The rank died: its store's memory is gone. Returns how many subgrids
+    /// were lost (recovery must re-source them from the checkpoint chain).
+    std::size_t drop_rank(int rank);
+
+    /// Global rollback: clear every store and reinstall each leaf subgrid of
+    /// the restored tree into its CURRENT owner's store (run the recovery
+    /// repartition on the tree first). Survivors re-read the same chain the
+    /// dead rank's share comes from, which is what makes the recovered run
+    /// bit-identical to a never-killed restart from that checkpoint.
+    /// Returns the number of subgrids installed.
+    std::uint64_t reload(const amr::tree& restored);
 
   private:
     runtime& rt_;

@@ -18,8 +18,23 @@
 //   * simulation metadata (time, step count) so a restart resumes mid-run
 //     bit-identically.
 // v1 files (no checksums) are still readable, with the same key validation.
+//
+// Format v3 (ISSUE 10) adds what elastic recovery needs:
+//   * full images additionally carry a per-leaf CRC32 of each leaf's field
+//     image — the content digests that drive incremental dirty tracking
+//     (and localize corruption to one subgrid instead of "somewhere in the
+//     leaf-data section"),
+//   * a companion *delta* file format: a CRC'd header, the full refined-key
+//     snapshot (so regrids between base and delta are handled), and only
+//     the leaves whose digest changed since the base image. Every delta is
+//     bound to its base by a digest-map checksum, so a delta can never be
+//     silently applied to the wrong (or a stale) base.
+// v2 and v1 files are still readable; per-section CRCs are preserved.
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "amr/tree.hpp"
 
@@ -54,5 +69,50 @@ amr::tree read_checkpoint(const std::string& path);
 /// As read_checkpoint, but also returns the simulation metadata (v1 files
 /// report zeros — they predate the meta header).
 checkpoint_data read_checkpoint_full(const std::string& path);
+
+// ---- incremental checkpoint deltas (ISSUE 10) -------------------------------
+
+/// Per-leaf content digests: leaf key -> CRC32 of its serialized field
+/// image (exactly the per-leaf CRCs a v3 full image records). This is the
+/// dirty-tracking state a writer holds between a full checkpoint and its
+/// deltas: a leaf whose digest changed is dirty.
+using leaf_digest_map = std::map<amr::node_key, std::uint32_t>;
+
+/// Compute the digests a v3 full image of `t` would carry.
+leaf_digest_map leaf_digests(const amr::tree& t);
+
+/// Identity of a base image: CRC32 over its sorted (key, digest) pairs.
+std::uint32_t digest_map_crc(const leaf_digest_map& digests);
+
+/// Everything the delta reader must trust before it touches the sections;
+/// written CRC'd, in this member order, by the delta writer.
+struct delta_header {
+    double time = 0;              ///< checkpoint_meta::time at the delta
+    std::int64_t steps = 0;       ///< checkpoint_meta::steps at the delta
+    std::uint32_t base_crc = 0;   ///< digest_map_crc of the required base
+    std::uint64_t nrefined = 0;   ///< full refined-key snapshot length
+    std::uint64_t ndirty = 0;     ///< leaves whose digest changed
+};
+
+struct delta_stats {
+    std::size_t dirty_leaves = 0;
+    std::size_t total_leaves = 0;
+    std::uint64_t bytes = 0; ///< delta file size (APEX: io.delta_checkpoint_bytes)
+};
+
+/// Write an incremental checkpoint: only leaves of `t` whose image digest
+/// differs from `base` (plus the full tree structure, so regrids are
+/// handled). Same durability contract as write_checkpoint: temp file,
+/// bounded retry, atomic rename, per-section CRC32.
+delta_stats write_checkpoint_delta(const amr::tree& t, const std::string& path,
+                                   const leaf_digest_map& base,
+                                   checkpoint_meta meta = {});
+
+/// Restore from a chain: chain[0] is a full image (any readable version),
+/// every later entry a delta bound to that base (later deltas supersede
+/// earlier ones — each is base-relative). Throws octo::error on any CRC
+/// mismatch, a delta whose base_crc does not match the loaded base, or a
+/// clean leaf the base cannot supply.
+checkpoint_data read_checkpoint_chain(const std::vector<std::string>& chain);
 
 } // namespace octo::io

@@ -55,8 +55,12 @@ thread_pool::~thread_pool() {
     for (auto& w : workers_) w.join();
 }
 
-void thread_pool::post(task t) {
+bool thread_pool::post(task t) {
     OCTO_ASSERT_MSG(!stop_.load(std::memory_order_acquire), "post() after shutdown");
+    if (closed_.load(std::memory_order_acquire)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
 #ifdef OCTO_RACE_DETECT
     t = wrap_task_for_detector(std::move(t));
 #endif
@@ -77,7 +81,10 @@ void thread_pool::post(task t) {
         queues_[q]->tasks.push_back(std::move(t));
     }
     sleep_cv_.notify_one();
+    return true;
 }
+
+void thread_pool::close() { closed_.store(true, std::memory_order_release); }
 
 bool thread_pool::try_pop_or_steal(unsigned index, task& out) {
     // Local queue first (LIFO end — depth-first execution of freshly spawned
@@ -112,7 +119,8 @@ bool thread_pool::try_pop_or_steal(unsigned index, task& out) {
 thread_pool::statistics thread_pool::stats() const {
     return {executed_.load(std::memory_order_relaxed),
             stolen_.load(std::memory_order_relaxed),
-            posted_.load(std::memory_order_relaxed)};
+            posted_.load(std::memory_order_relaxed),
+            rejected_.load(std::memory_order_relaxed)};
 }
 
 bool thread_pool::run_pending_task() {

@@ -35,8 +35,19 @@ class thread_pool {
 
     /// Enqueue a task. Called from worker threads it pushes to the local
     /// deque (LIFO for locality); from external threads it pushes to the
-    /// submitter's round-robin victim queue.
-    void post(task t);
+    /// submitter's round-robin victim queue. Returns false (and drops the
+    /// task) if the pool has been close()d — a dead locality's scheduler
+    /// accepts nothing, it does not crash the submitter.
+    bool post(task t);
+
+    /// Stop accepting work (node-death model, ISSUE 10): subsequent post()
+    /// calls drop their task and return false. Tasks already queued still
+    /// run — the node died mid-step, work it had accepted may complete, but
+    /// nothing new lands on it. Irreversible for the pool's lifetime.
+    void close();
+    bool accepting() const {
+        return !closed_.load(std::memory_order_acquire);
+    }
 
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -58,6 +69,7 @@ class thread_pool {
         std::uint64_t tasks_executed = 0;
         std::uint64_t tasks_stolen = 0; ///< executed after a steal
         std::uint64_t tasks_posted = 0;
+        std::uint64_t tasks_rejected = 0; ///< dropped by post() after close()
     };
     statistics stats() const;
 
@@ -84,10 +96,12 @@ class thread_pool {
     std::atomic<unsigned> next_victim_{0};
     std::atomic<std::size_t> inflight_{0}; // queued + executing tasks
     std::atomic<bool> stop_{false};
+    std::atomic<bool> closed_{false};
 
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> stolen_{0};
     std::atomic<std::uint64_t> posted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
 };
 
 } // namespace octo::rt

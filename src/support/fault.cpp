@@ -59,6 +59,16 @@ bool fault_injector::io_fail() {
     return fire(s_io, cfg_.io_fail_prob, &fault_stats::io_failures);
 }
 
+bool fault_injector::node_kill() {
+    return fire(s_kill, cfg_.node_kill_prob, &fault_stats::node_kills);
+}
+
+std::size_t fault_injector::kill_victim(std::size_t nlive) {
+    if (nlive == 0) return 0;
+    std::lock_guard lock(mutex_);
+    return static_cast<std::size_t>(rng_[s_victim].below(nlive));
+}
+
 fault_stats fault_injector::stats() const {
     std::lock_guard lock(mutex_);
     return stats_;

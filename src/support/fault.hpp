@@ -37,6 +37,11 @@ struct fault_config {
     // Accelerator / storage faults (consumed through the global hooks).
     double gpu_stream_fail_prob = 0; ///< try_acquire_stream spuriously fails
     double io_fail_prob = 0;         ///< transient checkpoint write failure
+
+    // Node-loss faults (ISSUE 10, consumed by the step driver). Consulted
+    // once per step; when it fires, a whole locality dies mid-step: its
+    // pool stops accepting work and its parcelport goes silent.
+    double node_kill_prob = 0;
 };
 
 /// Counts of faults actually injected — what the campaign asserts against
@@ -49,6 +54,7 @@ struct fault_stats {
     std::uint64_t corruptions = 0;
     std::uint64_t gpu_stream_failures = 0;
     std::uint64_t io_failures = 0;
+    std::uint64_t node_kills = 0;
 };
 
 class fault_injector {
@@ -73,6 +79,13 @@ class fault_injector {
     bool gpu_stream_fail();
     bool io_fail();
 
+    // Node-loss decisions. node_kill() is consulted once per step; when it
+    // fires, kill_victim(nlive) picks which of the `nlive` live localities
+    // dies. The victim index draws from its own stream, so how many live
+    // ranks remain never perturbs the kill schedule itself.
+    bool node_kill();
+    std::size_t kill_victim(std::size_t nlive);
+
     fault_stats stats() const;
 
   private:
@@ -85,6 +98,8 @@ class fault_injector {
         s_bit,
         s_gpu,
         s_io,
+        s_kill,
+        s_victim,
         n_streams
     };
     bool fire(stream s, double prob, std::uint64_t fault_stats::*count);

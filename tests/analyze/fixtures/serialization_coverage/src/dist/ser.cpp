@@ -48,4 +48,27 @@ void wire_pair::save(dist::oarchive& ar) const {
     ar.write(first_half);
 }
 
+struct delta_header {
+    double time;
+    long steps;
+    unsigned base_crc;
+    unsigned long nrefined;
+    unsigned long ndirty;
+};
+
+void put_delta_header(dist::oarchive& ar, const delta_header& h) {
+    ar.write(h.time);
+    ar.write(h.steps);
+    ar.write(h.base_crc);
+    ar.write(h.nrefined);
+    ar.write(h.ndirty);
+}
+
+unsigned delta_header_crc(const delta_header& h) {
+    unsigned c = crc32(&h.time, sizeof(h.time));
+    c = crc32(&h.steps, sizeof(h.steps), c);
+    c = crc32(&h.base_crc, sizeof(h.base_crc), c);
+    return crc32(&h.nrefined, sizeof(h.nrefined), c);
+}
+
 }

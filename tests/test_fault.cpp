@@ -14,12 +14,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/simulation.hpp"
 #include "dist/locality.hpp"
+#include "dist/membership.hpp"
+#include "dist/migrate.hpp"
 #include "io/checkpoint.hpp"
 #include "net/faulty.hpp"
 #include "net/parcelport.hpp"
@@ -353,6 +357,251 @@ TEST(CheckpointRestart, MidRunRestartIsBitIdentical) {
 
     for (const char* suffix : {".2.ckpt", ".4.ckpt", ".6.ckpt"}) {
         std::remove((prefix + suffix).c_str());
+    }
+}
+
+// ---- node death & elastic recovery (ISSUE 10) -------------------------------
+
+TEST(FaultInjector, NodeKillStreamIsSeededAndIndependent) {
+    const auto schedule = [](std::uint64_t seed) {
+        support::fault_config cfg;
+        cfg.seed = seed;
+        cfg.node_kill_prob = 0.3;
+        support::fault_injector inj(cfg);
+        std::vector<int> d;
+        for (int i = 0; i < 100; ++i) {
+            d.push_back(static_cast<int>(inj.node_kill()));
+            d.push_back(static_cast<int>(inj.kill_victim(8)));
+        }
+        return d;
+    };
+    EXPECT_EQ(schedule(5), schedule(5)); // replayable
+    EXPECT_NE(schedule(5), schedule(6)); // and seed-sensitive
+
+    // The kill stream is independent of the others (a campaign that burns
+    // its drop stream still sees the same kill schedule), and fired kills
+    // are counted.
+    support::fault_config cfg = lossy(9);
+    cfg.node_kill_prob = 0.3;
+    support::fault_injector a(cfg), b(cfg);
+    for (int i = 0; i < 500; ++i) a.drop();
+    int fired = 0;
+    for (int i = 0; i < 100; ++i) {
+        const bool ka = a.node_kill();
+        EXPECT_EQ(ka, b.node_kill()) << i;
+        fired += ka ? 1 : 0;
+    }
+    EXPECT_GT(fired, 0);
+    EXPECT_EQ(a.stats().node_kills, static_cast<std::uint64_t>(fired));
+}
+
+TEST(NodeDeath, DetectedWithinTheBoundWithOnePeerDeathEvent) {
+    dist::runtime rt(4, net::make_mpi_port());
+    std::atomic<int> ran{0};
+    const auto act = rt.register_action("post-kill", [&](int, dist::iarchive) {
+        ran.fetch_add(1);
+    });
+
+    ASSERT_FALSE(rt.killed(2));
+    rt.kill(2);
+    EXPECT_TRUE(rt.killed(2));
+    // The dead locality swallows new work unacked; a healthy one still runs.
+    rt.apply(2, act, dist::oarchive{});
+    rt.apply(3, act, dist::oarchive{});
+
+    dist::membership mem(rt,
+                         {.death_timeout = std::chrono::milliseconds(50)});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto dead = mem.probe();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(dead, std::vector<int>{2});
+    EXPECT_TRUE(rt.declared_dead(2));
+    EXPECT_EQ(rt.live_ranks(), (std::vector<int>{0, 1, 3}));
+    // Bounded detection: death_timeout-scale, nowhere near the multi-second
+    // retry budget a black-holed parcel would otherwise wait out.
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+    ASSERT_TRUE(rt.wait_quiet_for(std::chrono::seconds(60)));
+    EXPECT_EQ(ran.load(), 1); // the healthy rank's action ran; the dead one's never will
+
+    // Exactly ONE peer_death event carries the whole story.
+    const auto errors = rt.take_errors();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("peer_death"), std::string::npos) << errors[0];
+    const auto s = rt.net_stats();
+    EXPECT_EQ(s.peer_deaths, 1u);
+    EXPECT_GT(s.dead_dropped, 0u);
+    EXPECT_EQ(s.delivery_failures, 0u); // cancelled, not budget-exhausted
+
+    // Declaring the same death again is a no-op.
+    rt.declare_dead(2);
+    EXPECT_EQ(rt.net_stats().peer_deaths, 1u);
+    EXPECT_EQ(rt.error_count(), 0u);
+
+    const auto ms = mem.stats();
+    EXPECT_EQ(ms.probes, 1u);
+    EXPECT_EQ(ms.pings_sent, 3u);
+    EXPECT_EQ(ms.pongs_received, 2u);
+    EXPECT_EQ(ms.deaths_declared, 1u);
+}
+
+std::vector<char> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+core::sim_options lb_star_options() {
+    auto o = rotating_star_options();
+    o.lb.ranks = 4;
+    o.lb.every_steps = 1;
+    return o;
+}
+
+core::simulation make_lb_star() {
+    auto t = scf::make_uniform_tree(4.0, 2);
+    scf::init_single_star(t, 1.0, 1.0, 1.5, {0, 0, 0}, {0, 0, 0}, 1e-10);
+    return core::simulation(std::move(t), lb_star_options());
+}
+
+TEST(ElasticRecovery, KilledRunRecoversBitIdenticalAcrossSeeds) {
+    constexpr int nranks = 4;
+    constexpr long total_steps = 4;
+    const core::checkpoint_policy policy{.every_steps = 1,
+                                         .path_prefix = "",
+                                         .full_every = 2};
+
+    // The uninterrupted reference run, shared across seeds.
+    auto a = make_lb_star();
+    {
+        auto p = policy;
+        p.path_prefix = "/tmp/octo_er_a";
+        a.set_checkpoint_policy(p);
+    }
+    for (long s = 0; s < total_steps; ++s) a.advance();
+
+    for (const std::uint64_t base : {3u, 17u, 29u}) {
+        const std::uint64_t seed = campaign_seed(base);
+        support::fault_config cfg;
+        cfg.seed = seed;
+        cfg.node_kill_prob = 0.5;
+        support::fault_injector inj(cfg);
+
+        // The injector's schedule decides WHEN the node dies (with a
+        // deterministic fallback so every seed kills before the run ends)
+        // and WHICH locality it takes. Rank 0 hosts the monitor and is
+        // assumed stable — see DESIGN.md's fault model.
+        long kill_step = 0;
+        for (long s = 2; s < total_steps; ++s) {
+            if (inj.node_kill()) {
+                kill_step = s;
+                break;
+            }
+        }
+        if (kill_step == 0) kill_step = total_steps - 1;
+        const int victim = 1 + static_cast<int>(inj.kill_victim(nranks - 1));
+
+        const std::string prefix = "/tmp/octo_er_b" + std::to_string(base);
+        dist::runtime rt(nranks, net::make_mpi_port());
+        dist::subgrid_migrator mig(rt);
+        const dist::gid victim_gid = rt.register_object(victim);
+        auto b = make_lb_star();
+        {
+            auto p = policy;
+            p.path_prefix = prefix;
+            b.set_checkpoint_policy(p);
+        }
+        for (const node_key k : b.grid().leaves_sfc()) {
+            mig.put(b.grid().node(k).owner, k, *b.grid().node(k).fields);
+        }
+
+        for (long s = 0; s < kill_step; ++s) b.advance();
+        rt.kill(victim);
+        const std::size_t held = mig.count(victim);
+        ASSERT_GT(held, 0u);
+
+        // Detection: the membership monitor declares the silent rank dead.
+        dist::membership mem(
+            rt, {.death_timeout = std::chrono::milliseconds(50)});
+        std::vector<int> deaths;
+        mem.on_death([&](int r) { deaths.push_back(r); });
+        const auto dead = mem.probe();
+        ASSERT_EQ(dead, std::vector<int>{victim}) << "seed " << seed;
+        EXPECT_EQ(deaths, dead);
+        const auto errors = rt.take_errors();
+        ASSERT_EQ(errors.size(), 1u) << "seed " << seed;
+        EXPECT_NE(errors[0].find("peer_death"), std::string::npos);
+
+        // Recovery: survivors roll back to the last checkpoint chain,
+        // repartition onto the live ranks, reload the stores, and re-home
+        // the dead rank's gids.
+        const auto chain = b.checkpoint_chain();
+        ASSERT_FALSE(chain.empty());
+        const auto live = rt.live_ranks();
+        ASSERT_EQ(live.size(), static_cast<std::size_t>(nranks - 1));
+        EXPECT_EQ(mig.drop_rank(victim), held);
+        auto r = core::simulation::recover(chain, lb_star_options(), live);
+        EXPECT_EQ(r.step_count(), kill_step);
+        EXPECT_GT(mig.reload(r.grid()), 0u);
+        rt.reassign_owned(victim, live.front());
+
+        // Post-recovery invariants: no leaf is owned by the dead rank, every
+        // leaf sits in its owner's store, the dead store is empty, and the
+        // re-homed gid is reachable again.
+        for (const node_key k : r.grid().leaves_sfc()) {
+            const int own = r.grid().node(k).owner;
+            ASSERT_NE(own, victim);
+            ASSERT_TRUE(mig.contains(own, k));
+        }
+        EXPECT_EQ(mig.count(victim), 0u);
+        ASSERT_FALSE(r.last_recovery().migrations.empty());
+        rt.channel_set(victim_gid, {1.0, 2.0});
+        EXPECT_EQ(rt.channel_get(victim_gid).get(),
+                  (std::vector<double>{1.0, 2.0}));
+
+        // Resume to the end, next to a never-killed restart from the SAME
+        // chain: every checkpoint they write must match byte for byte.
+        {
+            auto p = policy;
+            p.path_prefix = prefix + "_r";
+            r.set_checkpoint_policy(p);
+        }
+        while (r.step_count() < total_steps) r.advance();
+        auto ref = core::simulation::restart_chain(chain, lb_star_options());
+        {
+            auto p = policy;
+            p.path_prefix = prefix + "_ref";
+            ref.set_checkpoint_policy(p);
+        }
+        while (ref.step_count() < total_steps) ref.advance();
+
+        const auto& cr = r.checkpoint_chain();
+        const auto& cref = ref.checkpoint_chain();
+        ASSERT_EQ(cr.size(), cref.size());
+        for (std::size_t i = 0; i < cr.size(); ++i) {
+            EXPECT_EQ(slurp(cr[i]), slurp(cref[i]))
+                << "seed " << seed << " chain element " << i;
+        }
+        // And the recovered run ends bit-identical to the run that never
+        // lost a node at all.
+        EXPECT_DOUBLE_EQ(r.time(), a.time());
+        expect_bit_identical_trees(a.grid(), r.grid());
+
+        ASSERT_TRUE(rt.wait_quiet_for(std::chrono::seconds(60)));
+        EXPECT_EQ(rt.error_count(), 0u);
+        for (long s = 1; s <= total_steps; ++s) {
+            for (const std::string& p :
+                 {prefix, prefix + "_r", prefix + "_ref"}) {
+                std::remove((p + "." + std::to_string(s) + ".ckpt").c_str());
+                std::remove((p + "." + std::to_string(s) + ".dckpt").c_str());
+            }
+        }
+    }
+    for (long s = 1; s <= total_steps; ++s) {
+        const std::string p = "/tmp/octo_er_a." + std::to_string(s);
+        std::remove((p + ".ckpt").c_str());
+        std::remove((p + ".dckpt").c_str());
     }
 }
 

@@ -14,6 +14,7 @@
 #include "io/checkpoint.hpp"
 #include "io/writers.hpp"
 #include "runtime/apex.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/rng.hpp"
@@ -347,6 +348,236 @@ TEST(Checkpoint, TransientWriteFaultsRetryAndNeverTearTheOldFile) {
     }
     const tree r = io::read_checkpoint(path);
     EXPECT_EQ(r.leaf_count(), 1u);
+    std::remove(path.c_str());
+}
+
+// ---- incremental delta checkpoints (format v3, ISSUE 10) --------------------
+
+void expect_trees_equal(const tree& a, const tree& b) {
+    ASSERT_EQ(a.leaf_count(), b.leaf_count());
+    const auto la = a.leaves_sfc();
+    const auto lb = b.leaves_sfc();
+    ASSERT_EQ(la, lb);
+    for (const node_key k : la) {
+        const auto& ga = *a.node(k).fields;
+        const auto& gb = *b.node(k).fields;
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        ASSERT_EQ(ga.interior(f, i, j, kk),
+                                  gb.interior(f, i, j, kk));
+                    }
+    }
+}
+
+TEST(DeltaCheckpoint, WritesOnlyDirtyLeavesAndChainRestoresBitIdentical) {
+    tree t = make_test_tree();
+    const std::string full = "/tmp/octo_delta_full.bin";
+    const std::string delta = "/tmp/octo_delta_inc.bin";
+    io::write_checkpoint(t, full, {.time = 1.0, .steps = 10});
+    const auto base = io::leaf_digests(t);
+    EXPECT_EQ(base.size(), t.leaf_count());
+
+    // Touch exactly two leaves; everything else stays clean.
+    const auto leaves = t.leaves_sfc();
+    ASSERT_GE(leaves.size(), 3u);
+    t.ensure_fields(leaves[0]).interior(f_rho, 1, 1, 1) += 0.5;
+    t.ensure_fields(leaves[2]).interior(f_egas, 2, 3, 4) *= 2.0;
+    const auto st =
+        io::write_checkpoint_delta(t, delta, base, {.time = 2.0, .steps = 20});
+    EXPECT_EQ(st.dirty_leaves, 2u);
+    EXPECT_EQ(st.total_leaves, leaves.size());
+    // Incremental really is incremental: far smaller than the full image.
+    EXPECT_LT(st.bytes, slurp(full).size() / 2);
+    EXPECT_EQ(st.bytes, slurp(delta).size());
+
+    const auto ck = io::read_checkpoint_chain({full, delta});
+    EXPECT_DOUBLE_EQ(ck.meta.time, 2.0);
+    EXPECT_EQ(ck.meta.steps, 20);
+    expect_trees_equal(ck.t, t);
+
+    // A later delta against the SAME base supersedes the earlier one.
+    const std::string delta2 = "/tmp/octo_delta_inc2.bin";
+    t.ensure_fields(leaves[1]).interior(f_rho, 0, 0, 0) += 1.0;
+    io::write_checkpoint_delta(t, delta2, base, {.time = 3.0, .steps = 30});
+    const auto ck2 = io::read_checkpoint_chain({full, delta, delta2});
+    EXPECT_EQ(ck2.meta.steps, 30);
+    expect_trees_equal(ck2.t, t);
+
+    // A one-element chain is just the full image.
+    const auto ck0 = io::read_checkpoint_chain({full});
+    EXPECT_EQ(ck0.meta.steps, 10);
+
+    for (const auto* p : {&full, &delta, &delta2}) std::remove(p->c_str());
+}
+
+TEST(DeltaCheckpoint, SurvivesARegridBetweenBaseAndDelta) {
+    // The delta snapshots the full refined-key set, so structure changes
+    // after the base are restored too; leaves that exist in both and kept
+    // their content come from the base.
+    tree t = make_test_tree();
+    const std::string full = "/tmp/octo_delta_regrid_full.bin";
+    const std::string delta = "/tmp/octo_delta_regrid_inc.bin";
+    io::write_checkpoint(t, full);
+    const auto base = io::leaf_digests(t);
+
+    const auto leaves = t.leaves_sfc();
+    t.refine(leaves.back()); // new children: dirty (absent from the base)
+    t.balance21();
+    xoshiro256 rng(3);
+    for (const node_key k : t.leaves_sfc()) {
+        if (base.count(k) != 0) continue; // pre-existing leaf stays clean
+        auto& g = t.ensure_fields(k);
+        for (int f = 0; f < n_fields; ++f)
+            for (int i = 0; i < INX; ++i)
+                for (int j = 0; j < INX; ++j)
+                    for (int kk = 0; kk < INX; ++kk) {
+                        g.interior(f, i, j, kk) = rng.uniform(0.0, 1.0);
+                    }
+    }
+    const auto st = io::write_checkpoint_delta(t, delta, base);
+    EXPECT_GT(st.dirty_leaves, 0u);
+    EXPECT_LT(st.dirty_leaves, st.total_leaves);
+
+    const auto ck = io::read_checkpoint_chain({full, delta});
+    expect_trees_equal(ck.t, t);
+    for (const auto* p : {&full, &delta}) std::remove(p->c_str());
+}
+
+TEST(DeltaCheckpoint, EveryBitFlipInTheDeltaIsDetected) {
+    // The delta format carries the same obligation as the full format: every
+    // byte is load-bearing (magic, version, CRC'd header / refined / dirty
+    // sections, per-leaf digests), so every flip must be rejected.
+    tree t = make_test_tree();
+    const std::string full = "/tmp/octo_delta_flip_full.bin";
+    const std::string delta = "/tmp/octo_delta_flip_inc.bin";
+    io::write_checkpoint(t, full);
+    const auto base = io::leaf_digests(t);
+    t.ensure_fields(t.leaves_sfc()[0]).interior(f_rho, 0, 0, 0) += 1.0;
+    io::write_checkpoint_delta(t, delta, base);
+
+    const auto pristine = slurp(delta);
+    ASSERT_GT(pristine.size(), 100u);
+    io::read_checkpoint_chain({full, delta}); // sanity: pristine loads
+    auto probe = [&](std::size_t off) {
+        auto bytes = pristine;
+        bytes[off] ^= static_cast<char>(1 << (off % 8));
+        spit(delta, bytes);
+        EXPECT_THROW(io::read_checkpoint_chain({full, delta}), octo::error)
+            << "flip at delta byte " << off << " loaded silently";
+    };
+    // Dense sweep over the header/refined-keys region, sampled sweep over
+    // the dirty-record body, and the final checksum bytes.
+    for (std::size_t off = 0; off < 100; ++off) probe(off);
+    for (std::size_t off = 100; off < pristine.size(); off += 509) probe(off);
+    for (std::size_t off = pristine.size() - 4; off < pristine.size(); ++off) {
+        probe(off);
+    }
+    // Truncation and growth are corrupt too.
+    spit(delta, {pristine.begin(), pristine.end() - 1});
+    EXPECT_THROW(io::read_checkpoint_chain({full, delta}), octo::error);
+    auto grown = pristine;
+    grown.push_back(0);
+    spit(delta, grown);
+    EXPECT_THROW(io::read_checkpoint_chain({full, delta}), octo::error);
+    for (const auto* p : {&full, &delta}) std::remove(p->c_str());
+}
+
+TEST(DeltaCheckpoint, RejectsAMismatchedBase) {
+    // A delta is bound to ITS base by the digest-map CRC in its header:
+    // restoring it against any other image must fail loudly, never splice
+    // two unrelated checkpoints together.
+    tree t = make_test_tree();
+    const std::string full_a = "/tmp/octo_delta_base_a.bin";
+    const std::string full_b = "/tmp/octo_delta_base_b.bin";
+    const std::string delta = "/tmp/octo_delta_base_inc.bin";
+    io::write_checkpoint(t, full_a);
+    const auto base = io::leaf_digests(t);
+
+    tree other = make_test_tree();
+    other.ensure_fields(other.leaves_sfc()[1]).interior(f_rho, 4, 4, 4) += 9.0;
+    io::write_checkpoint(other, full_b);
+
+    t.ensure_fields(t.leaves_sfc()[0]).interior(f_rho, 0, 0, 0) += 1.0;
+    io::write_checkpoint_delta(t, delta, base);
+
+    EXPECT_NO_THROW(io::read_checkpoint_chain({full_a, delta}));
+    EXPECT_THROW(io::read_checkpoint_chain({full_b, delta}), octo::error);
+    // And the CRC-failure counter saw it.
+    const auto before =
+        rt::apex_registry::instance().counter("io.checkpoint_crc_failures");
+    EXPECT_THROW(io::read_checkpoint_chain({full_b, delta}), octo::error);
+    EXPECT_EQ(
+        rt::apex_registry::instance().counter("io.checkpoint_crc_failures"),
+        before + 1);
+    for (const auto* p : {&full_a, &full_b, &delta}) std::remove(p->c_str());
+}
+
+TEST(DeltaCheckpoint, DeltaFileIsRejectedWhereAFullImageIsExpected) {
+    tree t = make_test_tree();
+    const std::string full = "/tmp/octo_delta_misuse_full.bin";
+    const std::string delta = "/tmp/octo_delta_misuse_inc.bin";
+    io::write_checkpoint(t, full);
+    io::write_checkpoint_delta(t, delta, io::leaf_digests(t));
+    EXPECT_THROW(io::read_checkpoint(delta), octo::error);
+    EXPECT_THROW(io::read_checkpoint_chain({delta}), octo::error);
+    EXPECT_THROW(io::read_checkpoint_chain({}), octo::error);
+    for (const auto* p : {&full, &delta}) std::remove(p->c_str());
+}
+
+TEST(Checkpoint, Version2FilesStayReadable) {
+    // The v3 writer added per-leaf digests, but archived v2 restart files
+    // must keep loading. Hand-craft a one-leaf v2 image (same section
+    // layout, no per-leaf digest) with correct section CRCs.
+    const std::string path = "/tmp/octo_checkpoint_v2.bin";
+    std::vector<double> img(static_cast<std::size_t>(n_fields) * INX3);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        img[i] = 0.25 * static_cast<double>(i) + 1.0;
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        auto put = [&](const auto& v) {
+            out.write(reinterpret_cast<const char*>(&v), sizeof v);
+        };
+        crc32_accumulator crc;
+        auto put_crc = [&](const auto& v) {
+            crc.update(&v, sizeof v);
+            put(v);
+        };
+        const std::uint64_t magic_v2 = 0x4f43544f53494d32ULL; // "OCTOSIM2"
+        const std::uint32_t version = 2;
+        put(magic_v2);
+        put(version);
+        const box_geometry root = unit_root();
+        put_crc(root.origin.x);
+        put_crc(root.origin.y);
+        put_crc(root.origin.z);
+        put_crc(root.dx);
+        put_crc(double{1.5});                 // time
+        put_crc(std::int64_t{42});            // steps
+        put_crc(std::uint64_t{0});            // nrefined
+        put_crc(std::uint64_t{1});            // ndata
+        put(crc.value());
+        crc.reset();
+        put(crc.value()); // empty refined-keys section
+        crc.reset();
+        put_crc(root_key);
+        for (const double v : img) put_crc(v);
+        put(crc.value());
+    }
+    const auto ck = io::read_checkpoint_full(path);
+    EXPECT_DOUBLE_EQ(ck.meta.time, 1.5);
+    EXPECT_EQ(ck.meta.steps, 42);
+    ASSERT_EQ(ck.t.leaf_count(), 1u);
+    const auto& g = *ck.t.node(root_key).fields;
+    std::size_t idx = 0;
+    for (int f = 0; f < n_fields; ++f)
+        for (int i = 0; i < INX; ++i)
+            for (int j = 0; j < INX; ++j)
+                for (int kk = 0; kk < INX; ++kk) {
+                    ASSERT_EQ(g.interior(f, i, j, kk), img[idx++]);
+                }
     std::remove(path.c_str());
 }
 

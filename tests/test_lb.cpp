@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -20,6 +21,7 @@
 #include "amr/halo.hpp"
 #include "amr/partition.hpp"
 #include "core/simulation.hpp"
+#include "dist/membership.hpp"
 #include "dist/migrate.hpp"
 #include "io/checkpoint.hpp"
 #include "net/faulty.hpp"
@@ -352,6 +354,190 @@ TEST(Migration, BalancedRunIsBitIdenticalToUnbalancedRun) {
 
     // And the balanced run kept a valid partition throughout.
     expect_valid_partition(a.grid(), 6);
+}
+
+// ---- elastic recovery: live-rank partitioning + node death (ISSUE 10) -------
+
+TEST(Recovery, LiveRankPartitionUsesOnlySurvivors) {
+    auto t = make_tree(2);
+    const std::vector<int> live{0, 2, 3}; // rank 1 died
+    const std::vector<double> w(t.leaf_count(), 1.0);
+    const auto st = partition_sfc_weighted(t, live, w);
+    ASSERT_EQ(st.leaves_per_rank.size(), live.size()); // dense rows
+    for (const std::size_t n : st.leaves_per_rank) EXPECT_GT(n, 0u);
+    std::vector<int> owners;
+    for (const node_key k : t.leaves_sfc()) {
+        const int o = t.node(k).owner;
+        EXPECT_TRUE(std::binary_search(live.begin(), live.end(), o)) << o;
+        if (owners.empty() || owners.back() != o) owners.push_back(o);
+    }
+    EXPECT_EQ(owners, live); // contiguous along the curve, in live order
+    for (const auto& level : t.levels()) {
+        for (const node_key k : level) {
+            if (!t.node(k).refined) continue;
+            EXPECT_EQ(t.node(k).owner, t.node(key_child(k, 0)).owner);
+        }
+    }
+
+    // The bounded rebalance restricted to the live set keeps every owner,
+    // migration endpoint and touched rank inside it.
+    const auto res =
+        rebalance_sfc(t, live, skewed_weights(t.leaf_count(), 8, 8.0));
+    EXPECT_GT(res.migrations.size(), 0u);
+    for (const auto& m : res.migrations) {
+        EXPECT_TRUE(std::binary_search(live.begin(), live.end(), m.from));
+        EXPECT_TRUE(std::binary_search(live.begin(), live.end(), m.to));
+    }
+    for (const int r : res.touched_ranks) {
+        EXPECT_TRUE(std::binary_search(live.begin(), live.end(), r));
+    }
+    // The degenerate "everyone is alive" spelling matches the int overload.
+    auto t2 = make_tree(2);
+    const auto all = partition_sfc_weighted(t2, {0, 1, 2}, w);
+    auto t3 = make_tree(2);
+    const auto dense = partition_sfc_weighted(t3, 3, w);
+    EXPECT_EQ(all.leaves_per_rank, dense.leaves_per_rank);
+}
+
+TEST(Recovery, RepartitionOntoReschedulesTheDeadRanksLeaves) {
+    auto t = make_tree(2);
+    partition_sfc(t, 4);
+    std::size_t dead_leaves = 0;
+    for (const node_key k : t.leaves_sfc()) {
+        if (t.node(k).owner == 1) ++dead_leaves;
+    }
+    ASSERT_GT(dead_leaves, 0u);
+    const std::vector<double> w(t.leaf_count(), 1.0);
+    const auto rp = repartition_onto(t, {0, 2, 3}, w);
+    // Every leaf the dead rank held appears in the schedule (those are the
+    // ones recovery reloads from the checkpoint chain), and nothing is
+    // assigned back to it.
+    std::size_t from_dead = 0;
+    for (const auto& m : rp.migrations) {
+        EXPECT_NE(m.to, 1);
+        if (m.from == 1) ++from_dead;
+    }
+    EXPECT_EQ(from_dead, dead_leaves);
+    for (const node_key k : t.leaves_sfc()) EXPECT_NE(t.node(k).owner, 1);
+    EXPECT_EQ(rp.stats.leaves_per_rank.size(), 3u);
+}
+
+TEST(Recovery, MigrateThenKillTheNewOwnerRecoversByteIdentical) {
+    // The combined scenario: a subgrid migrates to a new owner, THEN that
+    // owner dies. The migrated subgrid is lost with the rank and must come
+    // back from the checkpoint chain; the post-recovery checkpoints must be
+    // byte-identical to a never-killed baseline restarted from the same
+    // chain. Swept over three seeds (shifted by OCTO_FAULT_SEED in CI).
+    auto& reg = rt::apex_registry::instance();
+    for (const std::uint64_t base : {5u, 13u, 21u}) {
+        std::uint64_t seed = base;
+        if (const char* env = std::getenv("OCTO_FAULT_SEED")) {
+            seed += std::strtoull(env, nullptr, 10);
+        }
+        auto opt = rotating_star_options();
+        opt.lb.ranks = 4;
+        opt.lb.every_steps = 1;
+        opt.lb.max_migration_fraction = 0.25;
+
+        const std::string prefix = "/tmp/octo_rec_" + std::to_string(base);
+        const core::checkpoint_policy policy{
+            .every_steps = 1, .path_prefix = prefix, .full_every = 2};
+        const auto delta_bytes0 = reg.counter("io.delta_checkpoint_bytes");
+
+        dist::runtime rt(4, net::make_mpi_port());
+        dist::subgrid_migrator mig(rt);
+        auto b = make_rotating_star(opt);
+        auto p = policy;
+        b.set_checkpoint_policy(p);
+        auto& t = b.grid();
+        for (const node_key k : t.leaves_sfc()) {
+            mig.put(t.node(k).owner, k, *t.node(k).fields);
+        }
+
+        // Two steps with live migration: mirror post-step fields into the
+        // pre-rebalance owners' stores, then execute the schedule.
+        std::vector<migration_record> candidates;
+        for (int s = 0; s < 2; ++s) {
+            b.advance();
+            const auto& res = b.last_rebalance();
+            std::map<node_key, int> moved;
+            for (const auto& m : res.migrations) moved[m.key] = m.from;
+            for (const node_key k : t.leaves_sfc()) {
+                const auto it = moved.find(k);
+                const int pre =
+                    it != moved.end() ? it->second : t.node(k).owner;
+                mig.put(pre, k, *t.node(k).fields);
+            }
+            mig.migrate(res.migrations);
+            ASSERT_TRUE(rt.wait_quiet_for(std::chrono::seconds(60)));
+            for (const auto& m : res.migrations) {
+                if (m.to != 0) candidates.push_back(m); // 0 hosts the monitor
+            }
+        }
+        ASSERT_FALSE(candidates.empty()) << "seed " << seed;
+        const auto chosen =
+            candidates[static_cast<std::size_t>(seed) % candidates.size()];
+        const int victim = chosen.to;
+        ASSERT_TRUE(mig.contains(victim, chosen.key));
+        EXPECT_GT(reg.counter("io.delta_checkpoint_bytes"), delta_bytes0);
+
+        // Kill the new owner; the membership probe declares it dead.
+        rt.kill(victim);
+        dist::membership mem(
+            rt, {.death_timeout = std::chrono::milliseconds(50)});
+        ASSERT_EQ(mem.probe(), std::vector<int>{victim}) << "seed " << seed;
+        const auto errors = rt.take_errors();
+        ASSERT_EQ(errors.size(), 1u);
+        EXPECT_NE(errors[0].find("peer_death"), std::string::npos);
+
+        // Recover onto the survivors and assert the APEX trail.
+        const auto recoveries0 = reg.counter("lb.recoveries");
+        const auto chain = b.checkpoint_chain();
+        ASSERT_EQ(chain.size(), 2u); // {step-1 full, step-2 delta}
+        mig.drop_rank(victim);
+        auto r = core::simulation::recover(chain, opt, rt.live_ranks());
+        EXPECT_GT(mig.reload(r.grid()), 0u);
+        rt.reassign_owned(victim, rt.live_ranks().front());
+        EXPECT_EQ(reg.counter("lb.recoveries"), recoveries0 + 1);
+        EXPECT_GT(reg.counter("sim.time_to_recover_us"), 0u);
+
+        // The once-migrated-then-lost subgrid is back, on a live rank.
+        ASSERT_TRUE(r.grid().contains(chosen.key));
+        const int new_owner = r.grid().node(chosen.key).owner;
+        EXPECT_NE(new_owner, victim);
+        EXPECT_TRUE(mig.contains(new_owner, chosen.key));
+
+        // Byte-identity vs the never-killed baseline from the same chain.
+        p.path_prefix = prefix + "_r";
+        r.set_checkpoint_policy(p);
+        while (r.step_count() < 4) r.advance();
+        auto ref = core::simulation::restart_chain(chain, opt);
+        p.path_prefix = prefix + "_ref";
+        ref.set_checkpoint_policy(p);
+        while (ref.step_count() < 4) ref.advance();
+        const auto& cr = r.checkpoint_chain();
+        const auto& cref = ref.checkpoint_chain();
+        ASSERT_EQ(cr.size(), cref.size());
+        for (std::size_t i = 0; i < cr.size(); ++i) {
+            const auto ba = slurp(cr[i]);
+            const auto bb = slurp(cref[i]);
+            ASSERT_FALSE(ba.empty());
+            ASSERT_EQ(ba.size(), bb.size());
+            EXPECT_EQ(std::memcmp(ba.data(), bb.data(), ba.size()), 0)
+                << "seed " << seed << " chain element " << i
+                << " diverged after recovery";
+        }
+        ASSERT_TRUE(rt.wait_quiet_for(std::chrono::seconds(60)));
+        EXPECT_EQ(rt.error_count(), 0u);
+        for (int s = 1; s <= 4; ++s) {
+            for (const std::string& pre :
+                 {prefix, prefix + "_r", prefix + "_ref"}) {
+                std::remove((pre + "." + std::to_string(s) + ".ckpt").c_str());
+                std::remove(
+                    (pre + "." + std::to_string(s) + ".dckpt").c_str());
+            }
+        }
+    }
 }
 
 } // namespace

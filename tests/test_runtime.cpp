@@ -371,6 +371,30 @@ TEST(Apex, ReliabilityCountersSurfaceInTheRegistry) {
     EXPECT_TRUE(found);
 }
 
+TEST(Apex, PeerDeathCountersSurfaceInTheRegistry) {
+    // The elastic-recovery counters of ISSUE 10 flow through the same
+    // registry: one increment per declared death, and every parcel swallowed
+    // by (or addressed to) a dead rank is accounted.
+    auto& reg = apex_registry::instance();
+    const auto deaths0 = reg.counter("net.peer_deaths");
+    const auto dropped0 = reg.counter("net.dead_dropped");
+    {
+        dist::runtime rt(3, net::make_mpi_port());
+        std::atomic<int> ran{0};
+        const auto act = rt.register_action(
+            "post-death", [&](int, dist::iarchive) { ran.fetch_add(1); });
+        rt.kill(1);
+        rt.apply(1, act, dist::oarchive{}); // swallowed unacked by the corpse
+        rt.declare_dead(1);
+        rt.apply(1, act, dist::oarchive{}); // dropped at the source now
+        rt.wait_quiet();
+        EXPECT_EQ(ran.load(), 0);
+        EXPECT_EQ(rt.net_stats().peer_deaths, 1u);
+    }
+    EXPECT_EQ(reg.counter("net.peer_deaths"), deaths0 + 1);
+    EXPECT_GT(reg.counter("net.dead_dropped"), dropped0);
+}
+
 TEST(Apex, HydroStepRegistersPipelineCounters) {
     // The futurized hydro step must publish its task-graph counters: the
     // number of pipeline tasks, the per-leaf CFL reduction tasks, the SIMD
@@ -453,6 +477,24 @@ TEST(ThreadPool, StatisticsCountExecutionAndSteals) {
     // more steal depending on which worker claimed it.
     EXPECT_GE(st.tasks_stolen, 500u);
     EXPECT_LE(st.tasks_stolen, 501u);
+}
+
+TEST(ThreadPool, CloseRejectsNewWorkButRunsQueuedTasks) {
+    // A killed locality's pool stops ACCEPTING work (ISSUE 10); tasks that
+    // made it in before the close still run — death is not memory unsafety.
+    thread_pool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i) pool.post([&] { ran.fetch_add(1); });
+    EXPECT_TRUE(pool.accepting());
+    pool.close();
+    EXPECT_FALSE(pool.accepting());
+    EXPECT_FALSE(pool.post([&] { ran.fetch_add(1); }));
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 50);
+    const auto st = pool.stats();
+    EXPECT_EQ(st.tasks_rejected, 1u);
+    EXPECT_EQ(st.tasks_posted, 50u);
+    EXPECT_EQ(st.tasks_executed, 50u);
 }
 
 } // namespace
